@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the aggregate-object machinery: message
+//! editing, IP fragmentation, and integrated-DAG traversal.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fbuf::{AllocMode, FbufId, FbufSystem};
+use fbuf_net::ip;
+use fbuf_sim::{CostModel, MachineConfig};
+use fbuf_xkernel::integrated::{self, DagBuilder, TraverseLimits};
+use fbuf_xkernel::{Extent, Msg};
+
+fn big_msg() -> Msg {
+    // 64 extents over 16 fbufs, 1 MB total.
+    Msg::from_extents(
+        (0..64u64)
+            .map(|i| Extent {
+                fbuf: FbufId(i % 16),
+                off: (i / 16) * 16_384,
+                len: 16_384,
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate");
+    let msg = big_msg();
+    g.bench_function("split_middle", |b| b.iter(|| msg.split(512 << 10)));
+    g.bench_function("concat", |b| {
+        let other = big_msg();
+        b.iter(|| msg.concat(&other))
+    });
+    g.bench_function("fragment_1m_into_4k", |b| {
+        b.iter(|| ip::fragment(&msg, 1, 4096))
+    });
+    g.bench_function("fragment_and_reassemble", |b| {
+        b.iter_batched(
+            || ip::fragment(&msg, 1, 4096),
+            |frags| {
+                let mut r = ip::Reassembler::new(0);
+                let mut done = None;
+                for (h, m) in frags {
+                    if let Some(d) = r.add(h, m) {
+                        done = Some(d);
+                    }
+                }
+                done.expect("complete")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Integrated DAG build + traverse over a real simulated machine with
+    // free costs (measuring host-side mechanics).
+    let mut cfg = MachineConfig::tiny();
+    cfg.phys_mem = 8 << 20;
+    cfg.costs = CostModel::free();
+    let mut fbs = FbufSystem::new(cfg);
+    integrated::install_null_template(&mut fbs);
+    let dom = fbs.create_domain();
+    let data = fbs
+        .alloc(dom, AllocMode::Uncached, 16 << 10)
+        .expect("alloc");
+    let data_va = fbs.fbuf(data).expect("fbuf").va;
+    let mut builder = DagBuilder::new(&mut fbs, dom, AllocMode::Uncached, 128).expect("builder");
+    let mut node = builder.leaf(&mut fbs, data_va, 1024).expect("leaf");
+    for i in 0..63u64 {
+        let l = builder
+            .leaf(&mut fbs, data_va + (i % 16) * 1024, 1024)
+            .expect("leaf");
+        node = builder.concat(&mut fbs, node, l).expect("concat");
+    }
+    g.bench_function("dag_traverse_127_nodes", |b| {
+        b.iter(|| {
+            integrated::traverse(&mut fbs, dom, node, TraverseLimits::default()).expect("traverse")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench regenerating Figure 3 (single boundary crossing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf::SendMode;
+use fbuf_bench::fig3;
+use fbuf_bench::report::print_curves;
+
+fn bench(c: &mut Criterion) {
+    let curves = fig3::run(&fig3::default_sizes(), 3);
+    print_curves(
+        "Figure 3: throughput of a single domain boundary crossing",
+        &curves,
+    );
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+    g.bench_function("fbuf_cached_volatile_64k", |b| {
+        b.iter(|| fig3::fbuf_throughput(true, SendMode::Volatile, 64 << 10, 3))
+    });
+    g.bench_function("mach_native_64k", |b| {
+        b.iter(|| fig3::mach_throughput(64 << 10, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

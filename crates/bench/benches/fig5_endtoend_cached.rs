@@ -1,0 +1,29 @@
+//! Criterion bench regenerating Figure 5 (end-to-end, cached/volatile).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf_bench::fig5;
+use fbuf_bench::report::print_curves;
+use fbuf_net::{DomainSetup, EndToEndConfig};
+
+fn bench(c: &mut Criterion) {
+    let curves = fig5::run(true, &fig5::default_sizes(), 3);
+    print_curves(
+        "Figure 5: UDP/IP end-to-end throughput, cached/volatile fbufs",
+        &curves,
+    );
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for (label, setup) in [
+        ("kernel_kernel_1m", DomainSetup::KernelOnly),
+        ("user_user_1m", DomainSetup::User),
+        ("user_netserver_user_1m", DomainSetup::UserNetserver),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| fig5::throughput(EndToEndConfig::fig5(setup), 1 << 20, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Figure 6 (end-to-end, uncached/
+//! non-volatile) and the §4 CPU-load experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf_bench::report::print_curves;
+use fbuf_bench::{cpuload, fig5};
+use fbuf_net::{DomainSetup, EndToEndConfig};
+
+fn bench(c: &mut Criterion) {
+    let curves = fig5::run(false, &fig5::default_sizes(), 3);
+    print_curves(
+        "Figure 6: UDP/IP end-to-end throughput, uncached/non-volatile fbufs",
+        &curves,
+    );
+    println!("\n== §4: receive-host CPU load, 1 MB messages (user-user) ==");
+    for r in cpuload::run() {
+        println!(
+            "{:<10} {:>6}KB PDU  load {:>4.0}%  {:>6.0} Mb/s",
+            r.regime,
+            r.pdu >> 10,
+            r.rx_cpu * 100.0,
+            r.throughput_mbps
+        );
+    }
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("user_user_uncached_1m", |b| {
+        b.iter(|| fig5::throughput(EndToEndConfig::fig6(DomainSetup::User), 1 << 20, 3))
+    });
+    g.bench_function("cpuload_all_cells", |b| b.iter(cpuload::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the optimization-stack and policy ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf_bench::ablations;
+use fbuf_bench::report::print_cost_rows;
+
+fn bench(c: &mut Criterion) {
+    print_cost_rows(
+        "Ablation: the §3.2 optimization stack, cumulatively",
+        &ablations::optimization_stack(),
+    );
+    println!("\n== Ablation: LIFO vs FIFO under memory pressure ==");
+    for r in ablations::lifo_vs_fifo(12) {
+        println!(
+            "{:<6} resident hits {:>3}, rematerializations {:>3}",
+            r.policy, r.resident_hits, r.rematerializations
+        );
+    }
+    println!("\n== Ablation: driver VCI cache ==");
+    for r in ablations::path_cache(&[8, 16, 24], 48) {
+        println!(
+            "{:>2} VCIs: cached {:>4.0}%  {:>6.0} Mb/s",
+            r.active_vcis,
+            r.cached_fraction * 100.0,
+            r.throughput_mbps
+        );
+    }
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("optimization_stack", |b| {
+        b.iter(ablations::optimization_stack)
+    });
+    g.bench_function("lifo_vs_fifo", |b| b.iter(|| ablations::lifo_vs_fifo(12)));
+    g.bench_function("bus_contention", |b| b.iter(ablations::bus_contention));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating the §2.2.1 remap measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf_bench::remap;
+
+fn bench(c: &mut Criterion) {
+    println!("\n== §2.2.1: DASH-style page remapping, re-measured ==");
+    for r in remap::run() {
+        println!(
+            "{:<12} cleared {:>4.0}%  {:>7.2} us/page",
+            r.mode,
+            r.clear_fraction * 100.0,
+            r.per_page_us
+        );
+    }
+    let mut g = c.benchmark_group("remap");
+    g.bench_function("pingpong", |b| b.iter(|| remap::pingpong(8, 8)));
+    g.bench_function("streaming_no_clear", |b| {
+        b.iter(|| remap::streaming(0.0, 8, 8))
+    });
+    g.bench_function("streaming_full_clear", |b| {
+        b.iter(|| remap::streaming(1.0, 8, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench regenerating Table 1.
+//!
+//! The simulated result (per-page costs, asymptotic throughput) is printed
+//! once at start; Criterion then measures the host-side cost of running
+//! the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbuf::SendMode;
+use fbuf_bench::report::print_cost_rows;
+use fbuf_bench::table1;
+
+fn bench(c: &mut Criterion) {
+    print_cost_rows(
+        "Table 1: incremental per-page costs and asymptotic throughput",
+        &table1::run(),
+    );
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("cached_volatile_slope", |b| {
+        b.iter(|| table1::fbuf_slope(true, SendMode::Volatile))
+    });
+    g.bench_function("uncached_volatile_slope", |b| {
+        b.iter(|| table1::fbuf_slope(false, SendMode::Volatile))
+    });
+    g.bench_function("all_rows", |b| b.iter(table1::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

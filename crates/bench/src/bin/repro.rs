@@ -1,0 +1,177 @@
+//! Regenerates the paper's tables and figures on the simulated machine.
+//!
+//! ```text
+//! repro all                 # everything below, in order
+//! repro table1              # Table 1
+//! repro fig3|fig4|fig5|fig6 # throughput curves
+//! repro cpuload             # §4 receive-side CPU load
+//! repro remap               # §2.2.1 DASH-style remap measurements
+//! repro ablate-opts         # optimization-stack ablation
+//! repro ablate-lifo         # LIFO vs FIFO free lists
+//! repro ablate-paths        # driver VCI-cache sweep
+//! repro ablate-notices      # deallocation-notice thresholds
+//! repro ablate-bus          # TurboChannel contention ablation
+//! ```
+
+use fbuf_bench::report::{print_cost_rows, print_curves};
+use fbuf_bench::{ablations, cpuload, fig3, fig4, fig5, remap, table1, workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let known = [
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "cpuload",
+        "remap",
+        "trace",
+        "ablate-opts",
+        "ablate-lifo",
+        "ablate-paths",
+        "ablate-notices",
+        "ablate-bus",
+        "all",
+    ];
+    if !known.contains(&what) {
+        eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") {
+        print_cost_rows(
+            "Table 1: incremental per-page costs and asymptotic throughput",
+            &table1::run(),
+        );
+    }
+    if run("fig3") {
+        let curves = fig3::run(&fig3::default_sizes(), 4);
+        print_curves(
+            "Figure 3: throughput of a single domain boundary crossing",
+            &curves,
+        );
+    }
+    if run("fig4") {
+        let curves = fig4::run(&fig4::default_sizes(), 3);
+        print_curves(
+            "Figure 4: throughput of a UDP/IP local loopback test",
+            &curves,
+        );
+    }
+    if run("fig5") {
+        let curves = fig5::run(true, &fig5::default_sizes(), 4);
+        print_curves(
+            "Figure 5: UDP/IP end-to-end throughput, cached/volatile fbufs",
+            &curves,
+        );
+    }
+    if run("fig6") {
+        let curves = fig5::run(false, &fig5::default_sizes(), 4);
+        print_curves(
+            "Figure 6: UDP/IP end-to-end throughput, uncached/non-volatile fbufs",
+            &curves,
+        );
+    }
+    if run("cpuload") {
+        println!("\n== §4: receive-host CPU load, 1 MB messages (user-user) ==");
+        println!(
+            "{:<10} {:>8} {:>10} {:>14}",
+            "regime", "PDU", "CPU load", "throughput"
+        );
+        for r in cpuload::run() {
+            println!(
+                "{:<10} {:>6}KB {:>9.0}% {:>9.0} Mb/s",
+                r.regime,
+                r.pdu >> 10,
+                r.rx_cpu * 100.0,
+                r.throughput_mbps
+            );
+        }
+    }
+    if run("remap") {
+        println!("\n== §2.2.1: DASH-style page remapping, re-measured ==");
+        println!("{:<12} {:>10} {:>14}", "mode", "cleared", "per-page cost");
+        for r in remap::run() {
+            println!(
+                "{:<12} {:>9.0}% {:>11.2} us",
+                r.mode,
+                r.clear_fraction * 100.0,
+                r.per_page_us
+            );
+        }
+    }
+    if run("trace") {
+        println!("\n== Trace replay: 120 mixed messages, 4 flows (user-user) ==");
+        let trace = workload::Trace::generate(2026, 120, 4);
+        println!(
+            "trace: {} messages, {:.1} MB total (seed {})",
+            trace.entries.len(),
+            trace.bytes() as f64 / (1 << 20) as f64,
+            trace.seed
+        );
+        for r in workload::replay(&trace) {
+            println!(
+                "{:<10} {:>7.0} Mb/s, rx CPU {:>3.0}%",
+                r.regime,
+                r.throughput_mbps,
+                r.rx_cpu * 100.0
+            );
+        }
+    }
+    if run("ablate-opts") {
+        print_cost_rows(
+            "Ablation: the §3.2 optimization stack, cumulatively",
+            &ablations::optimization_stack(),
+        );
+    }
+    if run("ablate-lifo") {
+        println!("\n== Ablation: LIFO vs FIFO free-list order under memory pressure ==");
+        println!(
+            "{:<8} {:>14} {:>20}",
+            "policy", "resident hits", "rematerializations"
+        );
+        for r in ablations::lifo_vs_fifo(12) {
+            println!(
+                "{:<8} {:>14} {:>20}",
+                r.policy, r.resident_hits, r.rematerializations
+            );
+        }
+    }
+    if run("ablate-paths") {
+        println!("\n== Ablation: driver path cache (16-entry VCI LRU) ==");
+        println!(
+            "{:<12} {:>16} {:>14}",
+            "active VCIs", "cached fraction", "throughput"
+        );
+        for r in ablations::path_cache(&[1, 8, 16, 24, 32], 64) {
+            println!(
+                "{:<12} {:>15.0}% {:>9.0} Mb/s",
+                r.active_vcis,
+                r.cached_fraction * 100.0,
+                r.throughput_mbps
+            );
+        }
+    }
+    if run("ablate-notices") {
+        println!("\n== Ablation: deallocation-notice threshold (1000 frees, RPC every 16) ==");
+        println!(
+            "{:<10} {:>12} {:>10}",
+            "threshold", "piggybacked", "explicit"
+        );
+        for r in ablations::notice_thresholds(&[4, 16, 64, 256, 1024], 1000, 16) {
+            println!(
+                "{:<10} {:>12} {:>10}",
+                r.threshold, r.piggybacked, r.explicit
+            );
+        }
+    }
+    if run("ablate-bus") {
+        println!("\n== Ablation: TurboChannel bus contention ==");
+        for (label, mbps) in ablations::bus_contention() {
+            println!("{label:<38} {mbps:>8.0} Mb/s");
+        }
+    }
+}

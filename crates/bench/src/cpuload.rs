@@ -1,0 +1,79 @@
+//! The §4 CPU-load experiment: receive-host CPU utilization while
+//! receiving 1 MB messages, cached vs uncached fbufs, at 16 KB and 32 KB
+//! IP PDU sizes.
+//!
+//! "The CPU load on the receiving host during the reception of 1 MByte
+//! packets is 88% when cached fbufs are used, while the CPU is saturated
+//! when uncached fbufs are used. One can shift this effect by setting IP's
+//! PDU size to 32 KBytes ... CPU load is only 55% when cached fbufs are
+//! used."
+
+use fbuf_net::{DomainSetup, EndToEnd, EndToEndConfig};
+use fbuf_sim::MachineConfig;
+use serde::Serialize;
+
+/// One measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct CpuLoadRow {
+    /// `cached` or `uncached`.
+    pub regime: String,
+    /// IP PDU size in bytes.
+    pub pdu: u64,
+    /// Receive-host CPU utilization (0–1).
+    pub rx_cpu: f64,
+    /// Achieved throughput in Mb/s.
+    pub throughput_mbps: f64,
+}
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 24 << 20;
+    cfg
+}
+
+/// Runs the four cells of the experiment (1 MB messages, user-user).
+pub fn run() -> Vec<CpuLoadRow> {
+    let mut rows = Vec::new();
+    for pdu in [16u64 << 10, 32 << 10] {
+        for cached in [true, false] {
+            let mut cfg = if cached {
+                EndToEndConfig::fig5(DomainSetup::User)
+            } else {
+                EndToEndConfig::fig6(DomainSetup::User)
+            };
+            cfg.pdu = pdu;
+            let mut e = EndToEnd::new(machine(), cfg);
+            let r = e.run(1 << 20, 4).expect("cpu load run");
+            rows.push(CpuLoadRow {
+                regime: if cached { "cached" } else { "uncached" }.to_string(),
+                pdu,
+                rx_cpu: r.rx_cpu,
+                throughput_mbps: r.throughput_mbps,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_leaves_headroom_uncached_saturates_at_16k() {
+        let rows = run();
+        let cell = |regime: &str, pdu: u64| {
+            rows.iter()
+                .find(|r| r.regime == regime && r.pdu == pdu)
+                .expect("cell present")
+        };
+        // 16 KB PDUs: cached leaves CPU headroom; uncached saturates.
+        assert!(cell("cached", 16 << 10).rx_cpu < 0.95);
+        assert!(cell("uncached", 16 << 10).rx_cpu > 0.98);
+        // 32 KB PDUs halve protocol overhead: cached load drops well
+        // below the 16 KB case.
+        assert!(cell("cached", 32 << 10).rx_cpu < cell("cached", 16 << 10).rx_cpu - 0.1);
+        // Cached throughput is IO-bound at both PDU sizes.
+        assert!((cell("cached", 16 << 10).throughput_mbps - 285.0).abs() < 25.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! §2.2.1: the DASH-style remap facility re-measured.
+//!
+//! "Our measurements show that it is possible to achieve an incremental
+//! overhead of 22 µs/page in the ping-pong test, but that one would expect
+//! an incremental overhead of somewhere between 42 and 99 µs/page when
+//! considering the costs of allocating, clearing, and deallocating
+//! buffers, depending on what percentage of each page needed to be
+//! cleared."
+
+use fbuf_sim::MachineConfig;
+use fbuf_vm::facility::{RemapFacility, TransferMechanism};
+use fbuf_vm::Machine;
+use serde::Serialize;
+
+/// One remap measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct RemapRow {
+    /// Measurement name.
+    pub mode: String,
+    /// Fraction of each page cleared (streaming only).
+    pub clear_fraction: f64,
+    /// Per-page cost in microseconds.
+    pub per_page_us: f64,
+}
+
+fn machine() -> Machine {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 16 << 20;
+    Machine::new(cfg)
+}
+
+/// Ping-pong: remap the same buffer back and forth (the Tzou/Anderson
+/// methodology); returns the one-way per-page cost.
+pub fn pingpong(pages: u64, rounds: usize) -> f64 {
+    let mut m = machine();
+    let a = m.create_domain();
+    let b = m.create_domain();
+    let mut f = RemapFacility::new(0.0);
+    let page = m.page_size();
+    let len = pages * page;
+    let va = f.alloc(&mut m, a, len).expect("alloc");
+    for i in 0..pages {
+        m.write(a, va + i * page, &[1]).expect("write");
+    }
+    // Warm-up bounce.
+    f.transfer(&mut m, a, va, len, b).expect("to b");
+    f.transfer(&mut m, b, va, len, a).expect("back");
+    let t0 = m.clock().now();
+    for _ in 0..rounds {
+        f.transfer(&mut m, a, va, len, b).expect("to b");
+        for i in 0..pages {
+            m.read(b, va + i * page, 1).expect("read");
+        }
+        f.transfer(&mut m, b, va, len, a).expect("back");
+        for i in 0..pages {
+            m.write(a, va + i * page, &[1]).expect("write");
+        }
+    }
+    let dt = (m.clock().now() - t0).as_us_f64();
+    dt / (rounds as f64 * 2.0 * pages as f64)
+}
+
+/// Streaming: full allocate → transfer → deallocate per message, with
+/// `clear_fraction` of each page cleared for security.
+pub fn streaming(clear_fraction: f64, pages: u64, rounds: usize) -> f64 {
+    let mut m = machine();
+    let a = m.create_domain();
+    let b = m.create_domain();
+    let mut f = RemapFacility::new(clear_fraction);
+    let page = m.page_size();
+    let len = pages * page;
+    let mut cycle = |m: &mut Machine| {
+        let va = f.alloc(m, a, len).expect("alloc");
+        for i in 0..pages {
+            m.write(a, va + i * page, &[1]).expect("write");
+        }
+        f.transfer(m, a, va, len, b).expect("transfer");
+        for i in 0..pages {
+            m.read(b, va + i * page, 1).expect("read");
+        }
+        f.free(m, b, va, len).expect("free");
+    };
+    cycle(&mut m);
+    let t0 = m.clock().now();
+    for _ in 0..rounds {
+        cycle(&mut m);
+    }
+    let dt = (m.clock().now() - t0).as_us_f64();
+    dt / (rounds as f64 * pages as f64)
+}
+
+/// Produces the §2.2.1 rows: ping-pong plus streaming at 0%, 50%, and
+/// 100% clearing.
+pub fn run() -> Vec<RemapRow> {
+    let mut rows = vec![RemapRow {
+        mode: "ping-pong".to_string(),
+        clear_fraction: 0.0,
+        per_page_us: pingpong(8, 8),
+    }];
+    for fraction in [0.0, 0.5, 1.0] {
+        rows.push(RemapRow {
+            mode: "streaming".to_string(),
+            clear_fraction: fraction,
+            per_page_us: streaming(fraction, 8, 8),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers() {
+        let rows = run();
+        let pp = &rows[0];
+        assert!((pp.per_page_us - 22.0).abs() < 2.5, "ping-pong {pp:?}");
+        let s0 = rows
+            .iter()
+            .find(|r| r.mode == "streaming" && r.clear_fraction == 0.0)
+            .expect("row");
+        let s100 = rows
+            .iter()
+            .find(|r| r.mode == "streaming" && r.clear_fraction == 1.0)
+            .expect("row");
+        assert!((s0.per_page_us - 42.0).abs() < 3.0, "streaming/0 {s0:?}");
+        assert!(
+            (s100.per_page_us - 99.0).abs() < 3.0,
+            "streaming/100 {s100:?}"
+        );
+        // The 42–99 µs spread is exactly the 57 µs clear cost.
+        assert!((s100.per_page_us - s0.per_page_us - 57.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace-driven workloads: mixed message sizes and multi-flow traffic.
+//!
+//! The paper's figures sweep one size at a time; a real server sees a mix.
+//! This module generates reproducible traces (seeded `rand`) modelling the
+//! applications the paper motivates — bulk transfers with interleaved
+//! small control messages across several connections — and replays them
+//! through the end-to-end harness, comparing the buffer regimes under a
+//! realistic interleaving.
+
+use fbuf_net::{DomainSetup, EndToEnd, EndToEndConfig};
+use fbuf_sim::MachineConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+
+/// One message of a trace.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TraceEntry {
+    /// Message size in bytes.
+    pub size: u64,
+    /// The flow (VCI) it belongs to.
+    pub vci: u32,
+}
+
+/// A reproducible mixed workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trace {
+    /// Seed used.
+    pub seed: u64,
+    /// Messages in arrival order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Generates `n` messages over `flows` flows: 80% small control
+    /// messages (256 B – 4 KB), 20% bulk transfers (64 KB – 512 KB),
+    /// log-uniform within each class.
+    pub fn generate(seed: u64, n: usize, flows: u32) -> Trace {
+        assert!(flows > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..n)
+            .map(|_| {
+                let bulk = rng.random_bool(0.2);
+                let (lo, hi) = if bulk {
+                    (16u32, 19u32) // 2^16 .. 2^19
+                } else {
+                    (8u32, 12u32) // 2^8 .. 2^12
+                };
+                let exp = rng.random_range(lo..=hi);
+                let size = (1u64 << exp) + rng.random_range(0..(1u64 << exp));
+                TraceEntry {
+                    size: size.min(1 << 19),
+                    vci: rng.random_range(0..flows),
+                }
+            })
+            .collect();
+        Trace { seed, entries }
+    }
+
+    /// Total bytes in the trace.
+    pub fn bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size).sum()
+    }
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceReport {
+    /// `cached` or `uncached`.
+    pub regime: String,
+    /// Messages replayed.
+    pub messages: usize,
+    /// Application bytes moved.
+    pub bytes: u64,
+    /// Aggregate throughput in Mb/s.
+    pub throughput_mbps: f64,
+    /// Receive-host CPU utilization.
+    pub rx_cpu: f64,
+}
+
+/// Replays a trace through the end-to-end harness under both buffer
+/// regimes.
+pub fn replay(trace: &Trace) -> Vec<TraceReport> {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 24 << 20;
+    [true, false]
+        .into_iter()
+        .map(|cached| {
+            let e2e_cfg = if cached {
+                EndToEndConfig::fig5(DomainSetup::User)
+            } else {
+                EndToEndConfig::fig6(DomainSetup::User)
+            };
+            let mut e = EndToEnd::new(cfg.clone(), e2e_cfg);
+            // Warm up each flow once.
+            let flows: u32 = trace.entries.iter().map(|t| t.vci).max().unwrap_or(0) + 1;
+            for v in 0..flows {
+                e.send_message(4096, v, false).expect("warm");
+            }
+            let mark = e.rx.fbs.machine().clock().mark();
+            for entry in &trace.entries {
+                e.send_message(entry.size, entry.vci, false)
+                    .expect("replay");
+            }
+            let clock = e.rx.fbs.machine().clock();
+            let elapsed = clock.since(mark);
+            TraceReport {
+                regime: if cached { "cached" } else { "uncached" }.to_string(),
+                messages: trace.entries.len(),
+                bytes: trace.bytes(),
+                throughput_mbps: elapsed.mbps(trace.bytes()),
+                rx_cpu: clock.utilization_since(mark),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = Trace::generate(42, 50, 4);
+        let b = Trace::generate(42, 50, 4);
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!((x.size, x.vci), (y.size, y.vci));
+        }
+        let c = Trace::generate(43, 50, 4);
+        assert_ne!(a.bytes(), c.bytes());
+    }
+
+    #[test]
+    fn trace_has_the_advertised_mix() {
+        let t = Trace::generate(7, 400, 8);
+        let bulk = t.entries.iter().filter(|e| e.size >= 64 << 10).count();
+        let small = t.entries.iter().filter(|e| e.size < 8 << 10).count();
+        assert!(bulk > 40 && bulk < 150, "bulk {bulk}");
+        assert!(small > 250, "small {small}");
+        assert!(t.entries.iter().all(|e| e.vci < 8));
+    }
+
+    #[test]
+    fn cached_regime_wins_on_mixed_traffic_too() {
+        let t = Trace::generate(1, 30, 2);
+        let reports = replay(&t);
+        let cached = &reports[0];
+        let uncached = &reports[1];
+        assert_eq!(cached.messages, 30);
+        assert!(
+            cached.throughput_mbps > uncached.throughput_mbps,
+            "cached {:.0} vs uncached {:.0}",
+            cached.throughput_mbps,
+            uncached.throughput_mbps
+        );
+    }
+}

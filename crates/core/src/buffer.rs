@@ -1,0 +1,115 @@
+//! The fbuf object itself.
+
+use fbuf_vm::{DomainId, FrameId};
+
+use crate::path::PathId;
+
+/// Identifier of an fbuf; also used as the deallocation-notice token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FbufId(pub u64);
+
+/// Protection state of an fbuf with respect to its originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbufState {
+    /// The originator retains write permission; receivers must treat the
+    /// contents as potentially changing underneath them (the default).
+    Volatile,
+    /// Write permission has been removed from the originator (either
+    /// eagerly at send time — the "non-volatile" regime — or lazily via
+    /// [`crate::FbufSystem::secure`]).
+    Secured,
+}
+
+/// One fast buffer: contiguous pages at a fixed virtual address within the
+/// globally shared fbuf region.
+#[derive(Debug)]
+pub struct Fbuf {
+    /// Stable identifier (and notice token).
+    pub id: FbufId,
+    /// Base virtual address (page aligned, identical in every domain).
+    pub va: u64,
+    /// Size in pages.
+    pub pages: u64,
+    /// Requested size in bytes (≤ `pages * page_size`).
+    pub len: u64,
+    /// The domain that allocated the buffer.
+    pub originator: DomainId,
+    /// The I/O data path this buffer belongs to (`None` for the uncached
+    /// default allocator).
+    pub path: Option<PathId>,
+    /// Protection state.
+    pub state: FbufState,
+    /// Backing frames; `None` slots were reclaimed by the pageout daemon
+    /// while the buffer sat on a free list.
+    pub frames: Vec<Option<FrameId>>,
+    /// Domains currently holding a reference.
+    pub holders: Vec<DomainId>,
+    /// Domains in which the pages are currently mapped.
+    pub mapped_in: Vec<DomainId>,
+}
+
+impl Fbuf {
+    /// True when allocated from a per-path (cached) allocator.
+    pub fn is_cached(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// True if `dom` holds a reference.
+    pub fn held_by(&self, dom: DomainId) -> bool {
+        self.holders.contains(&dom)
+    }
+
+    /// True if all frames are resident.
+    pub fn resident(&self) -> bool {
+        self.frames.iter().all(|f| f.is_some())
+    }
+
+    /// Virtual address of page `i`.
+    pub fn page_va(&self, i: u64, page_size: u64) -> u64 {
+        debug_assert!(i < self.pages);
+        self.va + i * page_size
+    }
+
+    /// The byte range `[va, va+len)` as a tuple.
+    pub fn extent(&self) -> (u64, u64) {
+        (self.va, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fbuf {
+        Fbuf {
+            id: FbufId(1),
+            va: 0x4000_0000,
+            pages: 2,
+            len: 5000,
+            originator: DomainId(1),
+            path: Some(PathId(0)),
+            state: FbufState::Volatile,
+            frames: vec![Some(FrameId(3)), None],
+            holders: vec![DomainId(1)],
+            mapped_in: vec![DomainId(1)],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let f = sample();
+        assert!(f.is_cached());
+        assert!(f.held_by(DomainId(1)));
+        assert!(!f.held_by(DomainId(2)));
+        assert!(!f.resident());
+        assert_eq!(f.page_va(1, 4096), 0x4000_1000);
+        assert_eq!(f.extent(), (0x4000_0000, 5000));
+    }
+
+    #[test]
+    fn uncached_has_no_path() {
+        let mut f = sample();
+        f.path = None;
+        assert!(!f.is_cached());
+    }
+}

@@ -1,0 +1,68 @@
+//! Fast buffers (fbufs): the paper's high-bandwidth cross-domain transfer
+//! facility.
+//!
+//! An *fbuf* is an immutable, pageable I/O buffer of one or more contiguous
+//! virtual-memory pages, living in a virtual address range (the *fbuf
+//! region*) that is globally shared among all protection domains. The
+//! facility combines two classic techniques — page remapping and shared
+//! virtual memory — and layers three optimizations on the basic remapping
+//! mechanism (paper §3.2):
+//!
+//! 1. **Restricted dynamic read sharing** — an fbuf occupies the same
+//!    virtual address everywhere; receivers are read-only; writes by a
+//!    receiver fault.
+//! 2. **Fbuf caching** — on deallocation, an fbuf's mappings are retained
+//!    and the buffer parks on a per-*I/O-data-path* LIFO free list; reuse
+//!    for the same path skips allocation, page clearing, and every mapping
+//!    update.
+//! 3. **Volatile fbufs** — by default the originator keeps write
+//!    permission; a receiver that must trust the contents calls
+//!    [`FbufSystem::secure`], which removes the originator's write access
+//!    lazily (a no-op when the originator is the trusted kernel).
+//!
+//! The combination means that in the common case — path known at
+//! allocation time, a cached fbuf available, securing unnecessary — a
+//! cross-domain transfer involves **no kernel work at all**: two TLB misses
+//! per page is the entire incremental cost (Table 1's 3 µs/page row).
+//!
+//! [`FbufSystem`] is the facade over the whole mechanism; it owns the
+//! simulated [`fbuf_vm::Machine`] and the [`fbuf_ipc::Rpc`] layer.
+//!
+//! # Examples
+//!
+//! The common case end to end — allocate from a path cache, transfer,
+//! release, reuse:
+//!
+//! ```
+//! use fbuf::{AllocMode, FbufSystem, SendMode};
+//! use fbuf_sim::MachineConfig;
+//!
+//! let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+//! let driver = fbuf_vm::KERNEL_DOMAIN;
+//! let app = fbs.create_domain();
+//! let path = fbs.create_path(vec![driver, app])?;
+//!
+//! // First packet builds the buffer; later packets reuse it for free.
+//! for round in 0..3u8 {
+//!     let buf = fbs.alloc(driver, AllocMode::Cached(path), 4096)?;
+//!     fbs.write_fbuf(driver, buf, 0, &[round; 64])?;
+//!     fbs.send(buf, driver, app, SendMode::Volatile)?;
+//!     assert_eq!(fbs.read_fbuf(app, buf, 0, 64)?, vec![round; 64]);
+//!     fbs.free(buf, app)?;
+//!     fbs.free(buf, driver)?;
+//! }
+//! assert_eq!(fbs.stats().fbuf_cache_hits(), 2);
+//! # Ok::<(), fbuf::FbufError>(())
+//! ```
+
+pub mod buffer;
+pub mod error;
+pub mod path;
+pub mod region;
+pub mod system;
+
+pub use buffer::{Fbuf, FbufId, FbufState};
+pub use error::{FbufError, FbufResult};
+pub use path::{DataPath, PathId};
+pub use region::ChunkAllocator;
+pub use system::{AllocMode, FbufSystem, ReusePolicy, SendMode};

@@ -1,0 +1,161 @@
+//! I/O data paths and their cached free lists.
+//!
+//! "We call such a path an I/O data path, and say that a buffer belongs to
+//! a particular I/O data path. We further assume that all data that
+//! originates from (terminates at) a particular communication endpoint
+//! travels the same I/O data path." (§2.1.2)
+//!
+//! The per-path free list is the heart of fbuf caching: LIFO order keeps
+//! the hottest buffers (those most likely to still have resident frames and
+//! warm TLB/cache state) at the front.
+
+use fbuf_vm::DomainId;
+
+use crate::buffer::FbufId;
+
+/// Identifier of an I/O data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u64);
+
+/// An I/O data path: the ordered sequence of protection domains that
+/// buffers allocated for this path will traverse, plus the cached free
+/// list.
+#[derive(Debug)]
+pub struct DataPath {
+    /// Path identifier.
+    pub id: PathId,
+    /// Domains in traversal order; the first is the expected originator.
+    pub domains: Vec<DomainId>,
+    /// LIFO free list of parked fbufs, keyed by size in pages.
+    free: Vec<(u64, FbufId)>,
+    /// Whether the path is still live (false once any member domain
+    /// terminates).
+    pub live: bool,
+}
+
+impl DataPath {
+    /// Creates a path over `domains` (at least an originator and one
+    /// receiver).
+    pub fn new(id: PathId, domains: Vec<DomainId>) -> DataPath {
+        assert!(
+            domains.len() >= 2,
+            "a data path crosses at least one boundary"
+        );
+        DataPath {
+            id,
+            domains,
+            free: Vec::new(),
+            live: true,
+        }
+    }
+
+    /// The expected originator (first domain).
+    pub fn originator(&self) -> DomainId {
+        self.domains[0]
+    }
+
+    /// True if `dom` participates in this path.
+    pub fn contains(&self, dom: DomainId) -> bool {
+        self.domains.contains(&dom)
+    }
+
+    /// Parks a deallocated fbuf at the hot end of the free list.
+    pub fn park(&mut self, pages: u64, id: FbufId) {
+        self.free.push((pages, id));
+    }
+
+    /// Takes the most recently parked fbuf of exactly `pages` pages
+    /// (LIFO — the paper's policy: the hot end is most likely resident).
+    pub fn take(&mut self, pages: u64) -> Option<FbufId> {
+        let pos = self.free.iter().rposition(|&(p, _)| p == pages)?;
+        Some(self.free.remove(pos).1)
+    }
+
+    /// Takes the *least* recently parked fbuf of exactly `pages` pages
+    /// (FIFO — the ablation baseline showing why the paper chose LIFO).
+    pub fn take_fifo(&mut self, pages: u64) -> Option<FbufId> {
+        let pos = self.free.iter().position(|&(p, _)| p == pages)?;
+        Some(self.free.remove(pos).1)
+    }
+
+    /// Removes a specific fbuf from the free list (e.g. when its frames
+    /// were reclaimed and it is being retired). Returns whether it was
+    /// present.
+    pub fn unpark(&mut self, id: FbufId) -> bool {
+        let before = self.free.len();
+        self.free.retain(|&(_, f)| f != id);
+        self.free.len() != before
+    }
+
+    /// Parked fbufs from cold (least recently used) to hot.
+    pub fn parked_cold_first(&self) -> impl Iterator<Item = FbufId> + '_ {
+        self.free.iter().map(|&(_, id)| id)
+    }
+
+    /// Number of parked fbufs.
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Drains the free list (path teardown).
+    pub fn drain(&mut self) -> Vec<FbufId> {
+        self.free.drain(..).map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> DataPath {
+        DataPath::new(PathId(1), vec![DomainId(0), DomainId(1), DomainId(2)])
+    }
+
+    #[test]
+    fn membership_and_originator() {
+        let p = path();
+        assert_eq!(p.originator(), DomainId(0));
+        assert!(p.contains(DomainId(2)));
+        assert!(!p.contains(DomainId(3)));
+    }
+
+    #[test]
+    fn lifo_order_within_size_class() {
+        let mut p = path();
+        p.park(4, FbufId(1));
+        p.park(4, FbufId(2));
+        p.park(2, FbufId(3));
+        // The most recently parked 4-page buffer comes back first.
+        assert_eq!(p.take(4), Some(FbufId(2)));
+        assert_eq!(p.take(4), Some(FbufId(1)));
+        assert_eq!(p.take(4), None);
+        assert_eq!(p.take(2), Some(FbufId(3)));
+    }
+
+    #[test]
+    fn unpark_removes_specific_buffer() {
+        let mut p = path();
+        p.park(4, FbufId(1));
+        p.park(4, FbufId(2));
+        assert!(p.unpark(FbufId(1)));
+        assert!(!p.unpark(FbufId(1)));
+        assert_eq!(p.take(4), Some(FbufId(2)));
+        assert_eq!(p.parked(), 0);
+    }
+
+    #[test]
+    fn cold_first_iteration_order() {
+        let mut p = path();
+        p.park(4, FbufId(1));
+        p.park(4, FbufId(2));
+        p.park(4, FbufId(3));
+        let order: Vec<FbufId> = p.parked_cold_first().collect();
+        assert_eq!(order, vec![FbufId(1), FbufId(2), FbufId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one boundary")]
+    fn single_domain_path_rejected() {
+        DataPath::new(PathId(0), vec![DomainId(0)]);
+    }
+}

@@ -1,0 +1,1160 @@
+//! The fbuf facility facade.
+//!
+//! [`FbufSystem`] owns the simulated machine and the RPC layer and
+//! implements the full lifecycle of fast buffers under all four regimes the
+//! paper measures:
+//!
+//! | regime | alloc | send | free |
+//! |---|---|---|---|
+//! | cached + volatile | free-list pop | *(nothing)* | free-list push |
+//! | cached + secured | free-list pop | protect + TLB flush | unprotect, push |
+//! | uncached + volatile | carve VA, frames, map | map receiver | unmap all, free frames |
+//! | uncached + secured | as above | + protect + flush | + unprotect |
+//!
+//! Only mapping operations that the regime actually requires are performed;
+//! the per-page costs of Table 1 emerge from these sequences.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fbuf_ipc::Rpc;
+use fbuf_sim::{CostCategory, MachineConfig, Stats};
+use fbuf_vm::{DomainId, Machine, Prot};
+
+use crate::buffer::{Fbuf, FbufId, FbufState};
+use crate::error::{FbufError, FbufResult};
+use crate::path::{DataPath, PathId};
+use crate::region::{ChunkAllocator, LocalAllocator};
+
+/// How a buffer is allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocMode {
+    /// From the per-path allocator: eligible for caching. The paper's
+    /// common case, available whenever "the I/O data path of a buffer is
+    /// always known at the time of allocation".
+    Cached(PathId),
+    /// From the default allocator: "in those cases where the I/O data path
+    /// cannot be determined, a default allocator is used. This allocator
+    /// returns uncached fbufs, and as a consequence, VM map manipulations
+    /// are necessary for each domain transfer."
+    Uncached,
+}
+
+/// Protection behaviour of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Volatile (default): the originator keeps write permission; the
+    /// receiver may call [`FbufSystem::secure`] later if it must trust the
+    /// contents.
+    Volatile,
+    /// Non-volatile: eagerly remove the originator's write permission as
+    /// part of the transfer (the paper's "eagerly enforce immutability"
+    /// alternative).
+    Secure,
+}
+
+/// The fast-buffer facility.
+#[derive(Debug)]
+pub struct FbufSystem {
+    machine: Machine,
+    rpc: Rpc,
+    chunk_alloc: ChunkAllocator,
+    allocators: HashMap<(u32, Option<PathId>), LocalAllocator>,
+    paths: HashMap<PathId, DataPath>,
+    next_path: u64,
+    fbufs: HashMap<FbufId, Fbuf>,
+    next_fbuf: u64,
+    registered: HashSet<u32>,
+    terminated: HashSet<u32>,
+    /// Base virtual address → fbuf, for reverse lookups (integrated
+    /// aggregate inspection needs to map DAG pointers back to buffers).
+    va_index: BTreeMap<u64, FbufId>,
+    /// Whether page clears for freshly materialized fbuf frames are
+    /// *charged* (they are always performed). Table 1 of the paper excludes
+    /// clearing cost from the uncached rows, so benches set this to
+    /// `false`; the default is the honest `true`.
+    pub charge_clearing: bool,
+    /// Free-list reuse order. The paper uses LIFO ("the LIFO ordering
+    /// ensures that fbufs at the front of the free list are most likely to
+    /// have physical memory mapped to them"); FIFO exists for the
+    /// ablation quantifying that choice.
+    pub reuse_policy: ReusePolicy,
+}
+
+/// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// Most recently freed first (the paper's choice).
+    Lifo,
+    /// Least recently freed first (ablation baseline).
+    Fifo,
+}
+
+impl FbufSystem {
+    /// Builds the facility over a fresh machine; the kernel domain is
+    /// created and registered.
+    pub fn new(cfg: MachineConfig) -> FbufSystem {
+        let machine = Machine::new(cfg);
+        let cfg = machine.config().clone();
+        let rpc = Rpc::new(machine.clock(), machine.stats(), cfg.costs.clone());
+        let mut sys = FbufSystem {
+            machine,
+            rpc,
+            chunk_alloc: ChunkAllocator::new(
+                cfg.fbuf_region_base,
+                cfg.fbuf_region_size,
+                cfg.chunk_size,
+            ),
+            allocators: HashMap::new(),
+            paths: HashMap::new(),
+            next_path: 0,
+            fbufs: HashMap::new(),
+            next_fbuf: 0,
+            registered: HashSet::new(),
+            terminated: HashSet::new(),
+            va_index: BTreeMap::new(),
+            charge_clearing: true,
+            reuse_policy: ReusePolicy::Lifo,
+        };
+        let kernel = fbuf_vm::KERNEL_DOMAIN;
+        sys.machine
+            .map_fbuf_region(kernel)
+            .expect("fresh kernel fbuf region");
+        sys.registered.insert(kernel.0);
+        sys
+    }
+
+    /// Creates and registers a new protection domain (its slice of the
+    /// shared fbuf region is mapped with the null-read policy).
+    pub fn create_domain(&mut self) -> DomainId {
+        let dom = self.machine.create_domain();
+        self.machine
+            .map_fbuf_region(dom)
+            .expect("fresh domain fbuf region");
+        self.registered.insert(dom.0);
+        dom
+    }
+
+    /// The underlying machine (immutable).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The underlying machine (mutable — protocols use this for data
+    /// access).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The RPC layer.
+    pub fn rpc_mut(&mut self) -> &mut Rpc {
+        &mut self.rpc
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Stats {
+        self.machine.stats()
+    }
+
+    /// Declares an I/O data path over `domains` (traversal order; first is
+    /// the originator).
+    pub fn create_path(&mut self, domains: Vec<DomainId>) -> FbufResult<PathId> {
+        for d in &domains {
+            if !self.registered.contains(&d.0) || !self.machine.domain_alive(*d) {
+                return Err(FbufError::UnknownDomain(*d));
+            }
+        }
+        let id = PathId(self.next_path);
+        self.next_path += 1;
+        self.paths.insert(id, DataPath::new(id, domains));
+        Ok(id)
+    }
+
+    /// Looks up a path.
+    pub fn path(&self, id: PathId) -> FbufResult<&DataPath> {
+        self.paths.get(&id).ok_or(FbufError::NoSuchPath(id))
+    }
+
+    /// Looks up an fbuf.
+    pub fn fbuf(&self, id: FbufId) -> FbufResult<&Fbuf> {
+        self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))
+    }
+
+    /// Number of live fbuf objects (incl. parked ones).
+    pub fn live_fbufs(&self) -> usize {
+        self.fbufs.len()
+    }
+
+    /// The fbuf whose pages contain virtual address `va`, if any.
+    pub fn fbuf_at_va(&self, va: u64) -> Option<FbufId> {
+        let page_size = self.machine.page_size();
+        let (_, &id) = self.va_index.range(..=va).next_back()?;
+        let f = self.fbufs.get(&id)?;
+        (va < f.va + f.pages * page_size).then_some(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates an fbuf of `len` bytes in `dom`.
+    ///
+    /// Cached allocations must come from the path's originator domain and
+    /// are satisfied from the path's LIFO free list when possible —
+    /// skipping clearing and all mapping work ("no clearing of the buffers
+    /// is required, and the appropriate mappings already exist", §3.2.2).
+    pub fn alloc(&mut self, dom: DomainId, mode: AllocMode, len: u64) -> FbufResult<FbufId> {
+        self.check_domain(dom)?;
+        let pages = self.machine.config().pages_for(len).max(1);
+        match mode {
+            AllocMode::Cached(path_id) => {
+                {
+                    let path = self
+                        .paths
+                        .get(&path_id)
+                        .ok_or(FbufError::NoSuchPath(path_id))?;
+                    if !path.live {
+                        return Err(FbufError::NoSuchPath(path_id));
+                    }
+                    if path.originator() != dom {
+                        return Err(FbufError::NotHolder {
+                            domain: dom,
+                            fbuf: FbufId(u64::MAX),
+                        });
+                    }
+                }
+                let parked = {
+                    let p = self.paths.get_mut(&path_id).expect("checked above");
+                    match self.reuse_policy {
+                        ReusePolicy::Lifo => p.take(pages),
+                        ReusePolicy::Fifo => p.take_fifo(pages),
+                    }
+                };
+                if let Some(id) = parked {
+                    return self.reuse_cached(id, dom, len);
+                }
+                self.stats().inc_fbuf_cache_misses();
+                self.build(dom, Some(path_id), pages, len)
+            }
+            AllocMode::Uncached => {
+                // The default allocator enters the kernel VM system.
+                self.machine
+                    .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
+                self.build(dom, None, pages, len)
+            }
+        }
+    }
+
+    /// Allocates a physical frame, reclaiming from parked fbufs (coldest
+    /// first) when memory is tight — "the amount of physical memory
+    /// allocated to fbufs depends on the level of I/O traffic compared to
+    /// other system activity" (§3.3).
+    fn frame_with_reclaim(&mut self) -> FbufResult<fbuf_vm::FrameId> {
+        match self.machine.alloc_frame() {
+            Ok(f) => Ok(f),
+            Err(fbuf_vm::Fault::OutOfMemory) => {
+                if self.reclaim_frames(8) == 0 {
+                    return Err(fbuf_vm::Fault::OutOfMemory.into());
+                }
+                Ok(self.machine.alloc_frame()?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn reuse_cached(&mut self, id: FbufId, dom: DomainId, len: u64) -> FbufResult<FbufId> {
+        self.stats().inc_fbuf_cache_hits();
+        self.machine
+            .charge(CostCategory::Alloc, self.machine.costs().freelist_op);
+        let page_size = self.machine.page_size();
+        // Re-materialize frames the pageout daemon reclaimed while parked.
+        let missing: Vec<u64> = {
+            let f = self.fbufs.get(&id).expect("parked fbuf exists");
+            (0..f.pages)
+                .filter(|&i| f.frames[i as usize].is_none())
+                .collect()
+        };
+        for i in missing {
+            let frame = self.frame_with_reclaim()?;
+            if self.charge_clearing {
+                self.machine.zero_frame(frame);
+            } else {
+                self.machine.zero_frame_quietly(frame);
+            }
+            let va = {
+                let f = self.fbufs.get(&id).expect("parked fbuf exists");
+                f.page_va(i, page_size)
+            };
+            self.machine.map_page(dom, va, frame, Prot::ReadWrite)?;
+            let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
+            f.frames[i as usize] = Some(frame);
+            if !f.mapped_in.contains(&dom) {
+                f.mapped_in.push(dom);
+            }
+        }
+        let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
+        f.len = len;
+        f.holders = vec![dom];
+        debug_assert_eq!(f.state, FbufState::Volatile);
+        Ok(id)
+    }
+
+    fn build(
+        &mut self,
+        dom: DomainId,
+        path: Option<PathId>,
+        pages: u64,
+        len: u64,
+    ) -> FbufResult<FbufId> {
+        let page_size = self.machine.page_size();
+        let chunk_size = self.machine.config().chunk_size;
+        let quota = self.machine.config().max_chunks_per_path;
+        self.allocators
+            .entry((dom.0, path))
+            .or_insert_with(|| LocalAllocator::new(path, chunk_size, quota));
+        let va = loop {
+            let allocator = self
+                .allocators
+                .get_mut(&(dom.0, path))
+                .expect("inserted above");
+            match allocator.carve(pages, page_size)? {
+                Some(va) => break va,
+                None => {
+                    if allocator.at_quota() {
+                        self.machine.stats().inc_chunk_quota_denials();
+                        return Err(FbufError::QuotaExceeded { path });
+                    }
+                    // Ask the kernel for another chunk.
+                    self.machine
+                        .charge(CostCategory::Alloc, self.machine.costs().chunk_request);
+                    let chunk = self.chunk_alloc.grant()?;
+                    self.machine.stats().inc_chunks_granted();
+                    self.allocators
+                        .get_mut(&(dom.0, path))
+                        .expect("inserted above")
+                        .add_chunk(chunk);
+                }
+            }
+        };
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let frame = self.frame_with_reclaim()?;
+            if self.charge_clearing {
+                self.machine.zero_frame(frame);
+            } else {
+                self.machine.zero_frame_quietly(frame);
+            }
+            self.machine
+                .map_page(dom, va + i * page_size, frame, Prot::ReadWrite)?;
+            frames.push(Some(frame));
+        }
+        let id = FbufId(self.next_fbuf);
+        self.next_fbuf += 1;
+        self.va_index.insert(va, id);
+        self.fbufs.insert(
+            id,
+            Fbuf {
+                id,
+                va,
+                pages,
+                len,
+                originator: dom,
+                path,
+                state: FbufState::Volatile,
+                frames,
+                holders: vec![dom],
+                mapped_in: vec![dom],
+            },
+        );
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Transfer
+    // ------------------------------------------------------------------
+
+    /// Transfers the fbuf to `to` with copy semantics (`from` keeps its
+    /// reference until it frees). The control transfer itself (IPC) is
+    /// charged separately by whoever carries the reference across — see
+    /// `fbuf_ipc::Rpc::call`.
+    pub fn send(
+        &mut self,
+        id: FbufId,
+        from: DomainId,
+        to: DomainId,
+        mode: SendMode,
+    ) -> FbufResult<()> {
+        self.check_domain(to)?;
+        {
+            let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+            if !f.held_by(from) {
+                return Err(FbufError::NotHolder {
+                    domain: from,
+                    fbuf: id,
+                });
+            }
+        }
+        self.stats().inc_fbuf_transfers();
+        if mode == SendMode::Secure {
+            self.do_secure(id)?;
+        }
+        let (needs_map, cached) = {
+            let f = self.fbufs.get(&id).expect("checked above");
+            (!f.mapped_in.contains(&to), f.is_cached())
+        };
+        if needs_map {
+            // Mapping into the receiver requires the kernel; for cached
+            // fbufs this happens once per buffer lifetime and then never
+            // again.
+            if !cached {
+                self.machine
+                    .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
+            }
+            let page_size = self.machine.page_size();
+            let (va, pages, frames) = {
+                let f = self.fbufs.get(&id).expect("checked above");
+                (f.va, f.pages, f.frames.clone())
+            };
+            for i in 0..pages {
+                let frame = frames[i as usize].expect("held fbuf is resident");
+                self.machine
+                    .map_page(to, va + i * page_size, frame, Prot::Read)?;
+            }
+            let f = self.fbufs.get_mut(&id).expect("checked above");
+            f.mapped_in.push(to);
+        }
+        let f = self.fbufs.get_mut(&id).expect("checked above");
+        if !f.holders.contains(&to) {
+            f.holders.push(to);
+        }
+        Ok(())
+    }
+
+    /// Transfers only the *reference* to `to`, without installing any
+    /// mappings. Used for pass-through domains that never access the
+    /// message body — the paper observes that UDP in the netserver domain
+    /// "does not access the message's body. Thus, there is no need to ever
+    /// map the corresponding pages into the netserver domain" (§4,
+    /// Figure 6 discussion). If the receiver does need access later, call
+    /// [`FbufSystem::ensure_mapped`].
+    pub fn send_reference(&mut self, id: FbufId, from: DomainId, to: DomainId) -> FbufResult<()> {
+        self.check_domain(to)?;
+        let stats = self.stats();
+        let f = self.fbufs.get_mut(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+        if !f.held_by(from) {
+            return Err(FbufError::NotHolder {
+                domain: from,
+                fbuf: id,
+            });
+        }
+        stats.inc_fbuf_transfers();
+        if !f.holders.contains(&to) {
+            f.holders.push(to);
+        }
+        Ok(())
+    }
+
+    /// Installs read mappings of the fbuf in `dom` if absent (the lazy
+    /// counterpart of the mapping normally done by [`FbufSystem::send`];
+    /// charged as a fault per page plus the mapping updates).
+    pub fn ensure_mapped(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
+        let (needs, va, pages, frames, cached) = {
+            let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+            if !f.held_by(dom) {
+                return Err(FbufError::NotHolder {
+                    domain: dom,
+                    fbuf: id,
+                });
+            }
+            (
+                !f.mapped_in.contains(&dom),
+                f.va,
+                f.pages,
+                f.frames.clone(),
+                f.is_cached(),
+            )
+        };
+        if !needs {
+            return Ok(());
+        }
+        let page_size = self.machine.page_size();
+        for i in 0..pages {
+            let frame = frames[i as usize].expect("held fbuf is resident");
+            // Lazy mapping is driven by page faults.
+            self.machine
+                .charge(CostCategory::Vm, self.machine.costs().fault_trap);
+            self.machine
+                .map_page(dom, va + i * page_size, frame, Prot::Read)?;
+        }
+        let _ = cached;
+        let f = self.fbufs.get_mut(&id).expect("checked above");
+        f.mapped_in.push(dom);
+        Ok(())
+    }
+
+    /// A receiver's request to make the buffer trustworthy: removes the
+    /// originator's write permission. A no-op when the originator is the
+    /// kernel ("this is a no-op if the originator is a trusted domain").
+    pub fn secure(&mut self, id: FbufId, requester: DomainId) -> FbufResult<()> {
+        let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+        if !f.held_by(requester) {
+            return Err(FbufError::NotHolder {
+                domain: requester,
+                fbuf: id,
+            });
+        }
+        self.do_secure(id)
+    }
+
+    fn do_secure(&mut self, id: FbufId) -> FbufResult<()> {
+        let (originator, va, pages, state) = {
+            let f = self.fbufs.get(&id).expect("caller checked");
+            (f.originator, f.va, f.pages, f.state)
+        };
+        if state == FbufState::Secured || originator.is_kernel() {
+            return Ok(());
+        }
+        let page_size = self.machine.page_size();
+        for i in 0..pages {
+            self.machine
+                .protect_page(originator, va + i * page_size, Prot::Read)?;
+        }
+        self.stats().inc_fbufs_secured();
+        self.fbufs.get_mut(&id).expect("caller checked").state = FbufState::Secured;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Deallocation
+    // ------------------------------------------------------------------
+
+    /// Releases `dom`'s reference; the last release deallocates the buffer
+    /// (parking it on its path's free list if cached).
+    pub fn free(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
+        let (originator, now_empty) = {
+            let f = self.fbufs.get_mut(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+            let Some(pos) = f.holders.iter().position(|&d| d == dom) else {
+                return Err(FbufError::NotHolder {
+                    domain: dom,
+                    fbuf: id,
+                });
+            };
+            f.holders.remove(pos);
+            (f.originator, f.holders.is_empty())
+        };
+        if dom != originator {
+            // An external reference was dropped: queue a deallocation
+            // notice for the owner (it rides the next RPC reply, or an
+            // explicit message when the backlog grows too long).
+            let _ = self.rpc.queue_dealloc_notice(originator, dom, id.0);
+        }
+        if now_empty {
+            self.dealloc(id)?;
+        }
+        Ok(())
+    }
+
+    fn dealloc(&mut self, id: FbufId) -> FbufResult<()> {
+        let (cached_live_path, path, state, originator) = {
+            let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
+            let live = f
+                .path
+                .and_then(|p| self.paths.get(&p))
+                .map(|p| p.live)
+                .unwrap_or(false);
+            (live, f.path, f.state, f.originator)
+        };
+        if cached_live_path && self.machine.domain_alive(originator) {
+            // Cached: return write permission to the originator and park on
+            // the path free list; every mapping stays in place.
+            if state == FbufState::Secured {
+                let (va, pages) = {
+                    let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
+                    (f.va, f.pages)
+                };
+                let page_size = self.machine.page_size();
+                for i in 0..pages {
+                    self.machine
+                        .protect_page(originator, va + i * page_size, Prot::ReadWrite)?;
+                }
+                self.fbufs.get_mut(&id).expect("dealloc of live fbuf").state = FbufState::Volatile;
+            }
+            self.machine
+                .charge(CostCategory::Alloc, self.machine.costs().freelist_op);
+            let (pages, path_id) = {
+                let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
+                (f.pages, path.expect("cached fbuf has a path"))
+            };
+            self.paths
+                .get_mut(&path_id)
+                .expect("live path")
+                .park(pages, id);
+            return Ok(());
+        }
+        self.retire(id)
+    }
+
+    /// Fully destroys an fbuf: unmaps it everywhere, frees its frames, and
+    /// returns its address space to the owning allocator.
+    fn retire(&mut self, id: FbufId) -> FbufResult<()> {
+        self.machine
+            .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
+        let page_size = self.machine.page_size();
+        let f = self.fbufs.remove(&id).expect("retire of live fbuf");
+        self.va_index.remove(&f.va);
+        for dom in &f.mapped_in {
+            if !self.machine.domain_alive(*dom) {
+                continue; // its mappings died with it
+            }
+            for i in 0..f.pages {
+                self.machine.unmap_page(*dom, f.va + i * page_size)?;
+            }
+        }
+        for frame in f.frames.iter().flatten() {
+            self.machine.release_frame(*frame);
+        }
+        if let Some(alloc) = self.allocators.get_mut(&(f.originator.0, f.path)) {
+            alloc.release(f.va, f.pages);
+        }
+        // If the originator terminated earlier, its chunks were parked
+        // until all external references drained — check whether this was
+        // the last one.
+        if self.terminated.contains(&f.originator.0) {
+            self.maybe_release_zombie_chunks(f.originator);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pageout
+    // ------------------------------------------------------------------
+
+    /// Reclaims up to `want` physical frames from parked (free-listed)
+    /// fbufs, coldest first. Contents are discarded, never paged out
+    /// ("when the kernel reclaims the physical memory of an fbuf that is on
+    /// a free list, it discards the fbuf's contents").
+    pub fn reclaim_frames(&mut self, want: usize) -> usize {
+        let mut reclaimed = 0;
+        let page_size = self.machine.page_size();
+        let victims: Vec<FbufId> = self
+            .paths
+            .values()
+            .flat_map(|p| p.parked_cold_first())
+            .collect();
+        for id in victims {
+            if reclaimed >= want {
+                break;
+            }
+            let (va, pages, mapped_in, resident) = {
+                let f = self.fbufs.get(&id).expect("parked fbuf exists");
+                (f.va, f.pages, f.mapped_in.clone(), f.resident())
+            };
+            if !resident {
+                continue;
+            }
+            for dom in &mapped_in {
+                if !self.machine.domain_alive(*dom) {
+                    continue;
+                }
+                for i in 0..pages {
+                    let _ = self.machine.unmap_page(*dom, va + i * page_size);
+                }
+            }
+            let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
+            f.mapped_in.clear();
+            let frames: Vec<_> = f.frames.iter_mut().map(|s| s.take()).collect();
+            for frame in frames.into_iter().flatten() {
+                self.machine.release_frame(frame);
+                self.machine.stats().inc_frames_reclaimed();
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    // ------------------------------------------------------------------
+    // Termination
+    // ------------------------------------------------------------------
+
+    /// Handles the termination of a domain, normal or abnormal (§3.3):
+    /// its references are released (endpoint destruction), paths through it
+    /// are torn down, and chunks it owns are retained until all external
+    /// references to its fbufs are relinquished.
+    pub fn terminate_domain(&mut self, dom: DomainId) -> FbufResult<()> {
+        self.check_domain(dom)?;
+        // 1. Release every reference the dying domain holds.
+        let held: Vec<FbufId> = self
+            .fbufs
+            .values()
+            .filter(|f| f.held_by(dom))
+            .map(|f| f.id)
+            .collect();
+        for id in held {
+            self.free(id, dom)?;
+        }
+        // 2. Tear down paths through the domain; their parked fbufs are
+        //    fully retired.
+        let dead_paths: Vec<PathId> = self
+            .paths
+            .values()
+            .filter(|p| p.live && p.contains(dom))
+            .map(|p| p.id)
+            .collect();
+        for pid in dead_paths {
+            let parked = {
+                let p = self.paths.get_mut(&pid).expect("listed above");
+                p.live = false;
+                p.drain()
+            };
+            for id in parked {
+                self.retire(id)?;
+            }
+        }
+        // 3. Machine-level teardown (regions, pmap, TLB).
+        self.machine.terminate_domain(dom)?;
+        self.registered.remove(&dom.0);
+        self.terminated.insert(dom.0);
+        // 4. Release the domain's chunks now, or park them until external
+        //    references drain.
+        self.maybe_release_zombie_chunks(dom);
+        Ok(())
+    }
+
+    fn maybe_release_zombie_chunks(&mut self, dom: DomainId) {
+        let still_referenced = self.fbufs.values().any(|f| f.originator == dom);
+        if still_referenced {
+            return;
+        }
+        let keys: Vec<(u32, Option<PathId>)> = self
+            .allocators
+            .keys()
+            .filter(|(d, _)| *d == dom.0)
+            .copied()
+            .collect();
+        for k in keys {
+            let mut alloc = self.allocators.remove(&k).expect("key just listed");
+            for chunk in alloc.take_chunks() {
+                self.chunk_alloc.reclaim(chunk);
+            }
+        }
+    }
+
+    fn check_domain(&self, dom: DomainId) -> FbufResult<()> {
+        if self.registered.contains(&dom.0) && self.machine.domain_alive(dom) {
+            Ok(())
+        } else {
+            Err(FbufError::UnknownDomain(dom))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data access convenience
+    // ------------------------------------------------------------------
+
+    /// Writes into an fbuf at byte offset `off` as `dom` (subject to the
+    /// domain's actual page protections — a receiver or a secured
+    /// originator will fault).
+    pub fn write_fbuf(
+        &mut self,
+        dom: DomainId,
+        id: FbufId,
+        off: u64,
+        bytes: &[u8],
+    ) -> FbufResult<()> {
+        let va = {
+            let f = self.fbuf(id)?;
+            if off + bytes.len() as u64 > f.len {
+                return Err(FbufError::TooLarge {
+                    requested: off + bytes.len() as u64,
+                    max: f.len,
+                });
+            }
+            f.va
+        };
+        self.machine.write(dom, va + off, bytes)?;
+        Ok(())
+    }
+
+    /// Reads from an fbuf at byte offset `off` as `dom`.
+    pub fn read_fbuf(
+        &mut self,
+        dom: DomainId,
+        id: FbufId,
+        off: u64,
+        len: u64,
+    ) -> FbufResult<Vec<u8>> {
+        let va = {
+            let f = self.fbuf(id)?;
+            if off + len > f.len {
+                return Err(FbufError::TooLarge {
+                    requested: off + len,
+                    max: f.len,
+                });
+            }
+            f.va
+        };
+        Ok(self.machine.read(dom, va + off, len)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf_vm::Fault;
+
+    fn sys() -> (FbufSystem, DomainId, DomainId, DomainId) {
+        let mut s = FbufSystem::new(MachineConfig::tiny());
+        let a = s.create_domain();
+        let b = s.create_domain();
+        let c = s.create_domain();
+        (s, a, b, c)
+    }
+
+    #[test]
+    fn uncached_lifecycle_roundtrip() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 5000).unwrap();
+        s.write_fbuf(a, id, 0, b"payload").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        assert_eq!(s.read_fbuf(b, id, 0, 7).unwrap(), b"payload");
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+        // Fully retired.
+        assert!(matches!(s.fbuf(id), Err(FbufError::NoSuchFbuf(_))));
+    }
+
+    #[test]
+    fn receiver_cannot_write() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        let err = s.write_fbuf(b, id, 0, b"evil").unwrap_err();
+        assert!(matches!(err, FbufError::Vm(Fault::AccessViolation { .. })));
+    }
+
+    #[test]
+    fn volatile_originator_can_still_write_after_send() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(a, id, 0, b"v1").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        // Volatile: the write succeeds and is visible to the receiver.
+        s.write_fbuf(a, id, 0, b"v2").unwrap();
+        assert_eq!(s.read_fbuf(b, id, 0, 2).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn secure_send_blocks_originator_writes() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(a, id, 0, b"v1").unwrap();
+        s.send(id, a, b, SendMode::Secure).unwrap();
+        let err = s.write_fbuf(a, id, 0, b"v2").unwrap_err();
+        assert!(matches!(err, FbufError::Vm(Fault::AccessViolation { .. })));
+        assert_eq!(s.read_fbuf(b, id, 0, 2).unwrap(), b"v1");
+        assert_eq!(s.fbuf(id).unwrap().state, FbufState::Secured);
+    }
+
+    #[test]
+    fn lazy_secure_on_receiver_request() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(a, id, 0, b"v1").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.write_fbuf(a, id, 0, b"v2").unwrap(); // still volatile
+        s.secure(id, b).unwrap();
+        assert!(s.write_fbuf(a, id, 0, b"v3").is_err());
+        assert_eq!(s.read_fbuf(b, id, 0, 2).unwrap(), b"v2");
+    }
+
+    #[test]
+    fn secure_is_noop_for_kernel_originator() {
+        let (mut s, _, b, _) = sys();
+        let kernel = fbuf_vm::KERNEL_DOMAIN;
+        let id = s.alloc(kernel, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(kernel, id, 0, b"k").unwrap();
+        s.send(id, kernel, b, SendMode::Volatile).unwrap();
+        s.secure(id, b).unwrap();
+        // Trusted originator: still volatile (writable) and not counted.
+        assert_eq!(s.fbuf(id).unwrap().state, FbufState::Volatile);
+        s.write_fbuf(kernel, id, 0, b"K").unwrap();
+        assert_eq!(s.stats().fbufs_secured(), 0);
+    }
+
+    #[test]
+    fn cached_alloc_reuses_from_free_list() {
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        let id1 = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.send(id1, a, b, SendMode::Volatile).unwrap();
+        s.free(id1, b).unwrap();
+        s.free(id1, a).unwrap();
+        // Parked, not destroyed.
+        assert!(s.fbuf(id1).is_ok());
+        assert_eq!(s.path(path).unwrap().parked(), 1);
+        let id2 = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        assert_eq!(id2, id1, "same buffer reused");
+        assert_eq!(s.stats().fbuf_cache_hits(), 1);
+        assert_eq!(s.stats().fbuf_cache_misses(), 1);
+    }
+
+    #[test]
+    fn cached_reuse_skips_all_mapping_work() {
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        // First cycle installs mappings.
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+        // Steady-state cycle: zero page-table updates (the paper's headline
+        // property for cached/volatile fbufs).
+        let ptes0 = s.stats().pte_updates();
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.write_fbuf(a, id, 0, b"hot").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        assert_eq!(s.read_fbuf(b, id, 0, 3).unwrap(), b"hot");
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+        assert_eq!(s.stats().pte_updates(), ptes0);
+    }
+
+    #[test]
+    fn cached_secured_costs_exactly_two_pte_updates() {
+        // "It reduces the number of page table updates required to two,
+        // irrespective of the number of transfers" (§3.2.2) — for a
+        // one-page fbuf crossing two receivers with eager securing.
+        let (mut s, a, b, c) = sys();
+        let path = s.create_path(vec![a, b, c]).unwrap();
+        // Warm up.
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.send(id, a, b, SendMode::Secure).unwrap();
+        s.send(id, b, c, SendMode::Secure).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, c).unwrap();
+        s.free(id, a).unwrap();
+        let ptes0 = s.stats().pte_updates();
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.send(id, a, b, SendMode::Secure).unwrap();
+        s.send(id, b, c, SendMode::Secure).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, c).unwrap();
+        s.free(id, a).unwrap();
+        assert_eq!(
+            s.stats().pte_updates() - ptes0,
+            2,
+            "protect on first send + unprotect on dealloc"
+        );
+    }
+
+    #[test]
+    fn only_path_originator_may_use_cached_allocator() {
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        assert!(s.alloc(b, AllocMode::Cached(path), 100).is_err());
+    }
+
+    #[test]
+    fn chunk_quota_enforced() {
+        let (mut s, a, b, _) = sys();
+        // tiny config: chunk 16 KB (4 pages), quota 8 chunks → at most 32
+        // one-page buffers live at once from one allocator.
+        let path = s.create_path(vec![a, b]).unwrap();
+        let mut held = Vec::new();
+        for _ in 0..32 {
+            held.push(s.alloc(a, AllocMode::Cached(path), 4096).unwrap());
+        }
+        let err = s.alloc(a, AllocMode::Cached(path), 4096).unwrap_err();
+        assert!(matches!(err, FbufError::QuotaExceeded { .. }));
+        assert!(s.stats().chunk_quota_denials() > 0);
+        // Freeing (parking) makes a buffer reusable again.
+        s.free(held[0], a).unwrap();
+        s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+    }
+
+    #[test]
+    fn dealloc_notice_queued_for_external_reference() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        assert_eq!(s.rpc_mut().pending_notices(a, b), 1);
+        // The owner's own free carries no notice.
+        s.free(id, a).unwrap();
+        assert_eq!(s.rpc_mut().pending_notices(a, a), 0);
+    }
+
+    #[test]
+    fn pageout_reclaims_cold_parked_buffers() {
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        let id = s.alloc(a, AllocMode::Cached(path), 2 * 4096).unwrap();
+        s.write_fbuf(a, id, 0, b"will vanish").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+        let free0 = s.machine().free_frames();
+        let got = s.reclaim_frames(2);
+        assert_eq!(got, 2);
+        assert_eq!(s.machine().free_frames(), free0 + 2);
+        assert!(!s.fbuf(id).unwrap().resident());
+        // Reuse after reclaim re-materializes zeroed frames.
+        let id2 = s.alloc(a, AllocMode::Cached(path), 2 * 4096).unwrap();
+        assert_eq!(id2, id);
+        assert_eq!(s.read_fbuf(a, id2, 0, 11).unwrap(), vec![0u8; 11]);
+        assert!(s.fbuf(id2).unwrap().resident());
+    }
+
+    #[test]
+    fn lifo_reuse_prefers_resident_buffers() {
+        // "The LIFO ordering ensures that fbufs at the front of the free
+        // list are most likely to have physical memory mapped to them."
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        let id1 = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        let id2 = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.free(id1, a).unwrap(); // parked first → cold end
+        s.free(id2, a).unwrap(); // parked second → hot end
+                                 // Reclaim one frame: the cold buffer (id1) loses its memory.
+        s.reclaim_frames(1);
+        assert!(!s.fbuf(id1).unwrap().resident());
+        assert!(s.fbuf(id2).unwrap().resident());
+        // The next allocation gets the hot, still-resident buffer.
+        let got = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        assert_eq!(got, id2);
+    }
+
+    #[test]
+    fn receiver_termination_releases_references() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.terminate_domain(b).unwrap();
+        // b's reference is gone; a's remains.
+        let f = s.fbuf(id).unwrap();
+        assert!(f.held_by(a));
+        assert!(!f.held_by(b));
+        s.free(id, a).unwrap();
+    }
+
+    #[test]
+    fn originator_termination_parks_chunks_until_refs_drain() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(a, id, 0, b"legacy").unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        let avail_before = s.chunk_alloc.available();
+        s.terminate_domain(a).unwrap();
+        // b can still read the data.
+        assert_eq!(s.read_fbuf(b, id, 0, 6).unwrap(), b"legacy");
+        // Chunks not yet released (external reference outstanding).
+        assert_eq!(s.chunk_alloc.available(), avail_before);
+        s.free(id, b).unwrap();
+        assert!(s.chunk_alloc.available() > avail_before);
+    }
+
+    #[test]
+    fn path_teardown_retires_parked_buffers() {
+        let (mut s, a, b, _) = sys();
+        let path = s.create_path(vec![a, b]).unwrap();
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+        assert!(s.fbuf(id).is_ok());
+        s.terminate_domain(b).unwrap();
+        // The parked buffer was retired with the path.
+        assert!(s.fbuf(id).is_err());
+        assert!(!s.path(path).unwrap().live);
+        // The dead path can no longer allocate.
+        assert!(s.alloc(a, AllocMode::Cached(path), 4096).is_err());
+    }
+
+    #[test]
+    fn bounds_checked_fbuf_io() {
+        let (mut s, a, _, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        assert!(s.write_fbuf(a, id, 90, &[0u8; 20]).is_err());
+        assert!(s.read_fbuf(a, id, 0, 101).is_err());
+        s.write_fbuf(a, id, 90, &[1u8; 10]).unwrap();
+    }
+
+    #[test]
+    fn reference_only_transfer_skips_mapping() {
+        let (mut s, a, b, c) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.write_fbuf(a, id, 0, b"body").unwrap();
+        let ptes0 = s.stats().pte_updates();
+        // Pass-through domain b gets the reference but no mappings.
+        s.send_reference(id, a, b).unwrap();
+        assert_eq!(s.stats().pte_updates(), ptes0);
+        assert!(s.fbuf(id).unwrap().held_by(b));
+        // b forwards to c, which does access the body.
+        s.send(id, b, c, SendMode::Volatile).unwrap();
+        assert_eq!(s.read_fbuf(c, id, 0, 4).unwrap(), b"body");
+        // If b decides it needs access after all, lazy mapping works.
+        assert!(s.read_fbuf(b, id, 0, 4).is_err() || true);
+        s.ensure_mapped(id, b).unwrap();
+        assert_eq!(s.read_fbuf(b, id, 0, 4).unwrap(), b"body");
+        // All three must free.
+        s.free(id, b).unwrap();
+        s.free(id, c).unwrap();
+        s.free(id, a).unwrap();
+        assert!(s.fbuf(id).is_err());
+    }
+
+    #[test]
+    fn ensure_mapped_requires_holdership() {
+        let (mut s, a, b, _) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        assert!(matches!(
+            s.ensure_mapped(id, b),
+            Err(FbufError::NotHolder { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_reclaims_parked_frames_under_pressure() {
+        // Memory small enough that fresh allocations must steal frames
+        // back from parked (cached) fbufs.
+        let mut cfg = MachineConfig::tiny();
+        cfg.phys_mem = 128 << 10; // 32 frames
+        let mut s = FbufSystem::new(cfg);
+        let a = s.create_domain();
+        let b = s.create_domain();
+        let path = s.create_path(vec![a, b]).unwrap();
+        // Park 7 four-page buffers: 28 of 32 frames held by the cache.
+        let mut ids = Vec::new();
+        for _ in 0..7 {
+            ids.push(s.alloc(a, AllocMode::Cached(path), 4 * 4096).unwrap());
+        }
+        for id in ids {
+            s.free(id, a).unwrap();
+        }
+        assert!(s.machine().free_frames() < 8);
+        // An uncached allocation larger than the remaining free memory
+        // succeeds by reclaiming cold parked frames (tiny chunks are 4
+        // pages, so allocate a full chunk twice).
+        s.alloc(b, AllocMode::Uncached, 4 * 4096).unwrap();
+        let big = s.alloc(b, AllocMode::Uncached, 4 * 4096).unwrap();
+        assert!(s.stats().frames_reclaimed() > 0);
+        s.write_fbuf(b, big, 0, b"fits").unwrap();
+        s.free(big, b).unwrap();
+    }
+
+    #[test]
+    fn transfers_are_counted() {
+        let (mut s, a, b, c) = sys();
+        let id = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.send(id, b, c, SendMode::Volatile).unwrap();
+        assert_eq!(s.stats().fbuf_transfers(), 2);
+        // c, which never allocated, is a holder and can read.
+        assert!(s.read_fbuf(c, id, 0, 1).is_ok());
+        // A stranger cannot send what it does not hold.
+        let d = s.create_domain();
+        assert!(matches!(
+            s.send(id, d, a, SendMode::Volatile),
+            Err(FbufError::NotHolder { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Table 1 calibration: the per-page incremental cost of each fbuf regime
+//! must match the paper's anchors when measured the way the paper measures
+//! it (slope over message size, one word touched per page per domain).
+
+use fbuf::{AllocMode, FbufSystem, SendMode};
+use fbuf_sim::MachineConfig;
+use fbuf_vm::DomainId;
+
+/// Runs one alloc→write→send→read→free cycle of `pages` pages and returns
+/// the elapsed simulated microseconds.
+fn cycle(
+    s: &mut FbufSystem,
+    a: DomainId,
+    b: DomainId,
+    mode: AllocMode,
+    send: SendMode,
+    pages: u64,
+) -> f64 {
+    let page = s.machine().page_size();
+    let t0 = s.machine().clock().now();
+    let id = s.alloc(a, mode, pages * page).unwrap();
+    for i in 0..pages {
+        s.write_fbuf(a, id, i * page, &[7u8; 8]).unwrap();
+    }
+    s.send(id, a, b, send).unwrap();
+    for i in 0..pages {
+        s.read_fbuf(b, id, i * page, 8).unwrap();
+    }
+    s.free(id, b).unwrap();
+    s.free(id, a).unwrap();
+    (s.machine().clock().now() - t0).as_us_f64()
+}
+
+/// Incremental per-page cost via the slope between two sizes.
+fn slope(cached: bool, send: SendMode) -> f64 {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 16 << 20;
+    // Single fbufs larger than the TLB working set require big chunks.
+    cfg.chunk_size = 1 << 20;
+    let mut s = FbufSystem::new(cfg);
+    s.charge_clearing = false; // Table 1 excludes clearing cost
+    let a = s.create_domain();
+    let b = s.create_domain();
+    let mode = if cached {
+        AllocMode::Cached(s.create_path(vec![a, b]).unwrap())
+    } else {
+        AllocMode::Uncached
+    };
+    // Sizes chosen so each domain's touch sweep exceeds the 64-entry TLB:
+    // the paper's incremental costs assume every per-page touch misses.
+    let (small, large) = (40u64, 104u64);
+    // Warm-up for the cached case.
+    for _ in 0..2 {
+        cycle(&mut s, a, b, mode, send, small);
+        cycle(&mut s, a, b, mode, send, large);
+    }
+    let t_small = cycle(&mut s, a, b, mode, send, small);
+    let t_large = cycle(&mut s, a, b, mode, send, large);
+    (t_large - t_small) / (large - small) as f64
+}
+
+#[test]
+fn table1_cached_volatile_is_3us_per_page() {
+    let got = slope(true, SendMode::Volatile);
+    assert!((got - 3.0).abs() < 0.3, "got {got} µs/page, expected 3");
+}
+
+#[test]
+fn table1_uncached_volatile_is_21us_per_page() {
+    let got = slope(false, SendMode::Volatile);
+    assert!((got - 21.0).abs() < 1.0, "got {got} µs/page, expected 21");
+}
+
+#[test]
+fn table1_cached_secured_is_29us_per_page() {
+    let got = slope(true, SendMode::Secure);
+    assert!((got - 29.0).abs() < 1.0, "got {got} µs/page, expected 29");
+}
+
+#[test]
+fn table1_uncached_secured_is_36us_per_page() {
+    // The OCR of the paper lost this row; the mechanism's step list (map
+    // originator + protect/flush at send + map receiver + unmap both with
+    // consistency actions + frame alloc/free + two touches) prices it at
+    // 35.75 µs/page — between the cached/secured row (29) and the best
+    // general remap facility (42), as the prose requires.
+    let got = slope(false, SendMode::Secure);
+    assert!(
+        (got - 35.75).abs() < 1.0,
+        "got {got} µs/page, expected ≈35.75"
+    );
+}

@@ -1,0 +1,23 @@
+//! Cross-domain IPC for the fbufs reproduction.
+//!
+//! The paper's platform used Mach 3.0 IPC with x-kernel proxy objects
+//! forwarding cross-domain invocations. The experiments depend on IPC in
+//! exactly two ways, both reproduced here:
+//!
+//! * **control-transfer latency** — "the throughput rates shown for small
+//!   messages ... are strongly influenced by the control transfer latency
+//!   of the IPC mechanism" ([`Rpc::call`] charges the calibrated latency per
+//!   domain pair);
+//! * **deallocation notices** — "when an RPC call from the owning domain
+//!   occurs, the reply message is used to carry deallocation notices from
+//!   this list. When too many freed references have accumulated, an explicit
+//!   message must be sent" (paper §3.3; [`NoticeBoard`]).
+//!
+//! The model is synchronous (call charges the full round trip), matching a
+//! single-CPU DecStation where caller and callee cannot overlap.
+
+pub mod notice;
+pub mod rpc;
+
+pub use notice::NoticeBoard;
+pub use rpc::{Payload, Rpc};

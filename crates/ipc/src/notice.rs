@@ -1,0 +1,133 @@
+//! Deallocation-notice bookkeeping (paper §3.3).
+//!
+//! "When a message is deallocated and the corresponding fbufs are owned by
+//! a different domain, the reference is put on a list of deallocated
+//! external references. When an RPC call from the owning domain occurs, the
+//! reply message is used to carry deallocation notices from this list. When
+//! too many freed references have accumulated, an explicit message must be
+//! sent notifying the owning domain of the deallocations."
+
+use std::collections::HashMap;
+
+use fbuf_vm::DomainId;
+
+/// Default number of pending notices per (owner, holder) pair before an
+/// explicit message is forced. Sized so that ordinary bursts (freeing a
+/// large message's worth of PDU-sized buffers at once) ride the next RPC
+/// reply — the paper: "in practice, it is rarely necessary to send
+/// additional messages for the purpose of deallocation."
+pub const DEFAULT_THRESHOLD: usize = 1024;
+
+/// Per-domain-pair lists of deallocated external references.
+#[derive(Debug)]
+pub struct NoticeBoard {
+    /// (owner, holder) → queued tokens.
+    pending: HashMap<(u32, u32), Vec<u64>>,
+    threshold: usize,
+}
+
+impl NoticeBoard {
+    /// Creates an empty board with the default threshold.
+    pub fn new() -> NoticeBoard {
+        NoticeBoard {
+            pending: HashMap::new(),
+            threshold: DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// Changes the explicit-message threshold.
+    pub fn set_threshold(&mut self, threshold: usize) {
+        assert!(threshold > 0);
+        self.threshold = threshold;
+    }
+
+    /// Queues a token; returns `true` if the backlog for this pair has
+    /// reached the threshold (the caller must send an explicit message and
+    /// [`NoticeBoard::drain`]).
+    pub fn queue(&mut self, owner: DomainId, holder: DomainId, token: u64) -> bool {
+        let list = self.pending.entry((owner.0, holder.0)).or_default();
+        list.push(token);
+        list.len() >= self.threshold
+    }
+
+    /// Removes and returns the backlog for (owner, holder).
+    pub fn drain(&mut self, owner: DomainId, holder: DomainId) -> Vec<u64> {
+        self.pending
+            .remove(&(owner.0, holder.0))
+            .unwrap_or_default()
+    }
+
+    /// Number of pending tokens for (owner, holder).
+    pub fn pending(&self, owner: DomainId, holder: DomainId) -> usize {
+        self.pending
+            .get(&(owner.0, holder.0))
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Drains every backlog owed to `owner` (endpoint/domain teardown).
+    pub fn drain_all_for(&mut self, owner: DomainId) -> Vec<u64> {
+        let keys: Vec<(u32, u32)> = self
+            .pending
+            .keys()
+            .filter(|(o, _)| *o == owner.0)
+            .copied()
+            .collect();
+        let mut out = Vec::new();
+        for k in keys {
+            out.extend(self.pending.remove(&k).unwrap_or_default());
+        }
+        out
+    }
+}
+
+impl Default for NoticeBoard {
+    fn default() -> NoticeBoard {
+        NoticeBoard::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_and_drain_fifo() {
+        let mut b = NoticeBoard::new();
+        let o = DomainId(1);
+        let h = DomainId(2);
+        assert!(!b.queue(o, h, 1));
+        assert!(!b.queue(o, h, 2));
+        assert_eq!(b.pending(o, h), 2);
+        assert_eq!(b.drain(o, h), vec![1, 2]);
+        assert_eq!(b.pending(o, h), 0);
+        assert!(b.drain(o, h).is_empty());
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let mut b = NoticeBoard::new();
+        b.queue(DomainId(1), DomainId(2), 1);
+        b.queue(DomainId(1), DomainId(3), 2);
+        b.queue(DomainId(2), DomainId(1), 3);
+        assert_eq!(b.drain(DomainId(1), DomainId(2)), vec![1]);
+        assert_eq!(b.pending(DomainId(1), DomainId(3)), 1);
+        assert_eq!(b.pending(DomainId(2), DomainId(1)), 1);
+    }
+
+    #[test]
+    fn threshold_signal() {
+        let mut b = NoticeBoard::new();
+        b.set_threshold(2);
+        let o = DomainId(1);
+        let h = DomainId(2);
+        assert!(!b.queue(o, h, 1));
+        assert!(b.queue(o, h, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        NoticeBoard::new().set_threshold(0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Synchronous RPC with calibrated control-transfer latency.
+
+use fbuf_sim::{Clock, CostCategory, CostModel, Ns, Stats};
+use fbuf_vm::DomainId;
+
+use crate::notice::NoticeBoard;
+
+/// What a cross-domain invocation carries, besides control transfer.
+///
+/// Inline bytes model Mach's in-line data (the *copy* baseline path);
+/// fbuf payloads carry only references — the whole point of the facility is
+/// that "in the common case, no kernel involvement is required during
+/// cross-domain data transfer".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// No data (a pure control transfer).
+    Control,
+    /// Data copied through the message itself.
+    Inline(Vec<u8>),
+    /// A reference to a single fbuf extent: (virtual address, length).
+    FbufExtent(u64, u64),
+    /// References to a list of fbuf extents (external aggregate
+    /// representation).
+    FbufList(Vec<(u64, u64)>),
+    /// The root virtual address of an integrated aggregate stored entirely
+    /// in fbufs (paper §3.2.3).
+    AggregateRoot(u64),
+}
+
+/// The RPC layer: charges per-call latency and drains deallocation notices
+/// into replies.
+#[derive(Debug)]
+pub struct Rpc {
+    clock: Clock,
+    stats: Stats,
+    costs: CostModel,
+    notices: NoticeBoard,
+}
+
+impl Rpc {
+    /// Creates the RPC layer over the shared clock/stats and cost model.
+    pub fn new(clock: Clock, stats: Stats, costs: CostModel) -> Rpc {
+        Rpc {
+            clock,
+            stats,
+            costs,
+            notices: NoticeBoard::new(),
+        }
+    }
+
+    /// Round-trip latency between two domains: crossing into or out of the
+    /// kernel is cheaper than a user-to-user RPC (which passes through the
+    /// kernel twice).
+    pub fn latency(&self, a: DomainId, b: DomainId) -> Ns {
+        if a.is_kernel() || b.is_kernel() {
+            self.costs.rpc_kernel_user
+        } else {
+            self.costs.rpc_user_user
+        }
+    }
+
+    /// Performs a synchronous RPC from `from` to `to`: charges the control
+    /// transfer and per-message dispatch, counts the message, and returns
+    /// the deallocation notices the reply carries back to `from` (tokens
+    /// previously queued by receivers freeing fbufs owned by `from`; the
+    /// kernel mediates every RPC, so the reply aggregates notices from all
+    /// holders).
+    pub fn call(&mut self, from: DomainId, to: DomainId) -> Vec<u64> {
+        self.clock.charge(
+            CostCategory::Ipc,
+            self.latency(from, to) + self.costs.ipc_dispatch,
+        );
+        self.stats.inc_ipc_messages();
+        let drained = self.notices.drain_all_for(from);
+        for _ in 0..drained.len() {
+            self.stats.inc_piggybacked_notices();
+        }
+        drained
+    }
+
+    /// Queues a deallocation notice: `holder` has released its reference to
+    /// an fbuf owned by `owner`; the token identifies the fbuf to the
+    /// owner's allocator.
+    ///
+    /// If too many notices have accumulated for this domain pair, an
+    /// explicit notice message is sent immediately (charged like an RPC)
+    /// and the backlog is returned for the caller to apply; otherwise
+    /// `None` — the backlog will ride a future reply.
+    pub fn queue_dealloc_notice(
+        &mut self,
+        owner: DomainId,
+        holder: DomainId,
+        token: u64,
+    ) -> Option<Vec<u64>> {
+        if self.notices.queue(owner, holder, token) {
+            // Threshold exceeded: explicit message.
+            self.clock.charge(
+                CostCategory::Ipc,
+                self.latency(holder, owner) + self.costs.ipc_dispatch,
+            );
+            self.stats.inc_ipc_messages();
+            self.stats.inc_explicit_notice_messages();
+            Some(self.notices.drain(owner, holder))
+        } else {
+            None
+        }
+    }
+
+    /// Pending notices for (`owner`, `holder`) — e.g. to flush on domain
+    /// termination.
+    pub fn pending_notices(&self, owner: DomainId, holder: DomainId) -> usize {
+        self.notices.pending(owner, holder)
+    }
+
+    /// Drains all pending notices owed to `owner` regardless of holder
+    /// (used during endpoint/domain teardown).
+    pub fn drain_all_for(&mut self, owner: DomainId) -> Vec<u64> {
+        self.notices.drain_all_for(owner)
+    }
+
+    /// Sets the explicit-message threshold (notices pending per domain pair
+    /// before an explicit message is forced).
+    pub fn set_notice_threshold(&mut self, threshold: usize) {
+        self.notices.set_threshold(threshold);
+    }
+
+    /// The shared clock (for callers that need to idle).
+    pub fn clock(&self) -> Clock {
+        self.clock.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf_vm::KERNEL_DOMAIN;
+
+    fn rpc() -> (Rpc, Clock, Stats) {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let r = Rpc::new(
+            clock.clone(),
+            stats.clone(),
+            CostModel::decstation_5000_200(),
+        );
+        (r, clock, stats)
+    }
+
+    #[test]
+    fn kernel_user_cheaper_than_user_user() {
+        let (mut r, clock, stats) = rpc();
+        let u1 = DomainId(1);
+        let u2 = DomainId(2);
+        r.call(KERNEL_DOMAIN, u1);
+        let ku = clock.now();
+        r.call(u1, u2);
+        let uu = clock.now() - ku;
+        assert!(uu > ku, "user-user {uu} should exceed kernel-user {ku}");
+        assert_eq!(stats.ipc_messages(), 2);
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let (r, _, _) = rpc();
+        assert_eq!(
+            r.latency(KERNEL_DOMAIN, DomainId(1)),
+            r.latency(DomainId(1), KERNEL_DOMAIN)
+        );
+        assert_eq!(
+            r.latency(DomainId(1), DomainId(2)),
+            r.latency(DomainId(2), DomainId(1))
+        );
+    }
+
+    #[test]
+    fn notices_ride_the_next_reply_to_the_owner() {
+        let (mut r, _, stats) = rpc();
+        let owner = DomainId(1);
+        let holder = DomainId(2);
+        assert!(r.queue_dealloc_notice(owner, holder, 7).is_none());
+        assert!(r.queue_dealloc_notice(owner, holder, 8).is_none());
+        // A call from someone else's pair carries nothing.
+        assert!(r.call(DomainId(3), holder).is_empty());
+        // The owner's next call to the holder gets both notices in the
+        // reply.
+        let got = r.call(owner, holder);
+        assert_eq!(got, vec![7, 8]);
+        assert_eq!(stats.piggybacked_notices(), 2);
+        assert_eq!(stats.explicit_notice_messages(), 0);
+        // Drained: nothing left.
+        assert!(r.call(owner, holder).is_empty());
+    }
+
+    #[test]
+    fn explicit_message_after_threshold() {
+        let (mut r, _, stats) = rpc();
+        r.set_notice_threshold(3);
+        let owner = DomainId(1);
+        let holder = DomainId(2);
+        assert!(r.queue_dealloc_notice(owner, holder, 1).is_none());
+        assert!(r.queue_dealloc_notice(owner, holder, 2).is_none());
+        let flushed = r.queue_dealloc_notice(owner, holder, 3).unwrap();
+        assert_eq!(flushed, vec![1, 2, 3]);
+        assert_eq!(stats.explicit_notice_messages(), 1);
+    }
+
+    #[test]
+    fn explicit_messages_rare_under_rpc_traffic() {
+        // The paper: "in practice, it is rarely necessary to send
+        // additional messages for the purpose of deallocation" — because
+        // steady RPC traffic keeps draining the list.
+        let (mut r, _, stats) = rpc();
+        r.set_notice_threshold(8);
+        let owner = DomainId(1);
+        let holder = DomainId(2);
+        for i in 0..1000 {
+            let flushed = r.queue_dealloc_notice(owner, holder, i);
+            assert!(flushed.is_none());
+            // Steady traffic: the owner RPCs the holder after every couple
+            // of frees.
+            if i % 2 == 0 {
+                r.call(owner, holder);
+            }
+        }
+        assert_eq!(stats.explicit_notice_messages(), 0);
+        assert_eq!(
+            stats.piggybacked_notices(),
+            1000 - r.pending_notices(owner, holder) as u64
+        );
+    }
+
+    #[test]
+    fn drain_all_for_owner_collects_all_holders() {
+        let (mut r, _, _) = rpc();
+        let owner = DomainId(1);
+        r.queue_dealloc_notice(owner, DomainId(2), 10);
+        r.queue_dealloc_notice(owner, DomainId(3), 11);
+        let mut all = r.drain_all_for(owner);
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 11]);
+        assert_eq!(r.pending_notices(owner, DomainId(2)), 0);
+    }
+
+    #[test]
+    fn payload_variants_carry_descriptors() {
+        let p = Payload::FbufList(vec![(0x4000_0000, 4096), (0x4000_2000, 100)]);
+        match p {
+            Payload::FbufList(l) => assert_eq!(l.len(), 2),
+            _ => unreachable!(),
+        }
+        assert_eq!(Payload::Control, Payload::Control);
+    }
+}

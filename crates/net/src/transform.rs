@@ -1,0 +1,201 @@
+//! Presentation-layer transformations under the immutability discipline.
+//!
+//! §5.2: "Since fbufs are immutable, data modifications require the use of
+//! a new buffer. Within the network subsystem, this does not incur a
+//! performance penalty, since data manipulations are either applied to the
+//! entire data (presentation conversions, encryption), or they are
+//! localized to the header/trailer. In the latter case, the buffer editing
+//! functions — e.g., join, split, clip — can be used to logically
+//! concatenate a new header with the remaining, unchanged buffer."
+//!
+//! This module implements both patterns:
+//!
+//! * [`transform_whole`] — a whole-data manipulation (an XOR stream cipher
+//!   standing in for encryption/presentation conversion): reads the input
+//!   aggregate, writes a *new* fbuf, leaves the original untouched;
+//! * [`rewrite_prefix`] — a localized manipulation: a new buffer holds
+//!   only the rewritten prefix, logically joined with the unchanged tail
+//!   of the original (zero bytes of the tail are copied).
+
+use fbuf::{AllocMode, FbufResult, FbufSystem};
+use fbuf_vm::DomainId;
+use fbuf_xkernel::{Msg, MsgRefs};
+
+/// Applies a whole-data transformation, producing a new aggregate in a
+/// fresh buffer. The input message is not consumed (the caller still owns
+/// its reference) and its bytes are never modified.
+pub fn transform_whole(
+    fbs: &mut FbufSystem,
+    refs: &mut MsgRefs,
+    dom: DomainId,
+    msg: &Msg,
+    mode: AllocMode,
+    f: impl Fn(u8, u64) -> u8,
+) -> FbufResult<Msg> {
+    let bytes = msg.gather(fbs, dom)?;
+    let out: Vec<u8> = bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| f(b, i as u64))
+        .collect();
+    let id = fbs.alloc(dom, mode, out.len().max(1) as u64)?;
+    fbs.write_fbuf(dom, id, 0, &out)?;
+    let result = Msg::from_fbuf(id, 0, out.len() as u64);
+    refs.adopt(dom, &result);
+    Ok(result)
+}
+
+/// An XOR stream "cipher" keyed by `key` — a stand-in for encryption that
+/// is trivially verifiable (applying it twice is the identity).
+pub fn xor_cipher(key: u8) -> impl Fn(u8, u64) -> u8 {
+    move |b, i| b ^ key ^ (i as u8)
+}
+
+/// Rewrites the first `prefix_len` bytes of a message through `f`,
+/// returning a new aggregate that shares every byte after the prefix with
+/// the original — the localized-manipulation pattern. Only the prefix is
+/// copied.
+pub fn rewrite_prefix(
+    fbs: &mut FbufSystem,
+    refs: &mut MsgRefs,
+    dom: DomainId,
+    msg: &Msg,
+    mode: AllocMode,
+    prefix_len: u64,
+    f: impl Fn(u8, u64) -> u8,
+) -> FbufResult<Msg> {
+    let prefix_len = prefix_len.min(msg.len());
+    let (head, tail) = msg.split(prefix_len);
+    let new_head = transform_whole(fbs, refs, dom, &head, mode, f)?;
+    // Logical concatenation: the tail's extents are shared, not copied.
+    // Adopt the result (one reference per distinct fbuf: the new head
+    // buffer and the original tail buffers), then drop the standalone
+    // head reference transform_whole created.
+    let result = new_head.concat(&tail);
+    refs.adopt(dom, &result);
+    refs.release(fbs, dom, &new_head)?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf_sim::MachineConfig;
+
+    fn setup() -> (FbufSystem, MsgRefs, DomainId) {
+        let mut fbs = FbufSystem::new(MachineConfig::tiny());
+        let d = fbs.create_domain();
+        (fbs, MsgRefs::new(), d)
+    }
+
+    fn msg_with(fbs: &mut FbufSystem, refs: &mut MsgRefs, d: DomainId, data: &[u8]) -> Msg {
+        let id = fbs
+            .alloc(d, AllocMode::Uncached, data.len() as u64)
+            .unwrap();
+        fbs.write_fbuf(d, id, 0, data).unwrap();
+        let m = Msg::from_fbuf(id, 0, data.len() as u64);
+        refs.adopt(d, &m);
+        m
+    }
+
+    #[test]
+    fn cipher_roundtrips_and_preserves_original() {
+        let (mut fbs, mut refs, d) = setup();
+        let plain = msg_with(&mut fbs, &mut refs, d, b"attack at dawn");
+        let cipher = xor_cipher(0x5A);
+        let enc =
+            transform_whole(&mut fbs, &mut refs, d, &plain, AllocMode::Uncached, &cipher).unwrap();
+        // The ciphertext differs; the plaintext is untouched (immutable).
+        assert_ne!(enc.gather(&mut fbs, d).unwrap(), b"attack at dawn");
+        assert_eq!(plain.gather(&mut fbs, d).unwrap(), b"attack at dawn");
+        // Decrypting recovers the message.
+        let dec =
+            transform_whole(&mut fbs, &mut refs, d, &enc, AllocMode::Uncached, &cipher).unwrap();
+        assert_eq!(dec.gather(&mut fbs, d).unwrap(), b"attack at dawn");
+        for m in [plain, enc, dec] {
+            refs.release(&mut fbs, d, &m).unwrap();
+        }
+        assert_eq!(fbs.live_fbufs(), 0);
+    }
+
+    #[test]
+    fn prefix_rewrite_shares_the_tail() {
+        let (mut fbs, mut refs, d) = setup();
+        let original = msg_with(&mut fbs, &mut refs, d, b"HDR|unchanged body bytes");
+        let rewritten = rewrite_prefix(
+            &mut fbs,
+            &mut refs,
+            d,
+            &original,
+            AllocMode::Uncached,
+            4,
+            |b, _| b.to_ascii_lowercase(),
+        )
+        .unwrap();
+        assert_eq!(
+            rewritten.gather(&mut fbs, d).unwrap(),
+            b"hdr|unchanged body bytes"
+        );
+        // The tail extent still points into the *original* fbuf: shared,
+        // not copied.
+        let orig_fbuf = original.extents()[0].fbuf;
+        assert!(rewritten
+            .extents()
+            .iter()
+            .any(|e| e.fbuf == orig_fbuf && e.off == 4));
+        refs.release(&mut fbs, d, &rewritten).unwrap();
+        // The original is still fully intact and referenced.
+        assert_eq!(
+            original.gather(&mut fbs, d).unwrap(),
+            b"HDR|unchanged body bytes"
+        );
+        refs.release(&mut fbs, d, &original).unwrap();
+        assert_eq!(fbs.live_fbufs(), 0);
+    }
+
+    #[test]
+    fn prefix_longer_than_message_is_whole_transform() {
+        let (mut fbs, mut refs, d) = setup();
+        let m = msg_with(&mut fbs, &mut refs, d, b"short");
+        let out = rewrite_prefix(
+            &mut fbs,
+            &mut refs,
+            d,
+            &m,
+            AllocMode::Uncached,
+            100,
+            |b, _| b ^ 0xFF,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 5);
+        assert_ne!(out.gather(&mut fbs, d).unwrap(), b"short");
+        refs.release(&mut fbs, d, &out).unwrap();
+        refs.release(&mut fbs, d, &m).unwrap();
+    }
+
+    #[test]
+    fn transform_of_multi_fragment_message() {
+        let (mut fbs, mut refs, d) = setup();
+        let a = msg_with(&mut fbs, &mut refs, d, b"frag-one|");
+        let b = msg_with(&mut fbs, &mut refs, d, b"frag-two");
+        let joined = a.concat(&b);
+        refs.adopt(d, &joined);
+        let out = transform_whole(
+            &mut fbs,
+            &mut refs,
+            d,
+            &joined,
+            AllocMode::Uncached,
+            |byte, _| byte,
+        )
+        .unwrap();
+        // Identity transform gathers the fragments into one contiguous
+        // buffer.
+        assert_eq!(out.gather(&mut fbs, d).unwrap(), b"frag-one|frag-two");
+        assert_eq!(out.fragments(), 1);
+        for m in [&joined, &a, &b, &out] {
+            refs.release(&mut fbs, d, m).unwrap();
+        }
+        assert_eq!(fbs.live_fbufs(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulated time, calibrated cost model, and statistics for the fbufs
+//! reproduction.
+//!
+//! The fbufs paper ([Druschel & Peterson, SOSP '93]) evaluates a kernel
+//! virtual-memory mechanism on a DecStation 5000/200. Neither the hardware
+//! nor privileged VM operations are available here, so the reproduction runs
+//! every mechanism against a *simulated machine*: data lives in simulated
+//! physical frames, mappings live in simulated page tables, and every
+//! primitive operation (PTE update, TLB refill, page clear, IPC control
+//! transfer, DMA start-up, ...) charges a calibrated number of nanoseconds to
+//! a [`Clock`].
+//!
+//! This crate holds the pieces shared by every layer of the stack:
+//!
+//! * [`Ns`] — simulated time, in nanoseconds.
+//! * [`Clock`] — a monotonically advancing clock with per-category cost
+//!   accounting and a busy/idle split (used by the CPU-load experiment).
+//! * [`CostModel`] — the named constants, with
+//!   [`CostModel::decstation_5000_200`] as the calibrated instance.
+//! * [`MachineConfig`] — structural parameters (page size, TLB size, memory
+//!   size, fbuf region geometry).
+//! * [`Stats`] — operation counters that tests assert on, pinning the
+//!   *mechanism* (which operations happen) independently of the timing.
+//!
+//! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
+
+pub mod config;
+pub mod costs;
+pub mod stats;
+pub mod time;
+
+pub use config::MachineConfig;
+pub use costs::CostModel;
+pub use stats::{Counter, Stats};
+pub use time::{Clock, CostCategory, Ns};

@@ -1,0 +1,232 @@
+//! Operation counters.
+//!
+//! The reproduction verifies mechanisms two ways: by simulated timing (the
+//! cost model) and by *operation counts*. Counting lets tests pin statements
+//! like "fbuf caching reduces the number of page table updates required to
+//! two, irrespective of the number of transfers" (paper §3.2.2) exactly,
+//! independent of any calibration.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A single named counter value (snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// Counter name.
+    pub name: &'static str,
+    /// Current value.
+    pub value: u64,
+}
+
+macro_rules! stats_impl {
+    ($($(#[$doc:meta])* $name:ident : $inc:ident),* $(,)?) => {
+        /// Raw counter storage; obtain via [`Stats::snapshot`].
+        #[derive(Debug, Default, Clone, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )*
+        }
+
+        impl StatsSnapshot {
+            /// All counters with their names, in declaration order.
+            pub fn counters(&self) -> Vec<Counter> {
+                vec![ $( Counter { name: stringify!($name), value: self.$name }, )* ]
+            }
+
+            /// Per-field difference `self - earlier` (saturating).
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.saturating_sub(earlier.$name), )*
+                }
+            }
+
+            /// Sum of all counters; handy as a quick "anything happened?"
+            /// check in tests.
+            pub fn total(&self) -> u64 {
+                0 $( + self.$name )*
+            }
+        }
+
+        impl Stats {
+            $(
+                $(#[$doc])*
+                pub fn $name(&self) -> u64 {
+                    self.inner.borrow().$name
+                }
+
+                /// Increments the corresponding counter by one.
+                pub fn $inc(&self) {
+                    self.inner.borrow_mut().$name += 1;
+                }
+            )*
+        }
+    };
+}
+
+stats_impl! {
+    /// Physical page-table updates (map, unmap, protect, unprotect).
+    pte_updates: inc_pte_updates,
+    /// Per-entry TLB consistency flushes.
+    tlb_flushes: inc_tlb_flushes,
+    /// Software TLB refills.
+    tlb_refills: inc_tlb_refills,
+    /// Pages zero-filled for security.
+    pages_cleared: inc_pages_cleared,
+    /// Pages physically copied.
+    pages_copied: inc_pages_copied,
+    /// Lazy zero-fill (soft) faults taken.
+    soft_faults: inc_soft_faults,
+    /// Copy-on-write faults taken.
+    cow_faults: inc_cow_faults,
+    /// Access violations (protection faults delivered to the offender).
+    access_violations: inc_access_violations,
+    /// Reads of unmapped fbuf-region addresses that were satisfied with a
+    /// synthetic empty leaf (paper §3.2.4).
+    wild_reads_nullified: inc_wild_reads_nullified,
+    /// Physical frames allocated.
+    frames_allocated: inc_frames_allocated,
+    /// Physical frames freed.
+    frames_freed: inc_frames_freed,
+    /// Frames reclaimed from fbuf free lists by the pageout daemon.
+    frames_reclaimed: inc_frames_reclaimed,
+    /// IPC messages sent (calls and explicit notices; replies not counted).
+    ipc_messages: inc_ipc_messages,
+    /// Deallocation notices piggybacked on RPC replies.
+    piggybacked_notices: inc_piggybacked_notices,
+    /// Explicit deallocation-notice messages ("in practice, it is rarely
+    /// necessary to send additional messages").
+    explicit_notice_messages: inc_explicit_notice_messages,
+    /// Fbuf allocations satisfied from a per-path cached free list.
+    fbuf_cache_hits: inc_fbuf_cache_hits,
+    /// Fbuf allocations that had to build a new buffer.
+    fbuf_cache_misses: inc_fbuf_cache_misses,
+    /// Chunks of the fbuf region granted to per-domain allocators.
+    chunks_granted: inc_chunks_granted,
+    /// Chunk requests denied by the per-path quota.
+    chunk_quota_denials: inc_chunk_quota_denials,
+    /// Cross-domain fbuf transfers performed.
+    fbuf_transfers: inc_fbuf_transfers,
+    /// Fbufs secured (write permission removed from the originator).
+    fbufs_secured: inc_fbufs_secured,
+    /// Aggregate-object DAG nodes visited during receive-side traversal.
+    dag_nodes_visited: inc_dag_nodes_visited,
+    /// DAG traversals aborted because a cycle was detected.
+    dag_cycles_detected: inc_dag_cycles_detected,
+    /// DAG child pointers rejected by the fbuf-region range check.
+    dag_range_check_failures: inc_dag_range_check_failures,
+    /// Bytes copied by the generator interface when a data unit straddled a
+    /// fragment boundary (§5.2). Incremented per copy, not per byte.
+    generator_copies: inc_generator_copies,
+    /// PDUs carried by a driver (loopback or Osiris).
+    pdus_sent: inc_pdus_sent,
+    /// PDUs received into preallocated *cached* fbufs by the Osiris driver.
+    driver_cached_rx: inc_driver_cached_rx,
+    /// PDUs received into the uncached fallback pool by the Osiris driver.
+    driver_uncached_rx: inc_driver_uncached_rx,
+}
+
+/// Shared operation counters.
+///
+/// Like [`crate::Clock`], `Stats` is a cheap cloneable handle; every layer of
+/// the stack increments the same underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    inner: Rc<RefCell<StatsSnapshot>>,
+}
+
+impl Stats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Copies out the current values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.inner.borrow().clone()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = StatsSnapshot::default();
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in self.counters() {
+            if c.value != 0 {
+                writeln!(f, "{:>28}: {}", c.name, c.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_and_snapshot() {
+        let s = Stats::new();
+        s.inc_pte_updates();
+        s.inc_pte_updates();
+        s.inc_tlb_flushes();
+        assert_eq!(s.pte_updates(), 2);
+        assert_eq!(s.tlb_flushes(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.pte_updates, 2);
+        assert_eq!(snap.total(), 3);
+    }
+
+    #[test]
+    fn handles_share_storage() {
+        let a = Stats::new();
+        let b = a.clone();
+        a.inc_fbuf_cache_hits();
+        b.inc_fbuf_cache_hits();
+        assert_eq!(a.fbuf_cache_hits(), 2);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let s = Stats::new();
+        s.inc_pages_cleared();
+        let before = s.snapshot();
+        s.inc_pages_cleared();
+        s.inc_pages_copied();
+        let d = s.snapshot().delta(&before);
+        assert_eq!(d.pages_cleared, 1);
+        assert_eq!(d.pages_copied, 1);
+        assert_eq!(d.pte_updates, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.inc_cow_faults();
+        s.reset();
+        assert_eq!(s.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn display_skips_zero_counters() {
+        let s = Stats::new();
+        s.inc_soft_faults();
+        let text = s.snapshot().to_string();
+        assert!(text.contains("soft_faults"));
+        assert!(!text.contains("cow_faults"));
+    }
+
+    #[test]
+    fn counters_listing_has_names() {
+        let s = Stats::new();
+        s.inc_dag_cycles_detected();
+        let list = s.snapshot().counters();
+        let c = list
+            .iter()
+            .find(|c| c.name == "dag_cycles_detected")
+            .unwrap();
+        assert_eq!(c.value, 1);
+    }
+}

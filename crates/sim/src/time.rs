@@ -1,0 +1,428 @@
+//! Simulated time: the [`Ns`] unit and the accounting [`Clock`].
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A span (or instant) of simulated time, in nanoseconds.
+///
+/// All costs charged by the simulated machine are expressed in `Ns`. The
+/// type is a thin wrapper over `u64`; arithmetic saturates on subtraction so
+/// interval math never panics in release-mode experiment code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero nanoseconds.
+    pub const ZERO: Ns = Ns(0);
+
+    /// Constructs a span from whole microseconds.
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Constructs a span from whole milliseconds.
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Returns this span in (truncated) microseconds.
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns this span as fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns this span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Throughput, in megabits per second, of moving `bytes` in this span.
+    ///
+    /// Returns `f64::INFINITY` for a zero span, matching how the paper's
+    /// asymptotic-throughput columns are computed (bits per incremental
+    /// cost).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fbuf_sim::Ns;
+    ///
+    /// // Table 1's headline: a 4 KB page every 3 µs is ~10.9 Gb/s.
+    /// let mbps = Ns::from_us(3).mbps(4096);
+    /// assert!((mbps - 10_922.6).abs() < 1.0);
+    /// ```
+    pub fn mbps(self, bytes: u64) -> f64 {
+        if self.0 == 0 {
+            return f64::INFINITY;
+        }
+        (bytes as f64 * 8.0) / (self.0 as f64 / 1e9) / 1e6
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Where simulated time went; used to attribute costs in experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CostCategory {
+    /// Virtual-memory map and page-table manipulation.
+    Vm,
+    /// TLB refills and consistency flushes.
+    Tlb,
+    /// Page clearing (zero-fill) and physical copies.
+    DataMove,
+    /// Cache-fill stalls charged when touching buffer data.
+    DataTouch,
+    /// IPC control transfer (trap, context switch, scheduling).
+    Ipc,
+    /// Protocol processing (headers, checksums, frag/reassembly bookkeeping).
+    Protocol,
+    /// Device driver and DMA overheads.
+    Driver,
+    /// Buffer management bookkeeping (free lists, reference counts).
+    Alloc,
+    /// Anything else.
+    Other,
+}
+
+impl CostCategory {
+    /// All categories, in `repr` order.
+    pub const ALL: [CostCategory; 9] = [
+        CostCategory::Vm,
+        CostCategory::Tlb,
+        CostCategory::DataMove,
+        CostCategory::DataTouch,
+        CostCategory::Ipc,
+        CostCategory::Protocol,
+        CostCategory::Driver,
+        CostCategory::Alloc,
+        CostCategory::Other,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCategory::Vm => "vm",
+            CostCategory::Tlb => "tlb",
+            CostCategory::DataMove => "datamove",
+            CostCategory::DataTouch => "datatouch",
+            CostCategory::Ipc => "ipc",
+            CostCategory::Protocol => "protocol",
+            CostCategory::Driver => "driver",
+            CostCategory::Alloc => "alloc",
+            CostCategory::Other => "other",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClockInner {
+    now: Ns,
+    busy: Ns,
+    by_category: [Ns; CostCategory::ALL.len()],
+}
+
+/// The simulated CPU clock.
+///
+/// Time advances in two ways:
+///
+/// * [`Clock::charge`] — the CPU does work for `span` (attributed to a
+///   [`CostCategory`]); both elapsed and *busy* time advance.
+/// * [`Clock::wait_until`] / [`Clock::idle`] — the CPU idles until an
+///   external event (DMA completion, the peer host, the network); elapsed
+///   time advances, busy time does not.
+///
+/// The busy/elapsed split is exactly what the paper's CPU-load measurement
+/// reports ("CPU load was derived from the rate of a counter that is updated
+/// by a low-priority background thread").
+///
+/// `Clock` is a cheap cloneable handle (`Rc<RefCell<...>>`): the machine, the
+/// IPC layer, and the drivers all charge the same underlying clock. The
+/// simulation is single-threaded by design, mirroring the uniprocessor
+/// DecStation.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    inner: Rc<RefCell<ClockInner>>,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Ns {
+        self.inner.borrow().now
+    }
+
+    /// Total CPU-busy time charged so far.
+    pub fn busy(&self) -> Ns {
+        self.inner.borrow().busy
+    }
+
+    /// Total idle (waited) time so far.
+    pub fn idle(&self) -> Ns {
+        let inner = self.inner.borrow();
+        inner.now - inner.busy
+    }
+
+    /// Charges `span` of CPU work attributed to `category`.
+    pub fn charge(&self, category: CostCategory, span: Ns) {
+        let mut inner = self.inner.borrow_mut();
+        inner.now += span;
+        inner.busy += span;
+        inner.by_category[category as usize] += span;
+    }
+
+    /// Idles (without CPU work) for `span`.
+    pub fn idle_for(&self, span: Ns) {
+        self.inner.borrow_mut().now += span;
+    }
+
+    /// Idles until the instant `t`; no-op if `t` is in the past.
+    pub fn wait_until(&self, t: Ns) {
+        let mut inner = self.inner.borrow_mut();
+        if t > inner.now {
+            inner.now = t;
+        }
+    }
+
+    /// Time charged to `category` so far.
+    pub fn spent_on(&self, category: CostCategory) -> Ns {
+        self.inner.borrow().by_category[category as usize]
+    }
+
+    /// Snapshot of the per-category breakdown.
+    pub fn breakdown(&self) -> Vec<(CostCategory, Ns)> {
+        let inner = self.inner.borrow();
+        CostCategory::ALL
+            .iter()
+            .map(|&c| (c, inner.by_category[c as usize]))
+            .collect()
+    }
+
+    /// CPU utilization (busy / elapsed) over the clock's whole lifetime.
+    ///
+    /// Returns 1.0 for a clock that has never advanced.
+    pub fn utilization(&self) -> f64 {
+        let inner = self.inner.borrow();
+        if inner.now.0 == 0 {
+            return 1.0;
+        }
+        inner.busy.0 as f64 / inner.now.0 as f64
+    }
+
+    /// Resets the clock to time zero, clearing all accounting.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = ClockInner::default();
+    }
+}
+
+/// A point-in-time capture of a [`Clock`], for measuring deltas.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockMark {
+    now: Ns,
+    busy: Ns,
+}
+
+impl Clock {
+    /// Captures the current instant for later [`Clock::since`].
+    pub fn mark(&self) -> ClockMark {
+        let inner = self.inner.borrow();
+        ClockMark {
+            now: inner.now,
+            busy: inner.busy,
+        }
+    }
+
+    /// Elapsed time since `mark`.
+    pub fn since(&self, mark: ClockMark) -> Ns {
+        self.now() - mark.now
+    }
+
+    /// Busy time since `mark`.
+    pub fn busy_since(&self, mark: ClockMark) -> Ns {
+        self.busy() - mark.busy
+    }
+
+    /// CPU utilization (busy / elapsed) since `mark`.
+    pub fn utilization_since(&self, mark: ClockMark) -> f64 {
+        let elapsed = self.since(mark);
+        if elapsed.0 == 0 {
+            return 1.0;
+        }
+        self.busy_since(mark).0 as f64 / elapsed.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversions() {
+        assert_eq!(Ns::from_us(3).as_ns(), 3_000);
+        assert_eq!(Ns::from_ms(2).as_us(), 2_000);
+        assert_eq!(Ns(1_500).as_us(), 1);
+        assert!((Ns(1_500).as_us_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_arithmetic_saturates_on_subtraction() {
+        assert_eq!(Ns(5) - Ns(10), Ns::ZERO);
+        let mut t = Ns(5);
+        t -= Ns(10);
+        assert_eq!(t, Ns::ZERO);
+    }
+
+    #[test]
+    fn ns_throughput() {
+        // 4096 bytes in 3 us = 10,922.666 Mb/s — the paper's Table 1 anchor.
+        let mbps = Ns::from_us(3).mbps(4096);
+        assert!((mbps - 10_922.0).abs() < 1.0, "got {mbps}");
+        assert!(Ns::ZERO.mbps(1).is_infinite());
+    }
+
+    #[test]
+    fn ns_display() {
+        assert_eq!(Ns(999).to_string(), "999ns");
+        assert_eq!(Ns(1_500).to_string(), "1.500us");
+        assert_eq!(Ns(2_500_000).to_string(), "2.500ms");
+    }
+
+    #[test]
+    fn clock_charges_and_categorizes() {
+        let clock = Clock::new();
+        clock.charge(CostCategory::Vm, Ns(100));
+        clock.charge(CostCategory::Tlb, Ns(50));
+        clock.charge(CostCategory::Vm, Ns(25));
+        assert_eq!(clock.now(), Ns(175));
+        assert_eq!(clock.busy(), Ns(175));
+        assert_eq!(clock.spent_on(CostCategory::Vm), Ns(125));
+        assert_eq!(clock.spent_on(CostCategory::Tlb), Ns(50));
+        assert_eq!(clock.spent_on(CostCategory::Ipc), Ns::ZERO);
+    }
+
+    #[test]
+    fn clock_idle_does_not_count_as_busy() {
+        let clock = Clock::new();
+        clock.charge(CostCategory::Driver, Ns(300));
+        clock.idle_for(Ns(700));
+        assert_eq!(clock.now(), Ns(1_000));
+        assert_eq!(clock.busy(), Ns(300));
+        assert_eq!(clock.idle(), Ns(700));
+        assert!((clock.utilization() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_wait_until_never_rewinds() {
+        let clock = Clock::new();
+        clock.charge(CostCategory::Other, Ns(500));
+        clock.wait_until(Ns(400));
+        assert_eq!(clock.now(), Ns(500));
+        clock.wait_until(Ns(900));
+        assert_eq!(clock.now(), Ns(900));
+    }
+
+    #[test]
+    fn clock_marks_measure_deltas() {
+        let clock = Clock::new();
+        clock.charge(CostCategory::Vm, Ns(100));
+        let mark = clock.mark();
+        clock.charge(CostCategory::Vm, Ns(40));
+        clock.idle_for(Ns(60));
+        assert_eq!(clock.since(mark), Ns(100));
+        assert_eq!(clock.busy_since(mark), Ns(40));
+        assert!((clock.utilization_since(mark) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_handles_are_shared() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.charge(CostCategory::Ipc, Ns(10));
+        b.charge(CostCategory::Ipc, Ns(5));
+        assert_eq!(a.now(), Ns(15));
+        assert_eq!(b.now(), Ns(15));
+    }
+
+    #[test]
+    fn clock_reset_clears_everything() {
+        let clock = Clock::new();
+        clock.charge(CostCategory::Vm, Ns(10));
+        clock.idle_for(Ns(10));
+        clock.reset();
+        assert_eq!(clock.now(), Ns::ZERO);
+        assert_eq!(clock.busy(), Ns::ZERO);
+        assert_eq!(clock.spent_on(CostCategory::Vm), Ns::ZERO);
+    }
+}

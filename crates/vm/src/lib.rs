@@ -1,0 +1,35 @@
+//! Simulated memory and protection substrate for the fbufs reproduction.
+//!
+//! This crate provides what the paper's Mach 3.0 kernel provided: physical
+//! memory, per-protection-domain virtual address spaces, and the primitives
+//! a cross-domain transfer facility is built from. The structure mirrors the
+//! paper's description of a "two-level virtual memory system":
+//!
+//! * a **machine-independent map** per domain ([`space::AddressSpace`]):
+//!   region-granularity entries describing policy (lazy zero-fill, copy-on-
+//!   write inheritance, null-read handling) and maximum protection;
+//! * a **machine-dependent pmap** ([`space::Pmap`]): the resident
+//!   page → frame + protection table that the (simulated) MMU consults;
+//! * a finite, software-refilled, ASID-tagged [`tlb::Tlb`] (R3000-style);
+//! * [`phys::PhysMem`]: real byte storage in reference-counted frames, so
+//!   data integrity and protection are *testable*, not assumed.
+//!
+//! Every operation charges calibrated costs from [`fbuf_sim::CostModel`] to
+//! the shared [`fbuf_sim::Clock`] and bumps [`fbuf_sim::Stats`] counters.
+//!
+//! The [`facility`] module implements the paper's three baseline transfer
+//! mechanisms over this substrate — bounded copy, DASH-style page remapping,
+//! and Mach-style lazy copy-on-write — which Table 1 and Figure 3 compare
+//! against fbufs.
+
+pub mod facility;
+pub mod machine;
+pub mod phys;
+pub mod space;
+pub mod tlb;
+pub mod types;
+
+pub use machine::{Machine, MachineRef};
+pub use phys::{FrameId, PhysMem};
+pub use space::{AddressSpace, MapEntry, Pmap, RegionPolicy};
+pub use types::{Access, DomainId, Fault, Prot, VmResult, Vpn, KERNEL_DOMAIN};

@@ -1,0 +1,429 @@
+//! A composable protocol graph.
+//!
+//! "The x-kernel based network subsystem consists of a protocol graph that
+//! can span multiple protection domains" (§4). This module provides the
+//! infrastructure: a [`Protocol`] trait, a [`Graph`] of protocol nodes
+//! each pinned to a protection domain, and a driver that moves messages
+//! down (send) and up (receive) through the graph — automatically
+//! performing an fbuf transfer plus one RPC whenever adjacent nodes live
+//! in different domains.
+//!
+//! The concrete stacks used by the paper's experiments (`fbuf-net`) are
+//! hand-driven for measurement fidelity; this graph is the library-facing
+//! way to compose new stacks.
+
+use fbuf::{FbufResult, FbufSystem, SendMode};
+use fbuf_vm::DomainId;
+
+use crate::msg::Msg;
+use crate::proxy;
+use crate::refs::MsgRefs;
+
+/// What a protocol asks the graph to do with a message it has processed.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Pass the (possibly rewritten) message to the node below (send
+    /// path) or above (receive path).
+    Continue(Msg),
+    /// Split into several messages, each continuing independently
+    /// (fragmentation on the way down, or batching on the way up).
+    Fan(Vec<Msg>),
+    /// The protocol consumed the message (e.g. buffered a fragment until
+    /// reassembly completes, or absorbed a control message).
+    Absorb,
+}
+
+/// Execution context handed to protocols.
+pub struct Ctx<'a> {
+    /// The buffer facility.
+    pub fbs: &'a mut FbufSystem,
+    /// Message reference counts.
+    pub refs: &'a mut MsgRefs,
+    /// The domain this protocol executes in.
+    pub dom: DomainId,
+}
+
+/// One protocol layer.
+pub trait Protocol {
+    /// Layer name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Processes a message travelling down toward the device. The default
+    /// passes it through unchanged.
+    fn push(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+        Ok(Verdict::Continue(msg))
+    }
+
+    /// Processes a message travelling up toward the application. The
+    /// default passes it through unchanged.
+    fn demux(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+        Ok(Verdict::Continue(msg))
+    }
+}
+
+struct Node {
+    proto: Box<dyn Protocol>,
+    dom: DomainId,
+}
+
+/// A linear protocol stack spanning protection domains (index 0 is the
+/// topmost layer; the last node is the bottom/driver).
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// Messages that fell off the bottom of the stack (handed to the
+    /// "device").
+    pub to_device: Vec<Msg>,
+    /// Messages that emerged at the top (delivered to the application).
+    pub to_app: Vec<Msg>,
+    /// Protection mode used for inter-domain hops.
+    pub send_mode: SendMode,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            to_device: Vec::new(),
+            to_app: Vec::new(),
+            send_mode: SendMode::Volatile,
+        }
+    }
+
+    /// Appends a layer below the current bottom; returns its index.
+    pub fn add(&mut self, proto: Box<dyn Protocol>, dom: DomainId) -> usize {
+        self.nodes.push(Node { proto, dom });
+        self.nodes.len() - 1
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The domain sequence, top to bottom.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.nodes.iter().map(|n| n.dom).collect()
+    }
+
+    /// Injects a message at layer `from` travelling down; terminal
+    /// messages accumulate in [`Graph::to_device`]. The caller must have
+    /// adopted the message in layer `from`'s domain.
+    pub fn push_down(
+        &mut self,
+        fbs: &mut FbufSystem,
+        refs: &mut MsgRefs,
+        from: usize,
+        msg: Msg,
+    ) -> FbufResult<()> {
+        self.drive(fbs, refs, from, msg, true)
+    }
+
+    /// Injects a message at layer `from` travelling up; terminal messages
+    /// accumulate in [`Graph::to_app`].
+    pub fn push_up(
+        &mut self,
+        fbs: &mut FbufSystem,
+        refs: &mut MsgRefs,
+        from: usize,
+        msg: Msg,
+    ) -> FbufResult<()> {
+        self.drive(fbs, refs, from, msg, false)
+    }
+
+    fn drive(
+        &mut self,
+        fbs: &mut FbufSystem,
+        refs: &mut MsgRefs,
+        start: usize,
+        msg: Msg,
+        down: bool,
+    ) -> FbufResult<()> {
+        assert!(start < self.nodes.len(), "no such layer");
+        // Work list of (layer, message) pairs; depth-first keeps fan-out
+        // ordering intuitive.
+        let mut work = vec![(start, msg)];
+        while let Some((i, msg)) = work.pop() {
+            let dom = self.nodes[i].dom;
+            let mut ctx = Ctx { fbs, refs, dom };
+            let verdict = if down {
+                self.nodes[i].proto.push(&mut ctx, msg)?
+            } else {
+                self.nodes[i].proto.demux(&mut ctx, msg)?
+            };
+            let outputs: Vec<Msg> = match verdict {
+                Verdict::Continue(m) => vec![m],
+                Verdict::Fan(ms) => ms,
+                Verdict::Absorb => continue,
+            };
+            let next = if down {
+                (i + 1 < self.nodes.len()).then_some(i + 1)
+            } else {
+                i.checked_sub(1)
+            };
+            for m in outputs.into_iter().rev() {
+                match next {
+                    Some(j) => {
+                        let next_dom = self.nodes[j].dom;
+                        if next_dom != dom {
+                            // Cross the protection boundary: one RPC plus
+                            // fbuf transfers; the receiving domain adopts.
+                            proxy::deliver(fbs, refs, &m, dom, next_dom, self.send_mode)?;
+                            refs.release(fbs, dom, &m)?;
+                        }
+                        work.push((j, m));
+                    }
+                    None => {
+                        if down {
+                            self.to_device.push(m);
+                        } else {
+                            self.to_app.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Graph {
+        Graph::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf::AllocMode;
+    use fbuf_sim::MachineConfig;
+
+    /// Records every message length it sees.
+    struct Tracer {
+        label: &'static str,
+        seen: Vec<(bool, u64)>,
+    }
+
+    impl Protocol for Tracer {
+        fn name(&self) -> &'static str {
+            self.label
+        }
+        fn push(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+            self.seen.push((true, msg.len()));
+            Ok(Verdict::Continue(msg))
+        }
+        fn demux(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+            self.seen.push((false, msg.len()));
+            Ok(Verdict::Continue(msg))
+        }
+    }
+
+    /// Splits messages into `unit`-byte pieces on the way down and
+    /// reassembles by simple concatenation on the way up.
+    struct Chopper {
+        unit: u64,
+        partial: Msg,
+        expected: u64,
+    }
+
+    impl Protocol for Chopper {
+        fn name(&self) -> &'static str {
+            "chopper"
+        }
+        fn push(&mut self, ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+            let mut pieces = Vec::new();
+            let mut rest = msg.clone();
+            while !rest.is_empty() {
+                let (head, tail) = rest.split(self.unit);
+                ctx.refs.adopt(ctx.dom, &head);
+                pieces.push(head);
+                rest = tail;
+            }
+            ctx.refs.release(ctx.fbs, ctx.dom, &msg)?;
+            Ok(Verdict::Fan(pieces))
+        }
+        fn demux(&mut self, ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+            let joined = self.partial.concat(&msg);
+            ctx.refs.adopt(ctx.dom, &joined);
+            ctx.refs.release(ctx.fbs, ctx.dom, &self.partial.clone())?;
+            ctx.refs.release(ctx.fbs, ctx.dom, &msg)?;
+            if joined.len() >= self.expected {
+                self.partial = Msg::empty();
+                Ok(Verdict::Continue(joined))
+            } else {
+                self.partial = joined;
+                Ok(Verdict::Absorb)
+            }
+        }
+    }
+
+    fn setup() -> (FbufSystem, MsgRefs, DomainId, DomainId) {
+        let mut fbs = FbufSystem::new(MachineConfig::tiny());
+        let app = fbs.create_domain();
+        let kernel = fbuf_vm::KERNEL_DOMAIN;
+        (fbs, MsgRefs::new(), app, kernel)
+    }
+
+    fn make_msg(fbs: &mut FbufSystem, refs: &mut MsgRefs, dom: DomainId, data: &[u8]) -> Msg {
+        let id = fbs
+            .alloc(dom, AllocMode::Uncached, data.len() as u64)
+            .unwrap();
+        fbs.write_fbuf(dom, id, 0, data).unwrap();
+        let m = Msg::from_fbuf(id, 0, data.len() as u64);
+        refs.adopt(dom, &m);
+        m
+    }
+
+    #[test]
+    fn passthrough_stack_traverses_all_layers() {
+        let (mut fbs, mut refs, app, kernel) = setup();
+        let mut g = Graph::new();
+        g.add(
+            Box::new(Tracer {
+                label: "top",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        g.add(
+            Box::new(Tracer {
+                label: "mid",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        g.add(
+            Box::new(Tracer {
+                label: "bot",
+                seen: Vec::new(),
+            }),
+            kernel,
+        );
+        let msg = make_msg(&mut fbs, &mut refs, app, b"hello");
+        g.push_down(&mut fbs, &mut refs, 0, msg).unwrap();
+        assert_eq!(g.to_device.len(), 1);
+        assert_eq!(g.to_device[0].len(), 5);
+        assert_eq!(g.domains(), vec![app, app, kernel]);
+    }
+
+    #[test]
+    fn domain_crossing_happens_between_layers() {
+        let (mut fbs, mut refs, app, kernel) = setup();
+        let mut g = Graph::new();
+        g.add(
+            Box::new(Tracer {
+                label: "user",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        g.add(
+            Box::new(Tracer {
+                label: "kern",
+                seen: Vec::new(),
+            }),
+            kernel,
+        );
+        let msgs0 = fbs.stats().ipc_messages();
+        let msg = make_msg(&mut fbs, &mut refs, app, b"cross");
+        g.push_down(&mut fbs, &mut refs, 0, msg).unwrap();
+        // Exactly one RPC for the one boundary.
+        assert_eq!(fbs.stats().ipc_messages(), msgs0 + 1);
+        // The kernel can read the data that fell out of the bottom.
+        let out = g.to_device.pop().unwrap();
+        assert_eq!(out.gather(&mut fbs, kernel).unwrap(), b"cross");
+    }
+
+    #[test]
+    fn fragmenting_layer_fans_out_and_reassembles() {
+        let (mut fbs, mut refs, app, kernel) = setup();
+        let mut g = Graph::new();
+        let top = g.add(
+            Box::new(Tracer {
+                label: "top",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        g.add(
+            Box::new(Chopper {
+                unit: 4,
+                partial: Msg::empty(),
+                expected: 10,
+            }),
+            app,
+        );
+        let bottom = g.add(
+            Box::new(Tracer {
+                label: "drv",
+                seen: Vec::new(),
+            }),
+            kernel,
+        );
+        // Down: one 10-byte message becomes three PDUs at the device.
+        let msg = make_msg(&mut fbs, &mut refs, app, b"0123456789");
+        g.push_down(&mut fbs, &mut refs, top, msg).unwrap();
+        assert_eq!(g.to_device.len(), 3);
+        let lens: Vec<u64> = g.to_device.iter().map(|m| m.len()).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+        // Up: replay the three PDUs; the chopper reassembles and one
+        // message reaches the app.
+        let pdus: Vec<Msg> = g.to_device.drain(..).collect();
+        for p in pdus {
+            // Device hands PDUs to the bottom layer in the kernel.
+            g.push_up(&mut fbs, &mut refs, bottom, p).unwrap();
+        }
+        assert_eq!(g.to_app.len(), 1);
+        assert_eq!(g.to_app[0].gather(&mut fbs, app).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn absorb_stops_propagation() {
+        struct BlackHole;
+        impl Protocol for BlackHole {
+            fn name(&self) -> &'static str {
+                "blackhole"
+            }
+            fn push(&mut self, ctx: &mut Ctx<'_>, msg: Msg) -> FbufResult<Verdict> {
+                ctx.refs.release(ctx.fbs, ctx.dom, &msg)?;
+                Ok(Verdict::Absorb)
+            }
+        }
+        let (mut fbs, mut refs, app, _) = setup();
+        let mut g = Graph::new();
+        g.add(Box::new(BlackHole), app);
+        g.add(
+            Box::new(Tracer {
+                label: "below",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        let msg = make_msg(&mut fbs, &mut refs, app, b"gone");
+        g.push_down(&mut fbs, &mut refs, 0, msg).unwrap();
+        assert!(g.to_device.is_empty());
+        assert_eq!(refs.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such layer")]
+    fn bad_layer_index_panics() {
+        let (mut fbs, mut refs, app, _) = setup();
+        let mut g = Graph::new();
+        g.add(
+            Box::new(Tracer {
+                label: "only",
+                seen: Vec::new(),
+            }),
+            app,
+        );
+        let msg = make_msg(&mut fbs, &mut refs, app, b"x");
+        let _ = g.push_down(&mut fbs, &mut refs, 5, msg);
+    }
+}

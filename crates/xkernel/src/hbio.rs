@@ -1,0 +1,332 @@
+//! The §5.2 proposed high-bandwidth I/O interface.
+//!
+//! "The semantics of the UNIX read/write interface make it difficult to
+//! use fbufs (or any other VM based technique). This is because the UNIX
+//! interface has copy semantics, and it allows the application to specify
+//! an unaligned buffer address anywhere in its address space. We therefore
+//! propose the addition of an interface for high-bandwidth I/O that uses
+//! immutable buffer aggregates. New high-bandwidth applications can use
+//! this interface; existing applications can continue to use the old
+//! interface, which requires copying."
+//!
+//! [`HbioEndpoint`] is that interface: aggregate-valued `write`/`read`
+//! with zero copies, plus the legacy copy-semantics [`HbioEndpoint::read_copy`]
+//! and [`HbioEndpoint::write_copy`] for un-ported applications — priced
+//! with a real per-byte copy so the difference is measurable.
+
+use std::collections::VecDeque;
+
+use fbuf::{AllocMode, FbufId, FbufResult, FbufSystem, PathId};
+use fbuf_sim::{CostCategory, Ns};
+use fbuf_vm::DomainId;
+
+use crate::generator::Generator;
+use crate::msg::Msg;
+use crate::refs::MsgRefs;
+
+/// A buffer being filled by the application before it becomes immutable.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    /// The underlying fbuf.
+    pub fbuf: FbufId,
+    /// Requested length.
+    pub len: u64,
+}
+
+/// An application endpoint for high-bandwidth I/O.
+///
+/// The endpoint belongs to one domain and (optionally) one I/O data path;
+/// outgoing buffers come from that path's cached allocator, so steady-state
+/// writes cost no mapping work at all.
+#[derive(Debug)]
+pub struct HbioEndpoint {
+    dom: DomainId,
+    path: Option<PathId>,
+    inbound: VecDeque<Msg>,
+    /// Bytes delivered to this endpoint so far.
+    pub delivered: u64,
+    /// Bytes consumed through the legacy copying interface.
+    pub copied_out: u64,
+}
+
+impl HbioEndpoint {
+    /// Creates an endpoint for `dom`, allocating from `path` when known.
+    pub fn new(dom: DomainId, path: Option<PathId>) -> HbioEndpoint {
+        HbioEndpoint {
+            dom,
+            path,
+            inbound: VecDeque::new(),
+            delivered: 0,
+            copied_out: 0,
+        }
+    }
+
+    /// The owning domain.
+    pub fn domain(&self) -> DomainId {
+        self.dom
+    }
+
+    // ------------------------------------------------------------------
+    // Write side
+    // ------------------------------------------------------------------
+
+    /// Allocates an output buffer the application may fill in place.
+    pub fn alloc_buffer(&mut self, fbs: &mut FbufSystem, len: u64) -> FbufResult<WriteBuffer> {
+        let mode = match self.path {
+            Some(p) => AllocMode::Cached(p),
+            None => AllocMode::Uncached,
+        };
+        let fbuf = fbs.alloc(self.dom, mode, len)?;
+        Ok(WriteBuffer { fbuf, len })
+    }
+
+    /// Fills (part of) an output buffer.
+    pub fn fill(
+        &mut self,
+        fbs: &mut FbufSystem,
+        buf: &WriteBuffer,
+        off: u64,
+        bytes: &[u8],
+    ) -> FbufResult<()> {
+        fbs.write_fbuf(self.dom, buf.fbuf, off, bytes)
+    }
+
+    /// Seals the buffer into an immutable aggregate ready to hand to the
+    /// protocol stack — zero copies; the aggregate *is* the buffer.
+    pub fn write(&mut self, refs: &mut MsgRefs, buf: WriteBuffer) -> Msg {
+        let msg = Msg::from_fbuf(buf.fbuf, 0, buf.len);
+        refs.adopt(self.dom, &msg);
+        msg
+    }
+
+    /// Legacy write: copies the application's private bytes (at any
+    /// alignment, anywhere in its address space) into a fresh aggregate —
+    /// "the old interface, which requires copying". Charges the copy.
+    pub fn write_copy(
+        &mut self,
+        fbs: &mut FbufSystem,
+        refs: &mut MsgRefs,
+        bytes: &[u8],
+    ) -> FbufResult<Msg> {
+        let buf = self.alloc_buffer(fbs, bytes.len() as u64)?;
+        charge_copy(fbs, bytes.len() as u64);
+        self.fill(fbs, &buf, 0, bytes)?;
+        Ok(self.write(refs, buf))
+    }
+
+    // ------------------------------------------------------------------
+    // Read side
+    // ------------------------------------------------------------------
+
+    /// The stack delivers an inbound aggregate (the endpoint assumes the
+    /// caller has already granted `dom` its references).
+    pub fn deliver(&mut self, msg: Msg) {
+        self.delivered += msg.len();
+        self.inbound.push_back(msg);
+    }
+
+    /// Zero-copy read: the next aggregate, possibly non-contiguous — "an
+    /// application that reads input data must be prepared to deal with the
+    /// potentially non-contiguous storage of buffers".
+    pub fn read_aggregate(&mut self) -> Option<Msg> {
+        self.inbound.pop_front()
+    }
+
+    /// Zero-copy read of fixed-size records via the generator interface
+    /// (§5.2's convenience for applications that want units, not buffers).
+    pub fn read_records(&mut self, unit: u64) -> Option<Generator> {
+        self.inbound.pop_front().map(|m| Generator::new(m, unit))
+    }
+
+    /// Legacy read with UNIX copy semantics: fills the caller's private
+    /// buffer, consuming queued data; returns bytes read (0 when no data
+    /// is queued). The caller must release the *consumed* portion's fbufs
+    /// itself — this helper returns the consumed message so reference
+    /// accounting stays explicit.
+    pub fn read_copy(
+        &mut self,
+        fbs: &mut FbufSystem,
+        out: &mut [u8],
+    ) -> FbufResult<(usize, Option<Msg>)> {
+        let Some(mut msg) = self.inbound.pop_front() else {
+            return Ok((0, None));
+        };
+        let want = (out.len() as u64).min(msg.len());
+        let head = msg.pop(want).expect("want <= len");
+        charge_copy(fbs, want);
+        let bytes = head.gather(fbs, self.dom)?;
+        out[..want as usize].copy_from_slice(&bytes);
+        self.copied_out += want;
+        // Anything unread goes back to the queue; the consumed head is
+        // handed to the caller for release.
+        if !msg.is_empty() {
+            self.inbound.push_front(msg);
+        }
+        Ok((want as usize, Some(head)))
+    }
+
+    /// Queued inbound bytes.
+    pub fn pending(&self) -> u64 {
+        self.inbound.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// Charges the memory-bandwidth cost of a UNIX-style copy of `len` bytes.
+fn charge_copy(fbs: &mut FbufSystem, len: u64) {
+    let page = fbs.machine().page_size();
+    let per_page = fbs.machine().costs().page_copy;
+    let cost = Ns((per_page.as_ns() as u128 * len as u128 / page as u128) as u64);
+    fbs.machine_mut().charge(CostCategory::DataMove, cost);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf::SendMode;
+    use fbuf_sim::MachineConfig;
+    use fbuf_vm::KERNEL_DOMAIN;
+
+    fn setup() -> (FbufSystem, MsgRefs, DomainId, PathId) {
+        let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+        fbs.charge_clearing = false;
+        let app = fbs.create_domain();
+        let out_path = fbs.create_path(vec![app, KERNEL_DOMAIN]).unwrap();
+        (fbs, MsgRefs::new(), app, out_path)
+    }
+
+    #[test]
+    fn aggregate_write_is_zero_copy() {
+        let (mut fbs, mut refs, app, path) = setup();
+        let mut ep = HbioEndpoint::new(app, Some(path));
+        let buf = ep.alloc_buffer(&mut fbs, 8192).unwrap();
+        ep.fill(&mut fbs, &buf, 0, b"high bandwidth").unwrap();
+        let copies0 = fbs.stats().pages_copied();
+        let move0 = fbs.machine().clock().spent_on(CostCategory::DataMove);
+        let msg = ep.write(&mut refs, buf);
+        assert_eq!(msg.len(), 8192);
+        assert_eq!(fbs.stats().pages_copied(), copies0);
+        assert_eq!(
+            fbs.machine().clock().spent_on(CostCategory::DataMove),
+            move0
+        );
+        refs.release(&mut fbs, app, &msg).unwrap();
+    }
+
+    #[test]
+    fn legacy_write_pays_the_copy() {
+        let (mut fbs, mut refs, app, path) = setup();
+        let mut ep = HbioEndpoint::new(app, Some(path));
+        let move0 = fbs.machine().clock().spent_on(CostCategory::DataMove);
+        let msg = ep.write_copy(&mut fbs, &mut refs, &[7u8; 8192]).unwrap();
+        let copied = fbs.machine().clock().spent_on(CostCategory::DataMove) - move0;
+        // Two pages' worth of copy time.
+        assert_eq!(copied, Ns(2 * 115_000));
+        assert_eq!(msg.gather(&mut fbs, app).unwrap(), vec![7u8; 8192]);
+        refs.release(&mut fbs, app, &msg).unwrap();
+    }
+
+    #[test]
+    fn zero_copy_read_hands_out_the_aggregate() {
+        let (mut fbs, mut refs, app, _) = setup();
+        // The "stack" (kernel) produces a message and delivers it.
+        let in_path = fbs.create_path(vec![KERNEL_DOMAIN, app]).unwrap();
+        let id = fbs
+            .alloc(KERNEL_DOMAIN, AllocMode::Cached(in_path), 100)
+            .unwrap();
+        fbs.write_fbuf(KERNEL_DOMAIN, id, 0, b"payload").unwrap();
+        fbs.send(id, KERNEL_DOMAIN, app, SendMode::Volatile)
+            .unwrap();
+        let msg = Msg::from_fbuf(id, 0, 100);
+        refs.adopt(app, &msg);
+
+        let mut ep = HbioEndpoint::new(app, None);
+        ep.deliver(msg);
+        assert_eq!(ep.pending(), 100);
+        let got = ep.read_aggregate().unwrap();
+        assert_eq!(&got.gather(&mut fbs, app).unwrap()[..7], b"payload");
+        assert_eq!(ep.pending(), 0);
+        refs.release(&mut fbs, app, &got).unwrap();
+        fbs.free(id, KERNEL_DOMAIN).unwrap();
+    }
+
+    #[test]
+    fn legacy_read_copies_and_supports_partial_reads() {
+        let (mut fbs, mut refs, app, _) = setup();
+        let id = fbs.alloc(app, AllocMode::Uncached, 10).unwrap();
+        fbs.write_fbuf(app, id, 0, b"0123456789").unwrap();
+        let msg = Msg::from_fbuf(id, 0, 10);
+        refs.adopt(app, &msg);
+
+        let mut ep = HbioEndpoint::new(app, None);
+        ep.deliver(msg.clone());
+        let mut out = [0u8; 4];
+        let (n, head1) = ep.read_copy(&mut fbs, &mut out).unwrap();
+        assert_eq!((n, &out), (4, b"0123"));
+        assert_eq!(ep.pending(), 6);
+        let mut out = [0u8; 16];
+        let (n, head2) = ep.read_copy(&mut fbs, &mut out).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(&out[..6], b"456789");
+        assert_eq!(ep.copied_out, 10);
+        // Empty queue reads zero.
+        assert_eq!(ep.read_copy(&mut fbs, &mut out).unwrap().0, 0);
+        // Release accounting: the two consumed heads share the fbuf with
+        // the original adoption.
+        for h in [head1, head2].into_iter().flatten() {
+            refs.adopt(app, &h);
+            refs.release(&mut fbs, app, &h).unwrap();
+        }
+        refs.release(&mut fbs, app, &msg).unwrap();
+        assert!(fbs.fbuf(id).is_err());
+    }
+
+    #[test]
+    fn record_reader_over_delivered_aggregate() {
+        let (mut fbs, mut refs, app, _) = setup();
+        let id = fbs.alloc(app, AllocMode::Uncached, 12).unwrap();
+        fbs.write_fbuf(app, id, 0, b"aabbccddeeff").unwrap();
+        let msg = Msg::from_fbuf(id, 0, 12);
+        refs.adopt(app, &msg);
+        let mut ep = HbioEndpoint::new(app, None);
+        ep.deliver(msg.clone());
+        let mut gen = ep.read_records(2).unwrap();
+        let mut records = Vec::new();
+        while let Some(u) = gen.next_unit(&mut fbs, app).unwrap() {
+            records.push(u.bytes(&mut fbs, app).unwrap());
+        }
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[2], b"cc");
+        refs.release(&mut fbs, app, &msg).unwrap();
+    }
+
+    #[test]
+    fn steady_state_aggregate_io_beats_legacy_by_memory_bandwidth() {
+        // The point of §5.2: the legacy interface's copies dominate once
+        // transfers themselves are free.
+        let (mut fbs, mut refs, app, path) = setup();
+        let mut ep = HbioEndpoint::new(app, Some(path));
+        let size = 64 << 10;
+        // Warm the path cache.
+        for _ in 0..2 {
+            let b = ep.alloc_buffer(&mut fbs, size).unwrap();
+            let m = ep.write(&mut refs, b);
+            refs.release(&mut fbs, app, &m).unwrap();
+        }
+        let t0 = fbs.machine().clock().now();
+        let b = ep.alloc_buffer(&mut fbs, size).unwrap();
+        let m = ep.write(&mut refs, b);
+        refs.release(&mut fbs, app, &m).unwrap();
+        let aggregate_time = fbs.machine().clock().now() - t0;
+
+        let t0 = fbs.machine().clock().now();
+        let m = ep
+            .write_copy(&mut fbs, &mut refs, &vec![0u8; size as usize])
+            .unwrap();
+        refs.release(&mut fbs, app, &m).unwrap();
+        let legacy_time = fbs.machine().clock().now() - t0;
+        assert!(
+            legacy_time.as_ns() > 20 * aggregate_time.as_ns().max(1),
+            "aggregate {aggregate_time} vs legacy {legacy_time}"
+        );
+    }
+}

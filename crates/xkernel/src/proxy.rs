@@ -1,0 +1,105 @@
+//! Cross-domain message delivery (proxy objects).
+//!
+//! "Proxy objects are used in the x-kernel to forward cross-domain
+//! invocations using Mach IPC." A proxy invocation charges one RPC and
+//! hands the message's fbufs to the receiving domain using the fbuf
+//! transfer facility; with the integrated representation only the root
+//! address crosses.
+
+use fbuf::{FbufResult, FbufSystem, SendMode};
+use fbuf_vm::DomainId;
+
+use crate::integrated::{self, IntegratedMsg, TraverseLimits};
+use crate::msg::Msg;
+use crate::refs::MsgRefs;
+
+/// Delivers `msg` from `from` to `to`: one RPC (charged) plus an fbuf
+/// transfer per distinct buffer. The receiver gains a message-level
+/// reference; the sender keeps its own (copy semantics) and releases it
+/// when its stack is done with the message.
+pub fn deliver(
+    fbs: &mut FbufSystem,
+    refs: &mut MsgRefs,
+    msg: &Msg,
+    from: DomainId,
+    to: DomainId,
+    mode: SendMode,
+) -> FbufResult<()> {
+    fbs.rpc_mut().call(from, to);
+    for id in msg.distinct_fbufs() {
+        fbs.send(id, from, to, mode)?;
+    }
+    refs.adopt(to, msg);
+    Ok(())
+}
+
+/// Delivers an integrated message: one RPC carrying only the root address;
+/// the kernel inspects the aggregate and transfers every reachable fbuf
+/// "unless shared mappings already exist" (which `FbufSystem::send` already
+/// skips for cached buffers).
+pub fn deliver_integrated(
+    fbs: &mut FbufSystem,
+    msg: IntegratedMsg,
+    from: DomainId,
+    to: DomainId,
+    mode: SendMode,
+    limits: TraverseLimits,
+) -> FbufResult<()> {
+    fbs.rpc_mut().call(from, to);
+    for id in integrated::reachable_fbufs(fbs, from, msg, limits)? {
+        fbs.send(id, from, to, mode)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf::AllocMode;
+    use fbuf_sim::MachineConfig;
+
+    #[test]
+    fn deliver_charges_ipc_and_transfers() {
+        let mut fbs = FbufSystem::new(MachineConfig::tiny());
+        let mut refs = MsgRefs::new();
+        let a = fbs.create_domain();
+        let b = fbs.create_domain();
+        let id = fbs.alloc(a, AllocMode::Uncached, 100).unwrap();
+        fbs.write_fbuf(a, id, 0, b"proxied").unwrap();
+        let msg = Msg::from_fbuf(id, 0, 100);
+        refs.adopt(a, &msg);
+        let msgs0 = fbs.stats().ipc_messages();
+        deliver(&mut fbs, &mut refs, &msg, a, b, SendMode::Volatile).unwrap();
+        assert_eq!(fbs.stats().ipc_messages(), msgs0 + 1);
+        assert_eq!(&msg.gather(&mut fbs, b).unwrap()[..7], b"proxied");
+        // Both sides release; buffer fully retired.
+        refs.release(&mut fbs, a, &msg).unwrap();
+        refs.release(&mut fbs, b, &msg).unwrap();
+        assert!(fbs.fbuf(id).is_err());
+    }
+
+    #[test]
+    fn integrated_delivery_moves_root_only() {
+        let mut fbs = FbufSystem::new(MachineConfig::tiny());
+        integrated::install_null_template(&mut fbs);
+        let a = fbs.create_domain();
+        let b = fbs.create_domain();
+        let data = fbs.alloc(a, AllocMode::Uncached, 64).unwrap();
+        fbs.write_fbuf(a, data, 0, b"dag!").unwrap();
+        let data_va = fbs.fbuf(data).unwrap().va;
+        let mut builder = integrated::DagBuilder::new(&mut fbs, a, AllocMode::Uncached, 4).unwrap();
+        let leaf = builder.leaf(&mut fbs, data_va, 4).unwrap();
+        let msg = IntegratedMsg { root: leaf };
+        deliver_integrated(
+            &mut fbs,
+            msg,
+            a,
+            b,
+            SendMode::Volatile,
+            TraverseLimits::default(),
+        )
+        .unwrap();
+        let got = integrated::gather(&mut fbs, b, msg, TraverseLimits::default()).unwrap();
+        assert_eq!(got, b"dag!");
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the fbuf lifecycle in five minutes.
+//!
+//! Builds a simulated machine, declares an I/O data path across three
+//! protection domains, and walks one buffer through the paper's common
+//! case — allocate from the path cache, write, transfer, read, free —
+//! showing that the steady state performs *zero* page-table updates and
+//! costs ~3 µs per page.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fbuf::{AllocMode, FbufSystem, SendMode};
+use fbuf_sim::MachineConfig;
+
+fn main() {
+    // A calibrated DecStation 5000/200: 4 KB pages, 64-entry TLB, the
+    // cost model from the paper's Table 1.
+    let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+
+    // Three protection domains: a device driver lives in the kernel
+    // (domain 0); create a network server and an application.
+    let kernel = fbuf_vm::KERNEL_DOMAIN;
+    let netserver = fbs.create_domain();
+    let app = fbs.create_domain();
+
+    // Declare the I/O data path incoming packets will travel. The paper:
+    // "all data that originates from a particular communication endpoint
+    // travels the same I/O data path."
+    let path = fbs.create_path(vec![kernel, netserver, app]).unwrap();
+
+    println!("== first packet: builds the buffer and its mappings ==");
+    let stats0 = fbs.stats().snapshot();
+    deliver_packet(&mut fbs, path, b"first packet payload");
+    let d = fbs.stats().snapshot().delta(&stats0);
+    println!(
+        "   page-table updates: {}, frames allocated: {}, cache misses: {}",
+        d.pte_updates, d.frames_allocated, d.fbuf_cache_misses
+    );
+
+    println!("== second packet: the cached fast path ==");
+    let t0 = fbs.machine().clock().now();
+    let stats1 = fbs.stats().snapshot();
+    deliver_packet(&mut fbs, path, b"second packet payload");
+    let d = fbs.stats().snapshot().delta(&stats1);
+    let dt = fbs.machine().clock().now() - t0;
+    println!(
+        "   page-table updates: {}, frames allocated: {}, cache hits: {}",
+        d.pte_updates, d.frames_allocated, d.fbuf_cache_hits
+    );
+    println!("   simulated time for the whole hop-hop-hop cycle: {dt}");
+    assert_eq!(d.pte_updates, 0, "steady state does no mapping work");
+
+    println!("== protection still holds ==");
+    // The application only ever has read access.
+    let id = fbs.alloc(kernel, AllocMode::Cached(path), 64).unwrap();
+    fbs.send(id, kernel, app, SendMode::Volatile).unwrap();
+    let denied = fbs.write_fbuf(app, id, 0, b"tamper");
+    println!(
+        "   app writing a received buffer: {:?}",
+        denied.unwrap_err()
+    );
+    fbs.free(id, app).unwrap();
+    fbs.free(id, kernel).unwrap();
+
+    println!("done.");
+}
+
+/// One packet: the kernel driver allocates from the path's cache, fills
+/// it, and the buffer visits the network server and the application.
+fn deliver_packet(fbs: &mut FbufSystem, path: fbuf::PathId, payload: &[u8]) {
+    let kernel = fbuf_vm::KERNEL_DOMAIN;
+    let domains = fbs.path(path).unwrap().domains.clone();
+    let id = fbs
+        .alloc(kernel, AllocMode::Cached(path), payload.len() as u64)
+        .unwrap();
+    fbs.write_fbuf(kernel, id, 0, payload).unwrap();
+    // Hand the buffer down the path; each hop gets read access.
+    for pair in domains.windows(2) {
+        fbs.send(id, pair[0], pair[1], SendMode::Volatile).unwrap();
+    }
+    // The application consumes the data...
+    let got = fbs
+        .read_fbuf(*domains.last().unwrap(), id, 0, payload.len() as u64)
+        .unwrap();
+    assert_eq!(got, payload);
+    // ...and everyone releases; the buffer parks on the path's free list
+    // with all its mappings intact.
+    for dom in domains.iter().rev() {
+        fbs.free(id, *dom).unwrap();
+    }
+}

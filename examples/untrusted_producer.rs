@@ -1,0 +1,125 @@
+//! Security walkthrough: everything a malicious or buggy application can
+//! try against the fbuf facility, and why each attempt fails.
+//!
+//! The paper (§2.1.3, §3.2.4) identifies the attack surface of a
+//! zero-copy transfer facility: asynchronous mutation of volatile
+//! buffers, writes by receivers, forged aggregate DAGs with wild pointers
+//! or cycles, and receivers that never deallocate. This example exercises
+//! all of them against the real protection machinery.
+//!
+//! Run with: `cargo run --example untrusted_producer`
+
+use fbuf::{AllocMode, FbufError, FbufSystem, SendMode};
+use fbuf_sim::MachineConfig;
+use fbuf_vm::Fault;
+use fbuf_xkernel::integrated::{self, DagBuilder, TraverseLimits};
+
+fn main() {
+    let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+    integrated::install_null_template(&mut fbs);
+    let evil_app = fbs.create_domain();
+    let server = fbs.create_domain();
+
+    println!("== 1. volatile buffers may change under the receiver ==");
+    let id = fbs.alloc(evil_app, AllocMode::Uncached, 64).unwrap();
+    fbs.write_fbuf(evil_app, id, 0, b"benign request").unwrap();
+    fbs.send(id, evil_app, server, SendMode::Volatile).unwrap();
+    fbs.write_fbuf(evil_app, id, 0, b"MUTATED after!").unwrap();
+    let seen = fbs.read_fbuf(server, id, 0, 14).unwrap();
+    println!("   server sees: {:?}", String::from_utf8_lossy(&seen));
+    println!("   -> a receiver that must trust the bytes secures the buffer first:");
+    fbs.secure(id, server).unwrap();
+    let blocked = fbs.write_fbuf(evil_app, id, 0, b"again?");
+    println!(
+        "   originator write after secure(): {:?}",
+        blocked.unwrap_err()
+    );
+    fbs.free(id, server).unwrap();
+    fbs.free(id, evil_app).unwrap();
+
+    println!("\n== 2. receivers can never write ==");
+    let id = fbs.alloc(server, AllocMode::Uncached, 64).unwrap();
+    fbs.send(id, server, evil_app, SendMode::Volatile).unwrap();
+    match fbs.write_fbuf(evil_app, id, 0, b"overwrite") {
+        Err(FbufError::Vm(Fault::AccessViolation { .. })) => {
+            println!("   receiver write faults, as required")
+        }
+        other => panic!("expected an access violation, got {other:?}"),
+    }
+    fbs.free(id, evil_app).unwrap();
+    fbs.free(id, server).unwrap();
+
+    println!("\n== 3. forged DAGs: wild pointers ==");
+    let mut builder = DagBuilder::new(&mut fbs, evil_app, AllocMode::Uncached, 8).unwrap();
+    let wild = builder
+        .raw(&mut fbs, [2 /* concat */, 0xdead_beef, 0x1000])
+        .unwrap();
+    fbs.send(builder.node_fbuf(), evil_app, server, SendMode::Volatile)
+        .unwrap();
+    let out = integrated::traverse(&mut fbs, server, wild, TraverseLimits::default()).unwrap();
+    println!(
+        "   traversal survived: {} range-check rejections, {} bytes of data",
+        out.range_failures,
+        out.len()
+    );
+
+    println!("\n== 4. forged DAGs: cycles ==");
+    let mut builder = DagBuilder::new(&mut fbs, evil_app, AllocMode::Uncached, 8).unwrap();
+    let base = fbs.fbuf(builder.node_fbuf()).unwrap().va;
+    let n1 = builder.raw(&mut fbs, [2, base, base]).unwrap(); // self-referential
+    fbs.send(builder.node_fbuf(), evil_app, server, SendMode::Volatile)
+        .unwrap();
+    let out = integrated::traverse(&mut fbs, server, n1, TraverseLimits::default()).unwrap();
+    println!(
+        "   traversal terminated: cycle detected = {}, nodes visited = {}",
+        out.cycle_detected, out.nodes
+    );
+
+    println!("\n== 5. pointers into unmapped fbuf-region memory ==");
+    let region = fbs.machine().config().fbuf_region_base;
+    let out = integrated::traverse(
+        &mut fbs,
+        server,
+        region + (40 << 20),
+        TraverseLimits::default(),
+    )
+    .unwrap();
+    println!(
+        "   read completed against a synthetic empty leaf: {} extents, {} null-page reads so far",
+        out.extents.len(),
+        fbs.stats().wild_reads_nullified()
+    );
+
+    println!("\n== 6. a hoarder cannot exhaust the fbuf region ==");
+    let mut hoarded = Vec::new();
+    let quota_hit = loop {
+        match fbs.alloc(evil_app, AllocMode::Uncached, 16 << 10) {
+            Ok(id) => hoarded.push(id),
+            Err(FbufError::QuotaExceeded { .. }) => break true,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        if hoarded.len() > 100_000 {
+            break false;
+        }
+    };
+    println!(
+        "   allocator cut off after {} buffers (quota enforced: {})",
+        hoarded.len(),
+        quota_hit
+    );
+    assert!(quota_hit);
+    // The server can still allocate: the quota is per allocator.
+    fbs.alloc(server, AllocMode::Uncached, 16 << 10).unwrap();
+    println!("   other domains unaffected.");
+
+    println!("\n== 7. termination reclaims everything ==");
+    let frames_low = fbs.machine().free_frames();
+    fbs.terminate_domain(evil_app).unwrap();
+    println!(
+        "   free frames: {} -> {} after terminating the hoarder",
+        frames_low,
+        fbs.machine().free_frames()
+    );
+    assert!(fbs.machine().free_frames() > frames_low);
+    println!("\nall defenses held.");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the fbufs reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one coherent namespace. See `README.md` for a tour and `DESIGN.md`
+//! for the system inventory.
+
+pub use fbuf;
+pub use fbuf_ipc as ipc;
+pub use fbuf_net as net;
+pub use fbuf_sim as sim;
+pub use fbuf_vm as vm;
+pub use fbuf_xkernel as xkernel;
