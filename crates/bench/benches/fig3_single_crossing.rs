@@ -1,26 +1,28 @@
-//! Criterion bench regenerating Figure 3 (single boundary crossing).
+//! Bench target regenerating Figure 3 (single boundary crossing),
+//! reporting **simulated** throughput in Mb/s.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf::SendMode;
 use fbuf_bench::fig3;
 use fbuf_bench::report::print_curves;
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::ToJson;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let curves = fig3::run(&fig3::default_sizes(), 3);
     print_curves(
         "Figure 3: throughput of a single domain boundary crossing",
         &curves,
     );
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(20);
-    g.bench_function("fbuf_cached_volatile_64k", |b| {
-        b.iter(|| fig3::fbuf_throughput(true, SendMode::Volatile, 64 << 10, 3))
+    let mut r = BenchRunner::new("fig3_single_crossing");
+    r.artifact("fig3_curves", curves.to_json());
+    r.measure("fbuf_cached_volatile_64k", Unit::Mbps, || {
+        fig3::fbuf_throughput(true, SendMode::Volatile, 64 << 10, 3)
     });
-    g.bench_function("mach_native_64k", |b| {
-        b.iter(|| fig3::mach_throughput(64 << 10, 3))
+    r.measure("fbuf_uncached_volatile_64k", Unit::Mbps, || {
+        fig3::fbuf_throughput(false, SendMode::Volatile, 64 << 10, 3)
     });
-    g.finish();
+    r.measure("mach_native_64k", Unit::Mbps, || {
+        fig3::mach_throughput(64 << 10, 3)
+    });
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,35 +1,31 @@
-//! Criterion bench regenerating Figure 4 (UDP/IP local loopback).
+//! Bench target regenerating Figure 4 (UDP/IP local loopback),
+//! reporting **simulated** throughput in Mb/s.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf_bench::fig4;
 use fbuf_bench::report::print_curves;
 use fbuf_net::{LoopbackConfig, LoopbackStack};
-use fbuf_sim::MachineConfig;
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::{MachineConfig, ToJson};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let curves = fig4::run(&fig4::default_sizes(), 3);
     print_curves(
         "Figure 4: throughput of a UDP/IP local loopback test",
         &curves,
     );
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(20);
+    let mut r = BenchRunner::new("fig4_loopback");
+    r.artifact("fig4_curves", curves.to_json());
     for (label, three, cached) in [
         ("single_domain_64k", false, true),
         ("three_domains_cached_64k", true, true),
         ("three_domains_uncached_64k", true, false),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut cfg = MachineConfig::decstation_5000_200();
-                cfg.phys_mem = 24 << 20;
-                let mut s = LoopbackStack::new(cfg, LoopbackConfig::paper(three, cached));
-                s.throughput(64 << 10, 3).expect("loopback")
-            })
+        r.measure(label, Unit::Mbps, || {
+            let mut cfg = MachineConfig::decstation_5000_200();
+            cfg.phys_mem = 24 << 20;
+            let mut s = LoopbackStack::new(cfg, LoopbackConfig::paper(three, cached));
+            s.throughput(64 << 10, 3).expect("loopback")
         });
     }
-    g.finish();
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

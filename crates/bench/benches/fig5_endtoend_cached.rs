@@ -1,29 +1,28 @@
-//! Criterion bench regenerating Figure 5 (end-to-end, cached/volatile).
+//! Bench target regenerating Figure 5 (end-to-end, cached/volatile),
+//! reporting **simulated** throughput in Mb/s per domain placement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf_bench::fig5;
 use fbuf_bench::report::print_curves;
 use fbuf_net::{DomainSetup, EndToEndConfig};
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::ToJson;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let curves = fig5::run(true, &fig5::default_sizes(), 3);
     print_curves(
         "Figure 5: UDP/IP end-to-end throughput, cached/volatile fbufs",
         &curves,
     );
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
+    let mut r = BenchRunner::new("fig5_endtoend_cached");
+    r.artifact("fig5_curves", curves.to_json());
     for (label, setup) in [
         ("kernel_kernel_1m", DomainSetup::KernelOnly),
         ("user_user_1m", DomainSetup::User),
         ("user_netserver_user_1m", DomainSetup::UserNetserver),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| fig5::throughput(EndToEndConfig::fig5(setup), 1 << 20, 3))
+        r.measure(label, Unit::Mbps, || {
+            fig5::throughput(EndToEndConfig::fig5(setup), 1 << 20, 3)
         });
     }
-    g.finish();
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

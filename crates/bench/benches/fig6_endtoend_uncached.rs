@@ -1,35 +1,49 @@
-//! Criterion bench regenerating Figure 6 (end-to-end, uncached/
-//! non-volatile) and the §4 CPU-load experiment.
+//! Bench target regenerating Figure 6 (end-to-end, uncached/
+//! non-volatile) and the §4 CPU-load experiment, reporting **simulated**
+//! Mb/s and receive-host CPU-load fractions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf_bench::report::print_curves;
 use fbuf_bench::{cpuload, fig5};
 use fbuf_net::{DomainSetup, EndToEndConfig};
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::ToJson;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let curves = fig5::run(false, &fig5::default_sizes(), 3);
     print_curves(
         "Figure 6: UDP/IP end-to-end throughput, uncached/non-volatile fbufs",
         &curves,
     );
+    let cpu_rows = cpuload::run();
     println!("\n== §4: receive-host CPU load, 1 MB messages (user-user) ==");
-    for r in cpuload::run() {
+    for row in &cpu_rows {
         println!(
             "{:<10} {:>6}KB PDU  load {:>4.0}%  {:>6.0} Mb/s",
-            r.regime,
-            r.pdu >> 10,
-            r.rx_cpu * 100.0,
-            r.throughput_mbps
+            row.regime,
+            row.pdu >> 10,
+            row.rx_cpu * 100.0,
+            row.throughput_mbps
         );
     }
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("user_user_uncached_1m", |b| {
-        b.iter(|| fig5::throughput(EndToEndConfig::fig6(DomainSetup::User), 1 << 20, 3))
+    let mut r = BenchRunner::new("fig6_endtoend_uncached");
+    r.artifact("fig6_curves", curves.to_json());
+    r.artifact("cpuload_rows", cpu_rows.to_json());
+    r.measure("user_user_uncached_1m", Unit::Mbps, || {
+        fig5::throughput(EndToEndConfig::fig6(DomainSetup::User), 1 << 20, 3)
     });
-    g.bench_function("cpuload_all_cells", |b| b.iter(cpuload::run));
-    g.finish();
+    r.measure("rx_cpu_cached_16k_pdu", Unit::Fraction, || {
+        cpuload::run()
+            .iter()
+            .find(|row| row.regime == "cached" && row.pdu == 16 << 10)
+            .expect("cell present")
+            .rx_cpu
+    });
+    r.measure("rx_cpu_uncached_16k_pdu", Unit::Fraction, || {
+        cpuload::run()
+            .iter()
+            .find(|row| row.regime == "uncached" && row.pdu == 16 << 10)
+            .expect("cell present")
+            .rx_cpu
+    });
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,39 +1,65 @@
-//! Criterion bench for the optimization-stack and policy ablations.
+//! Bench target for the optimization-stack and policy ablations,
+//! reporting **simulated** per-page cost and throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf_bench::ablations;
 use fbuf_bench::report::print_cost_rows;
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::{Json, ToJson};
 
-fn bench(c: &mut Criterion) {
-    print_cost_rows(
-        "Ablation: the §3.2 optimization stack, cumulatively",
-        &ablations::optimization_stack(),
-    );
+fn main() {
+    let stack = ablations::optimization_stack();
+    print_cost_rows("Ablation: the §3.2 optimization stack, cumulatively", &stack);
+    let lifo = ablations::lifo_vs_fifo(12);
     println!("\n== Ablation: LIFO vs FIFO under memory pressure ==");
-    for r in ablations::lifo_vs_fifo(12) {
+    for row in &lifo {
         println!(
             "{:<6} resident hits {:>3}, rematerializations {:>3}",
-            r.policy, r.resident_hits, r.rematerializations
+            row.policy, row.resident_hits, row.rematerializations
         );
     }
+    let paths = ablations::path_cache(&[8, 16, 24], 48);
     println!("\n== Ablation: driver VCI cache ==");
-    for r in ablations::path_cache(&[8, 16, 24], 48) {
+    for row in &paths {
         println!(
             "{:>2} VCIs: cached {:>4.0}%  {:>6.0} Mb/s",
-            r.active_vcis,
-            r.cached_fraction * 100.0,
-            r.throughput_mbps
+            row.active_vcis,
+            row.cached_fraction * 100.0,
+            row.throughput_mbps
         );
     }
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("optimization_stack", |b| {
-        b.iter(ablations::optimization_stack)
-    });
-    g.bench_function("lifo_vs_fifo", |b| b.iter(|| ablations::lifo_vs_fifo(12)));
-    g.bench_function("bus_contention", |b| b.iter(ablations::bus_contention));
-    g.finish();
-}
+    let bus = ablations::bus_contention();
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    let mut r = BenchRunner::new("optstack");
+    r.artifact("optimization_stack", stack.to_json());
+    r.artifact("lifo_vs_fifo", lifo.to_json());
+    r.artifact("path_cache", paths.to_json());
+    r.artifact(
+        "bus_contention",
+        Json::Arr(
+            bus.iter()
+                .map(|(label, mbps)| {
+                    Json::obj(vec![
+                        ("label", label.to_json()),
+                        ("throughput_mbps", mbps.to_json()),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    r.measure("base_remap_full_clearing", Unit::SimUs, || {
+        ablations::optimization_stack()[0].per_page_us
+    });
+    r.measure("full_design_cached_volatile", Unit::SimUs, || {
+        ablations::optimization_stack()
+            .last()
+            .expect("rows")
+            .per_page_us
+    });
+    r.measure("bus_contended_throughput", Unit::Mbps, || {
+        ablations::bus_contention()[0].1
+    });
+    r.measure("bus_uncontended_ceiling", Unit::Mbps, || {
+        ablations::bus_contention()[1].1
+    });
+    r.finish().expect("write bench report");
+}

@@ -1,28 +1,32 @@
-//! Criterion bench regenerating the §2.2.1 remap measurements.
+//! Bench target regenerating the §2.2.1 remap measurements, reporting
+//! **simulated** per-page cost (µs/page).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf_bench::remap;
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::ToJson;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let rows = remap::run();
     println!("\n== §2.2.1: DASH-style page remapping, re-measured ==");
-    for r in remap::run() {
+    for row in &rows {
         println!(
             "{:<12} cleared {:>4.0}%  {:>7.2} us/page",
-            r.mode,
-            r.clear_fraction * 100.0,
-            r.per_page_us
+            row.mode,
+            row.clear_fraction * 100.0,
+            row.per_page_us
         );
     }
-    let mut g = c.benchmark_group("remap");
-    g.bench_function("pingpong", |b| b.iter(|| remap::pingpong(8, 8)));
-    g.bench_function("streaming_no_clear", |b| {
-        b.iter(|| remap::streaming(0.0, 8, 8))
+    let mut r = BenchRunner::new("remap");
+    r.artifact("remap_rows", rows.to_json());
+    r.measure("pingpong", Unit::SimUs, || remap::pingpong(8, 8));
+    r.measure("streaming_no_clear", Unit::SimUs, || {
+        remap::streaming(0.0, 8, 8)
     });
-    g.bench_function("streaming_full_clear", |b| {
-        b.iter(|| remap::streaming(1.0, 8, 8))
+    r.measure("streaming_half_clear", Unit::SimUs, || {
+        remap::streaming(0.5, 8, 8)
     });
-    g.finish();
+    r.measure("streaming_full_clear", Unit::SimUs, || {
+        remap::streaming(1.0, 8, 8)
+    });
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

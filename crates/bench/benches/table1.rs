@@ -1,29 +1,32 @@
-//! Criterion bench regenerating Table 1.
-//!
-//! The simulated result (per-page costs, asymptotic throughput) is printed
-//! once at start; Criterion then measures the host-side cost of running
-//! the experiment.
+//! Bench target regenerating Table 1, reporting **simulated** per-page
+//! cost (µs/page) for each fbuf regime — directly comparable against the
+//! paper's table, unlike wall-clock timing of the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fbuf::SendMode;
 use fbuf_bench::report::print_cost_rows;
 use fbuf_bench::table1;
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::ToJson;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let rows = table1::run();
     print_cost_rows(
         "Table 1: incremental per-page costs and asymptotic throughput",
-        &table1::run(),
+        &rows,
     );
-    let mut g = c.benchmark_group("table1");
-    g.bench_function("cached_volatile_slope", |b| {
-        b.iter(|| table1::fbuf_slope(true, SendMode::Volatile))
+    let mut r = BenchRunner::new("table1");
+    r.artifact("table1_rows", rows.to_json());
+    r.measure("cached_volatile_slope", Unit::SimUs, || {
+        table1::fbuf_slope(true, SendMode::Volatile)
     });
-    g.bench_function("uncached_volatile_slope", |b| {
-        b.iter(|| table1::fbuf_slope(false, SendMode::Volatile))
+    r.measure("uncached_volatile_slope", Unit::SimUs, || {
+        table1::fbuf_slope(false, SendMode::Volatile)
     });
-    g.bench_function("all_rows", |b| b.iter(table1::run));
-    g.finish();
+    r.measure("cached_secured_slope", Unit::SimUs, || {
+        table1::fbuf_slope(true, SendMode::Secure)
+    });
+    r.measure("uncached_secured_slope", Unit::SimUs, || {
+        table1::fbuf_slope(false, SendMode::Secure)
+    });
+    r.finish().expect("write bench report");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -8,10 +8,9 @@
 use fbuf::{AllocMode, FbufSystem, ReusePolicy, SendMode};
 use fbuf_ipc::Rpc;
 use fbuf_net::{DomainSetup, EndToEnd, EndToEndConfig};
-use fbuf_sim::MachineConfig;
+use fbuf_sim::{Json, MachineConfig, ToJson};
 use fbuf_vm::facility::{RemapFacility, TransferMechanism};
 use fbuf_vm::{DomainId, Machine};
-use serde::Serialize;
 
 use crate::report::CostRow;
 use crate::table1;
@@ -82,7 +81,7 @@ pub fn optimization_stack() -> Vec<CostRow> {
 // ---------------------------------------------------------------------
 
 /// Result of the free-list-order ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LifoRow {
     /// `lifo` or `fifo`.
     pub policy: String,
@@ -91,6 +90,16 @@ pub struct LifoRow {
     /// Allocations that had to re-materialize reclaimed frames (each one
     /// pays allocation + clearing + mapping again).
     pub rematerializations: u64,
+}
+
+impl ToJson for LifoRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("policy", self.policy.to_json()),
+            ("resident_hits", self.resident_hits.to_json()),
+            ("rematerializations", self.rematerializations.to_json()),
+        ])
+    }
 }
 
 /// Runs a pool of parked fbufs under pageout pressure: each round
@@ -151,7 +160,7 @@ pub fn lifo_vs_fifo(rounds: usize) -> Vec<LifoRow> {
 // ---------------------------------------------------------------------
 
 /// Result of the VCI-cache ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PathCacheRow {
     /// Number of concurrently active VCIs.
     pub active_vcis: u32,
@@ -159,6 +168,16 @@ pub struct PathCacheRow {
     pub cached_fraction: f64,
     /// Achieved throughput in Mb/s.
     pub throughput_mbps: f64,
+}
+
+impl ToJson for PathCacheRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("active_vcis", self.active_vcis.to_json()),
+            ("cached_fraction", self.cached_fraction.to_json()),
+            ("throughput_mbps", self.throughput_mbps.to_json()),
+        ])
+    }
 }
 
 /// Sweeps the number of active VCIs across the driver's 16-entry cache.
@@ -193,7 +212,7 @@ pub fn path_cache(vcis: &[u32], messages: usize) -> Vec<PathCacheRow> {
 // ---------------------------------------------------------------------
 
 /// Result of the notice-threshold ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NoticeRow {
     /// Explicit-message threshold.
     pub threshold: usize,
@@ -201,6 +220,16 @@ pub struct NoticeRow {
     pub piggybacked: u64,
     /// Explicit messages that had to be sent.
     pub explicit: u64,
+}
+
+impl ToJson for NoticeRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("threshold", self.threshold.to_json()),
+            ("piggybacked", self.piggybacked.to_json()),
+            ("explicit", self.explicit.to_json()),
+        ])
+    }
 }
 
 /// Queues `frees` deallocation notices with an owner RPC every

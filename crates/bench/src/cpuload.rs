@@ -9,11 +9,10 @@
 //! used."
 
 use fbuf_net::{DomainSetup, EndToEnd, EndToEndConfig};
-use fbuf_sim::MachineConfig;
-use serde::Serialize;
+use fbuf_sim::{Json, MachineConfig, ToJson};
 
 /// One measurement row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CpuLoadRow {
     /// `cached` or `uncached`.
     pub regime: String,
@@ -23,6 +22,17 @@ pub struct CpuLoadRow {
     pub rx_cpu: f64,
     /// Achieved throughput in Mb/s.
     pub throughput_mbps: f64,
+}
+
+impl ToJson for CpuLoadRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("regime", self.regime.to_json()),
+            ("pdu", self.pdu.to_json()),
+            ("rx_cpu", self.rx_cpu.to_json()),
+            ("throughput_mbps", self.throughput_mbps.to_json()),
+        ])
+    }
 }
 
 fn machine() -> MachineConfig {

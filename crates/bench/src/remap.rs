@@ -7,13 +7,12 @@
 //! buffers, depending on what percentage of each page needed to be
 //! cleared."
 
-use fbuf_sim::MachineConfig;
+use fbuf_sim::{Json, MachineConfig, ToJson};
 use fbuf_vm::facility::{RemapFacility, TransferMechanism};
 use fbuf_vm::Machine;
-use serde::Serialize;
 
 /// One remap measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RemapRow {
     /// Measurement name.
     pub mode: String,
@@ -21,6 +20,16 @@ pub struct RemapRow {
     pub clear_fraction: f64,
     /// Per-page cost in microseconds.
     pub per_page_us: f64,
+}
+
+impl ToJson for RemapRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("clear_fraction", self.clear_fraction.to_json()),
+            ("per_page_us", self.per_page_us.to_json()),
+        ])
+    }
 }
 
 fn machine() -> Machine {

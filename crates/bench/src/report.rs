@@ -1,9 +1,10 @@
-//! Row formats shared by the `repro` binary and the benches.
+//! Row formats shared by the `repro` binary and the benches, with their
+//! JSON encodings for the `BENCH_*.json` reports.
 
-use serde::Serialize;
+use fbuf_sim::{Json, ToJson};
 
 /// One mechanism row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostRow {
     /// Mechanism name as the paper labels it.
     pub mechanism: String,
@@ -25,8 +26,18 @@ impl CostRow {
     }
 }
 
+impl ToJson for CostRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mechanism", self.mechanism.to_json()),
+            ("per_page_us", self.per_page_us.to_json()),
+            ("mbps", self.mbps.to_json()),
+        ])
+    }
+}
+
 /// One point of a throughput-vs-size curve.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CurvePoint {
     /// Message size in bytes.
     pub size: u64,
@@ -35,12 +46,30 @@ pub struct CurvePoint {
 }
 
 /// A named curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Curve {
     /// Legend label.
     pub label: String,
     /// The series.
     pub points: Vec<CurvePoint>,
+}
+
+impl ToJson for CurvePoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("size", self.size.to_json()),
+            ("mbps", self.mbps.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Curve {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
 }
 
 /// Prints a set of curves as an aligned text table (sizes down, curves
@@ -96,6 +125,28 @@ mod tests {
     fn cost_row_derives_throughput() {
         let r = CostRow::new("x", 3.0);
         assert!((r.mbps - 10_922.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rows_encode_to_json_and_back() {
+        let row = CostRow::new("fbufs, cached/volatile", 3.0);
+        let doc = Json::parse(&row.to_json().render()).unwrap();
+        assert_eq!(
+            doc.get("mechanism").unwrap().as_str(),
+            Some("fbufs, cached/volatile")
+        );
+        assert_eq!(doc.get("per_page_us").unwrap().as_f64(), Some(3.0));
+        let curve = Curve {
+            label: "user-user".to_string(),
+            points: vec![CurvePoint {
+                size: 4096,
+                mbps: 284.7,
+            }],
+        };
+        let doc = Json::parse(&curve.to_json().render()).unwrap();
+        let pt = &doc.get("points").unwrap().as_arr().unwrap()[0];
+        assert_eq!(pt.get("size").unwrap().as_f64(), Some(4096.0));
+        assert_eq!(pt.get("mbps").unwrap().as_f64(), Some(284.7));
     }
 
     #[test]

@@ -1,20 +1,17 @@
 //! Trace-driven workloads: mixed message sizes and multi-flow traffic.
 //!
 //! The paper's figures sweep one size at a time; a real server sees a mix.
-//! This module generates reproducible traces (seeded `rand`) modelling the
+//! This module generates reproducible traces (seeded `fbuf_sim::Rng`) modelling the
 //! applications the paper motivates — bulk transfers with interleaved
 //! small control messages across several connections — and replays them
 //! through the end-to-end harness, comparing the buffer regimes under a
 //! realistic interleaving.
 
 use fbuf_net::{DomainSetup, EndToEnd, EndToEndConfig};
-use fbuf_sim::MachineConfig;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::Serialize;
+use fbuf_sim::{Json, MachineConfig, Rng, ToJson};
 
 /// One message of a trace.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TraceEntry {
     /// Message size in bytes.
     pub size: u64,
@@ -23,7 +20,7 @@ pub struct TraceEntry {
 }
 
 /// A reproducible mixed workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// Seed used.
     pub seed: u64,
@@ -37,20 +34,20 @@ impl Trace {
     /// log-uniform within each class.
     pub fn generate(seed: u64, n: usize, flows: u32) -> Trace {
         assert!(flows > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let entries = (0..n)
             .map(|_| {
-                let bulk = rng.random_bool(0.2);
+                let bulk = rng.chance(0.2);
                 let (lo, hi) = if bulk {
-                    (16u32, 19u32) // 2^16 .. 2^19
+                    (16u64, 19u64) // 2^16 .. 2^19
                 } else {
-                    (8u32, 12u32) // 2^8 .. 2^12
+                    (8u64, 12u64) // 2^8 .. 2^12
                 };
-                let exp = rng.random_range(lo..=hi);
-                let size = (1u64 << exp) + rng.random_range(0..(1u64 << exp));
+                let exp = rng.range(lo, hi + 1);
+                let size = (1u64 << exp) + rng.below(1u64 << exp);
                 TraceEntry {
                     size: size.min(1 << 19),
-                    vci: rng.random_range(0..flows),
+                    vci: rng.below(flows as u64) as u32,
                 }
             })
             .collect();
@@ -63,8 +60,38 @@ impl Trace {
     }
 }
 
+impl ToJson for TraceEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("size", self.size.to_json()),
+            ("vci", self.vci.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("entries", self.entries.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TraceReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("regime", self.regime.to_json()),
+            ("messages", self.messages.to_json()),
+            ("bytes", self.bytes.to_json()),
+            ("throughput_mbps", self.throughput_mbps.to_json()),
+            ("rx_cpu", self.rx_cpu.to_json()),
+        ])
+    }
+}
+
 /// Result of replaying a trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceReport {
     /// `cached` or `uncached`.
     pub regime: String,

@@ -1091,8 +1091,9 @@ mod tests {
         // b forwards to c, which does access the body.
         s.send(id, b, c, SendMode::Volatile).unwrap();
         assert_eq!(s.read_fbuf(c, id, 0, 4).unwrap(), b"body");
-        // If b decides it needs access after all, lazy mapping works.
-        assert!(s.read_fbuf(b, id, 0, 4).is_err() || true);
+        // If b decides it needs access after all, lazy mapping works
+        // (reading before ensure_mapped may or may not fault).
+        let _ = s.read_fbuf(b, id, 0, 4);
         s.ensure_mapped(id, b).unwrap();
         assert_eq!(s.read_fbuf(b, id, 0, 4).unwrap(), b"body");
         // All three must free.

@@ -1,0 +1,257 @@
+//! An in-repo bench runner reporting **simulated** time (a `criterion`
+//! replacement).
+//!
+//! Criterion measures host wall-clock, which for this workspace answers the
+//! wrong question: the system under test is a *simulator*, so wall-clock
+//! numbers measure the simulator's implementation, not the mechanisms the
+//! paper evaluates. Every scenario here instead returns a sample in the
+//! simulator's calibrated timebase — microseconds of simulated machine time,
+//! Mb/s of simulated throughput, or a CPU-load fraction — which is directly
+//! comparable against the paper's Tables 1–2 and Figures 3–6.
+//!
+//! Each bench target builds a [`BenchRunner`], records scenarios with
+//! [`BenchRunner::measure`], attaches the regenerated paper artifact (rows,
+//! curves) with [`BenchRunner::artifact`], and calls
+//! [`BenchRunner::finish`], which prints a summary table (median, p10, p90
+//! over the iterations) and writes `BENCH_<name>.json`.
+//!
+//! Environment knobs:
+//!
+//! * `FBUF_BENCH_ITERS` — iterations per scenario (default 5);
+//! * `FBUF_BENCH_DIR` — report directory (default `target/bench-reports`).
+//!
+//! # Examples
+//!
+//! ```
+//! use fbuf_sim::bench::{summarize, BenchRunner, Unit};
+//!
+//! let s = summarize(&[3.0, 1.0, 2.0]);
+//! assert_eq!((s.median, s.p10, s.p90), (2.0, 1.0, 3.0));
+//!
+//! let mut runner = BenchRunner::named("doctest", 3);
+//! runner.measure("constant_cost", Unit::SimUs, || 21.0);
+//! let report = runner.report();
+//! let row = report.get("results").unwrap().as_arr().unwrap();
+//! assert_eq!(row[0].get("median").unwrap().as_f64(), Some(21.0));
+//! ```
+
+use std::path::PathBuf;
+
+use crate::json::{Json, ToJson};
+
+/// The timebase of a scenario's samples. All units are *simulated*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Microseconds of simulated machine time (per page, per op, …).
+    SimUs,
+    /// Simulated throughput in megabits per second.
+    Mbps,
+    /// A dimensionless fraction (e.g. CPU load), 0–1.
+    Fraction,
+}
+
+impl Unit {
+    /// Stable label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::SimUs => "sim_us",
+            Unit::Mbps => "mbps",
+            Unit::Fraction => "fraction",
+        }
+    }
+}
+
+/// Order statistics over a scenario's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    pub n: usize,
+    pub median: f64,
+    pub p10: f64,
+    pub p90: f64,
+}
+
+/// Computes nearest-rank median/p10/p90. Panics on an empty slice.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "summarize of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = |p: f64| sorted[(p * (sorted.len() - 1) as f64).round() as usize];
+    Summary {
+        n: sorted.len(),
+        median: rank(0.5),
+        p10: rank(0.1),
+        p90: rank(0.9),
+    }
+}
+
+struct Scenario {
+    label: String,
+    unit: Unit,
+    samples: Vec<f64>,
+}
+
+/// Collects simulated-time measurements for one bench target and emits the
+/// `BENCH_<name>.json` report. See the [module docs](self).
+pub struct BenchRunner {
+    name: String,
+    iters: usize,
+    scenarios: Vec<Scenario>,
+    artifacts: Vec<(String, Json)>,
+}
+
+impl BenchRunner {
+    /// Creates a runner for the bench target `name`, reading
+    /// `FBUF_BENCH_ITERS` (default 5) for the per-scenario iteration count.
+    pub fn new(name: &str) -> BenchRunner {
+        let iters = std::env::var("FBUF_BENCH_ITERS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(5);
+        BenchRunner::named(name, iters)
+    }
+
+    /// Creates a runner with an explicit iteration count (ignores the
+    /// environment; used by tests and doctests).
+    pub fn named(name: &str, iters: usize) -> BenchRunner {
+        BenchRunner {
+            name: name.to_string(),
+            iters,
+            scenarios: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Iterations each scenario runs.
+    pub fn iters(&self) -> usize {
+        self.iters
+    }
+
+    /// Runs `f` for this runner's iteration count, recording one simulated
+    /// sample per call under `label`.
+    pub fn measure(&mut self, label: &str, unit: Unit, mut f: impl FnMut() -> f64) {
+        let samples = (0..self.iters).map(|_| f()).collect();
+        self.scenarios.push(Scenario {
+            label: label.to_string(),
+            unit,
+            samples,
+        });
+    }
+
+    /// Attaches a regenerated paper artifact (table rows, figure curves) to
+    /// the JSON report under `artifacts.<key>`.
+    pub fn artifact(&mut self, key: &str, value: Json) {
+        self.artifacts.push((key.to_string(), value));
+    }
+
+    /// The full report as a JSON value (the exact document `finish` writes).
+    pub fn report(&self) -> Json {
+        let results: Vec<Json> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let sum = summarize(&s.samples);
+                Json::obj(vec![
+                    ("label", s.label.to_json()),
+                    ("unit", s.unit.label().to_json()),
+                    ("n", sum.n.to_json()),
+                    ("median", sum.median.to_json()),
+                    ("p10", sum.p10.to_json()),
+                    ("p90", sum.p90.to_json()),
+                    ("samples", s.samples.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("bench", self.name.to_json()),
+            ("timebase", "simulated".to_json()),
+            ("iters", self.iters.to_json()),
+            ("results", Json::Arr(results)),
+            (
+                "artifacts",
+                Json::Obj(self.artifacts.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Prints the summary table, writes `BENCH_<name>.json` into
+    /// `FBUF_BENCH_DIR` (default `target/bench-reports`), and returns the
+    /// report path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        println!("\n== bench {} (simulated time) ==", self.name);
+        println!(
+            "{:<36} {:>9} {:>12} {:>12} {:>12}",
+            "scenario", "unit", "median", "p10", "p90"
+        );
+        for s in &self.scenarios {
+            let sum = summarize(&s.samples);
+            println!(
+                "{:<36} {:>9} {:>12.2} {:>12.2} {:>12.2}",
+                s.label,
+                s.unit.label(),
+                sum.median,
+                sum.p10,
+                sum.p90
+            );
+        }
+        let dir = std::env::var("FBUF_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/bench-reports"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.report().render())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_order_statistics() {
+        let s = summarize(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p10, 1.0);
+        assert_eq!(s.p90, 5.0);
+        let one = summarize(&[7.5]);
+        assert_eq!((one.median, one.p10, one.p90), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn report_schema_has_expected_fields() {
+        let mut r = BenchRunner::named("schema_check", 4);
+        let mut x = 0.0;
+        r.measure("ramp", Unit::Mbps, || {
+            x += 10.0;
+            x
+        });
+        r.artifact("rows", Json::Arr(vec![Json::obj(vec![("a", 1u64.to_json())])]));
+        let doc = r.report();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("schema_check"));
+        assert_eq!(doc.get("timebase").unwrap().as_str(), Some("simulated"));
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        let row = &results[0];
+        assert_eq!(row.get("label").unwrap().as_str(), Some("ramp"));
+        assert_eq!(row.get("unit").unwrap().as_str(), Some("mbps"));
+        assert_eq!(row.get("n").unwrap().as_f64(), Some(4.0));
+        assert_eq!(row.get("median").unwrap().as_f64(), Some(30.0));
+        assert_eq!(row.get("p10").unwrap().as_f64(), Some(10.0));
+        assert_eq!(row.get("p90").unwrap().as_f64(), Some(40.0));
+        assert!(doc.get("artifacts").unwrap().get("rows").is_some());
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let mut r = BenchRunner::named("roundtrip", 2);
+        r.measure("slope", Unit::SimUs, || 21.0);
+        let text = r.report().render();
+        let back = Json::parse(&text).unwrap();
+        let row = &back.get("results").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("median").unwrap().as_f64(), Some(21.0));
+        assert_eq!(row.get("unit").unwrap().as_str(), Some("sim_us"));
+    }
+}

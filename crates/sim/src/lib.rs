@@ -22,14 +22,33 @@
 //! * [`Stats`] — operation counters that tests assert on, pinning the
 //!   *mechanism* (which operations happen) independently of the timing.
 //!
+//! It also holds the workspace's zero-dependency tooling substrate, so the
+//! whole repository builds offline from path crates alone:
+//!
+//! * [`Rng`] — deterministic SplitMix64 pseudo-random numbers (replaces
+//!   `rand` for trace generation and test-case shaping).
+//! * [`Checker`] — a seeded, replayable property-test harness (replaces
+//!   `proptest`).
+//! * [`json`] — a minimal JSON value/writer/parser (replaces `serde` for
+//!   the bench reports).
+//! * [`bench`] — a bench runner that reports the simulator's **calibrated
+//!   simulated time** instead of host wall-clock (replaces `criterion`).
+//!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
+pub mod bench;
+pub mod check;
 pub mod config;
 pub mod costs;
+pub mod json;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use check::Checker;
 pub use config::MachineConfig;
 pub use costs::CostModel;
+pub use json::{Json, ToJson};
+pub use rng::Rng;
 pub use stats::{Counter, Stats};
 pub use time::{Clock, CostCategory, Ns};

@@ -1,21 +1,23 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! driven by the in-repo harness (`fbuf_sim::Checker`): each property
+//! generates its inputs from a seeded `Rng` and runs for at least the case
+//! count the old proptest suite used (64); failures print a replayable
+//! seed.
 
 use fbufs::fbuf::{AllocMode, FbufId, FbufSystem, SendMode};
 use fbufs::net::ip;
-use fbufs::sim::MachineConfig;
+use fbufs::sim::{Checker, MachineConfig, Rng};
 use fbufs::xkernel::{Extent, Msg};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Arbitrary extent lists (bounded fbuf ids/offsets/lengths).
-fn arb_extents() -> impl Strategy<Value = Vec<Extent>> {
-    prop::collection::vec(
-        (0u64..8, 0u64..10_000, 1u64..5_000).prop_map(|(f, off, len)| Extent {
-            fbuf: FbufId(f),
-            off,
-            len,
-        }),
-        0..12,
-    )
+fn arb_extents(rng: &mut Rng) -> Vec<Extent> {
+    rng.vec_with(0, 12, |r| Extent {
+        fbuf: FbufId(r.below(8)),
+        off: r.below(10_000),
+        len: r.range(1, 5_000),
+    })
 }
 
 /// The logical byte positions a message covers: (fbuf, byte) pairs in
@@ -30,161 +32,188 @@ fn logical_bytes(msg: &Msg) -> Vec<(u64, u64)> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn split_preserves_every_byte() {
+    Checker::new("split_preserves_every_byte")
+        .cases(CASES)
+        .run(|rng| {
+            let extents = arb_extents(rng);
+            let at = rng.below(70_000);
+            let msg = Msg::from_extents(extents);
+            let (head, tail) = msg.split(at);
+            let mut combined = logical_bytes(&head);
+            combined.extend(logical_bytes(&tail));
+            assert_eq!(combined, logical_bytes(&msg));
+            assert_eq!(head.len(), at.min(msg.len()));
+        });
+}
 
-    #[test]
-    fn split_preserves_every_byte(extents in arb_extents(), at in 0u64..70_000) {
-        let msg = Msg::from_extents(extents);
-        let (head, tail) = msg.split(at);
-        let mut combined = logical_bytes(&head);
-        combined.extend(logical_bytes(&tail));
-        prop_assert_eq!(combined, logical_bytes(&msg));
-        prop_assert_eq!(head.len(), at.min(msg.len()));
-    }
-
-    #[test]
-    fn pop_then_prepend_is_identity(extents in arb_extents(), n in 0u64..5_000) {
-        let msg = Msg::from_extents(extents);
-        let mut rest = msg.clone();
-        if let Some(head) = rest.pop(n) {
-            let rejoined = head.concat(&rest);
-            prop_assert_eq!(logical_bytes(&rejoined), logical_bytes(&msg));
-        } else {
-            prop_assert!(msg.len() < n);
-        }
-    }
-
-    #[test]
-    fn truncate_is_a_prefix(extents in arb_extents(), n in 0u64..70_000) {
-        let msg = Msg::from_extents(extents);
-        let mut t = msg.clone();
-        t.truncate(n);
-        let full = logical_bytes(&msg);
-        prop_assert_eq!(logical_bytes(&t), full[..t.len() as usize].to_vec());
-    }
-
-    #[test]
-    fn fragmentation_reassembly_roundtrip(
-        extents in arb_extents(),
-        pdu in 1u64..9_000,
-        seed in 0u64..u64::MAX,
-    ) {
-        let msg = Msg::from_extents(extents);
-        let frags = ip::fragment(&msg, 1, pdu);
-        // Every fragment respects the PDU bound.
-        for (h, body) in &frags {
-            prop_assert!(body.len() <= pdu);
-            prop_assert_eq!(h.total_len, msg.len());
-        }
-        // Reassemble in a shuffled order.
-        let mut order: Vec<usize> = (0..frags.len()).collect();
-        let mut s = seed;
-        for i in (1..order.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            order.swap(i, (s >> 33) as usize % (i + 1));
-        }
-        let mut r = ip::Reassembler::new(0);
-        let mut done = None;
-        for (k, &i) in order.iter().enumerate() {
-            let out = r.add(frags[i].0, frags[i].1.clone());
-            if k + 1 < order.len() {
-                prop_assert!(out.is_none(), "completed early");
+#[test]
+fn pop_then_prepend_is_identity() {
+    Checker::new("pop_then_prepend_is_identity")
+        .cases(CASES)
+        .run(|rng| {
+            let extents = arb_extents(rng);
+            let n = rng.below(5_000);
+            let msg = Msg::from_extents(extents);
+            let mut rest = msg.clone();
+            if let Some(head) = rest.pop(n) {
+                let rejoined = head.concat(&rest);
+                assert_eq!(logical_bytes(&rejoined), logical_bytes(&msg));
             } else {
-                done = out;
+                assert!(msg.len() < n);
             }
-        }
-        if msg.is_empty() {
-            prop_assert!(frags.is_empty());
-        } else {
-            let done = done.expect("reassembly completes on the last fragment");
-            prop_assert_eq!(logical_bytes(&done), logical_bytes(&msg));
-        }
-    }
+        });
+}
 
-    #[test]
-    fn allocator_never_overlaps_live_buffers(
-        ops in prop::collection::vec((0u64..3, 1u64..40_000), 1..40),
-    ) {
-        // Random interleaving of allocs (in three domains) and frees; no
-        // two live fbufs may ever overlap in the shared virtual region.
-        let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
-        let doms = [fbs.create_domain(), fbs.create_domain(), fbs.create_domain()];
-        let mut live: Vec<(u64, u64, FbufId, usize)> = Vec::new();
-        let page = fbs.machine().page_size();
-        for (which, len) in ops {
-            let d = which as usize;
-            // Free one of this domain's buffers every other step.
-            if live.len() % 2 == 1 {
-                if let Some(pos) = live.iter().position(|&(_, _, _, owner)| owner == d) {
-                    let (_, _, id, _) = live.remove(pos);
-                    fbs.free(id, doms[d]).unwrap();
+#[test]
+fn truncate_is_a_prefix() {
+    Checker::new("truncate_is_a_prefix")
+        .cases(CASES)
+        .run(|rng| {
+            let extents = arb_extents(rng);
+            let n = rng.below(70_000);
+            let msg = Msg::from_extents(extents);
+            let mut t = msg.clone();
+            t.truncate(n);
+            let full = logical_bytes(&msg);
+            assert_eq!(logical_bytes(&t), full[..t.len() as usize].to_vec());
+        });
+}
+
+#[test]
+fn fragmentation_reassembly_roundtrip() {
+    Checker::new("fragmentation_reassembly_roundtrip")
+        .cases(CASES)
+        .run(|rng| {
+            let extents = arb_extents(rng);
+            let pdu = rng.range(1, 9_000);
+            let msg = Msg::from_extents(extents);
+            let frags = ip::fragment(&msg, 1, pdu);
+            // Every fragment respects the PDU bound.
+            for (h, body) in &frags {
+                assert!(body.len() <= pdu);
+                assert_eq!(h.total_len, msg.len());
+            }
+            // Reassemble in a shuffled order.
+            let mut order: Vec<usize> = (0..frags.len()).collect();
+            rng.shuffle(&mut order);
+            let mut r = ip::Reassembler::new(0);
+            let mut done = None;
+            for (k, &i) in order.iter().enumerate() {
+                let out = r.add(frags[i].0, frags[i].1.clone());
+                if k + 1 < order.len() {
+                    assert!(out.is_none(), "completed early");
+                } else {
+                    done = out;
                 }
             }
-            // Quota/region exhaustion is an acceptable outcome; overlap
-            // of live buffers never is.
-            if let Ok(id) = fbs.alloc(doms[d], AllocMode::Uncached, len) {
-                let f = fbs.fbuf(id).unwrap();
-                let (start, end) = (f.va, f.va + f.pages * page);
-                prop_assert_eq!(start % page, 0, "page aligned");
-                for &(s, e, _, _) in &live {
-                    prop_assert!(end <= s || start >= e,
-                        "overlap: [{start:#x},{end:#x}) vs [{s:#x},{e:#x})");
-                }
-                live.push((start, end, id, d));
+            if msg.is_empty() {
+                assert!(frags.is_empty());
+            } else {
+                let done = done.expect("reassembly completes on the last fragment");
+                assert_eq!(logical_bytes(&done), logical_bytes(&msg));
             }
-        }
-    }
+        });
+}
 
-    #[test]
-    fn no_writable_mapping_of_secured_pages_outside_originator(
-        pages in 1u64..6,
-        receivers in 1usize..3,
-    ) {
-        let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
-        let origin = fbs.create_domain();
-        let doms: Vec<_> = (0..receivers).map(|_| fbs.create_domain()).collect();
-        let page = fbs.machine().page_size();
-        let id = fbs.alloc(origin, AllocMode::Uncached, pages * page).unwrap();
-        fbs.write_fbuf(origin, id, 0, &[1u8]).unwrap();
-        let mut prev = origin;
-        for &d in &doms {
-            fbs.send(id, prev, d, SendMode::Secure).unwrap();
-            prev = d;
-        }
-        let va = fbs.fbuf(id).unwrap().va;
-        // Invariant: nobody, including the originator, can write any page.
-        for i in 0..pages {
-            prop_assert!(fbs.write_fbuf(origin, id, i * page, &[0]).is_err());
+#[test]
+fn allocator_never_overlaps_live_buffers() {
+    Checker::new("allocator_never_overlaps_live_buffers")
+        .cases(CASES)
+        .run(|rng| {
+            // Random interleaving of allocs (in three domains) and frees; no
+            // two live fbufs may ever overlap in the shared virtual region.
+            let ops = rng.vec_with(1, 40, |r| (r.below(3), r.range(1, 40_000)));
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            let doms = [fbs.create_domain(), fbs.create_domain(), fbs.create_domain()];
+            let mut live: Vec<(u64, u64, FbufId, usize)> = Vec::new();
+            let page = fbs.machine().page_size();
+            for (which, len) in ops {
+                let d = which as usize;
+                // Free one of this domain's buffers every other step.
+                if live.len() % 2 == 1 {
+                    if let Some(pos) = live.iter().position(|&(_, _, _, owner)| owner == d) {
+                        let (_, _, id, _) = live.remove(pos);
+                        fbs.free(id, doms[d]).unwrap();
+                    }
+                }
+                // Quota/region exhaustion is an acceptable outcome; overlap
+                // of live buffers never is.
+                if let Ok(id) = fbs.alloc(doms[d], AllocMode::Uncached, len) {
+                    let f = fbs.fbuf(id).unwrap();
+                    let (start, end) = (f.va, f.va + f.pages * page);
+                    assert_eq!(start % page, 0, "page aligned");
+                    for &(s, e, _, _) in &live {
+                        assert!(
+                            end <= s || start >= e,
+                            "overlap: [{start:#x},{end:#x}) vs [{s:#x},{e:#x})"
+                        );
+                    }
+                    live.push((start, end, id, d));
+                }
+            }
+        });
+}
+
+#[test]
+fn no_writable_mapping_of_secured_pages_outside_originator() {
+    Checker::new("no_writable_mapping_of_secured_pages_outside_originator")
+        .cases(CASES)
+        .run(|rng| {
+            let pages = rng.range(1, 6);
+            let receivers = rng.range(1, 3) as usize;
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            let origin = fbs.create_domain();
+            let doms: Vec<_> = (0..receivers).map(|_| fbs.create_domain()).collect();
+            let page = fbs.machine().page_size();
+            let id = fbs.alloc(origin, AllocMode::Uncached, pages * page).unwrap();
+            fbs.write_fbuf(origin, id, 0, &[1u8]).unwrap();
+            let mut prev = origin;
             for &d in &doms {
-                prop_assert!(fbs.write_fbuf(d, id, i * page, &[0]).is_err());
-                // But everyone can read.
-                prop_assert!(fbs.read_fbuf(d, id, i * page, 1).is_ok());
+                fbs.send(id, prev, d, SendMode::Secure).unwrap();
+                prev = d;
             }
-        }
-        let _ = va;
-    }
+            // Invariant: nobody, including the originator, can write any
+            // page; everyone can read.
+            for i in 0..pages {
+                assert!(fbs.write_fbuf(origin, id, i * page, &[0]).is_err());
+                for &d in &doms {
+                    assert!(fbs.write_fbuf(d, id, i * page, &[0]).is_err());
+                    assert!(fbs.read_fbuf(d, id, i * page, 1).is_ok());
+                }
+            }
+        });
+}
 
-    #[test]
-    fn cached_reuse_returns_zero_pte_steady_state(pages in 1u64..4, cycles in 2usize..6) {
-        let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
-        fbs.charge_clearing = false;
-        let a = fbs.create_domain();
-        let b = fbs.create_domain();
-        let path = fbs.create_path(vec![a, b]).unwrap();
-        let len = pages * fbs.machine().page_size();
-        let cycle = |fbs: &mut FbufSystem| {
-            let id = fbs.alloc(a, AllocMode::Cached(path), len).unwrap();
-            fbs.send(id, a, b, SendMode::Volatile).unwrap();
-            fbs.free(id, b).unwrap();
-            fbs.free(id, a).unwrap();
-        };
-        cycle(&mut fbs);
-        let ptes = fbs.stats().pte_updates();
-        for _ in 0..cycles {
+#[test]
+fn cached_reuse_returns_zero_pte_steady_state() {
+    Checker::new("cached_reuse_returns_zero_pte_steady_state")
+        .cases(CASES)
+        .run(|rng| {
+            let pages = rng.range(1, 4);
+            let cycles = rng.range(2, 6) as usize;
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            fbs.charge_clearing = false;
+            let a = fbs.create_domain();
+            let b = fbs.create_domain();
+            let path = fbs.create_path(vec![a, b]).unwrap();
+            let len = pages * fbs.machine().page_size();
+            let cycle = |fbs: &mut FbufSystem| {
+                let id = fbs.alloc(a, AllocMode::Cached(path), len).unwrap();
+                fbs.send(id, a, b, SendMode::Volatile).unwrap();
+                fbs.free(id, b).unwrap();
+                fbs.free(id, a).unwrap();
+            };
             cycle(&mut fbs);
-        }
-        prop_assert_eq!(fbs.stats().pte_updates(), ptes,
-            "steady-state cached/volatile transfers must do no mapping work");
-    }
+            let ptes = fbs.stats().pte_updates();
+            for _ in 0..cycles {
+                cycle(&mut fbs);
+            }
+            assert_eq!(
+                fbs.stats().pte_updates(),
+                ptes,
+                "steady-state cached/volatile transfers must do no mapping work"
+            );
+        });
 }
