@@ -14,4 +14,11 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+# Trace smoke test: a tiny traced loopback run must audit clean and
+# write a Chrome trace that round-trips through the in-repo JSON parser
+# (fbuf-trace exits nonzero on either failure).
+FBUF_TRACE_MSGS=4 FBUF_TRACE_SIZE=8192 FBUF_BENCH_DIR=target/bench-reports \
+    cargo run --release -q -p fbuf-bench --bin fbuf-trace
+test -s target/bench-reports/TRACE_loopback.json
+
 echo "ci: ok"

@@ -97,5 +97,19 @@ fn main() {
         integrated::traverse(&mut fbs, dom, node, TraverseLimits::default()).expect("traverse");
         (fbs.machine().clock().now() - t0).as_us_f64()
     });
+    // Observability blocks: a traced build+traverse, counters over the
+    // whole run (DagVisit-heavy) and alloc service latency of the node
+    // allocations.
+    {
+        let (mut fbs, dom, node) = build_dag();
+        let tracer = fbs.machine().tracer();
+        tracer.set_enabled(true);
+        let mark = fbs.stats().snapshot();
+        integrated::traverse(&mut fbs, dom, node, TraverseLimits::default()).expect("traverse");
+        r.counters(&fbs.stats().snapshot().delta(&mark));
+        let extra = fbs.alloc(dom, AllocMode::Uncached, 4096).expect("alloc");
+        fbs.free(extra, dom).expect("free");
+        r.latency("alloc_uncached_4k", &tracer.merged_alloc_latency());
+    }
     r.finish().expect("write bench report");
 }

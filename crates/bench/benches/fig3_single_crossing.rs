@@ -2,8 +2,8 @@
 //! reporting **simulated** throughput in Mb/s.
 
 use fbuf::SendMode;
-use fbuf_bench::fig3;
 use fbuf_bench::report::print_curves;
+use fbuf_bench::{fig3, observe};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::ToJson;
 
@@ -24,5 +24,11 @@ fn main() {
     r.measure("mach_native_64k", Unit::Mbps, || {
         fig3::mach_throughput(64 << 10, 3)
     });
+    for (label, cached) in [("cached", true), ("uncached", false)] {
+        let obs = observe::crossing(cached, SendMode::Volatile, 64 << 10, 4);
+        r.counters(&obs.counters);
+        r.latency(&format!("alloc_{label}_volatile_64k"), &obs.alloc);
+        r.latency(&format!("transfer_{label}_volatile_64k"), &obs.transfer);
+    }
     r.finish().expect("write bench report");
 }

@@ -1,8 +1,8 @@
 //! Bench target regenerating Figure 4 (UDP/IP local loopback),
 //! reporting **simulated** throughput in Mb/s.
 
-use fbuf_bench::fig4;
 use fbuf_bench::report::print_curves;
+use fbuf_bench::{fig4, observe};
 use fbuf_net::{LoopbackConfig, LoopbackStack};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::{MachineConfig, ToJson};
@@ -27,5 +27,9 @@ fn main() {
             s.throughput(64 << 10, 3).expect("loopback")
         });
     }
+    let obs = observe::loopback(LoopbackConfig::paper(true, true), 64 << 10, 8);
+    r.counters(&obs.counters);
+    r.latency("alloc_three_domains_cached_64k", &obs.alloc);
+    r.latency("transfer_three_domains_cached_64k", &obs.transfer);
     r.finish().expect("write bench report");
 }

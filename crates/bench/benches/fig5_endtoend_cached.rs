@@ -1,8 +1,8 @@
 //! Bench target regenerating Figure 5 (end-to-end, cached/volatile),
 //! reporting **simulated** throughput in Mb/s per domain placement.
 
-use fbuf_bench::fig5;
 use fbuf_bench::report::print_curves;
+use fbuf_bench::{fig5, observe};
 use fbuf_net::{DomainSetup, EndToEndConfig};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::ToJson;
@@ -24,5 +24,13 @@ fn main() {
             fig5::throughput(EndToEndConfig::fig5(setup), 1 << 20, 3)
         });
     }
+    let obs = observe::endtoend(
+        EndToEndConfig::fig5(DomainSetup::UserNetserver),
+        256 << 10,
+        4,
+    );
+    r.counters(&obs.counters);
+    r.latency("alloc_user_netserver_user_256k", &obs.alloc);
+    r.latency("transfer_user_netserver_user_256k", &obs.transfer);
     r.finish().expect("write bench report");
 }

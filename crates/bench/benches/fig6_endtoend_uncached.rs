@@ -3,7 +3,7 @@
 //! Mb/s and receive-host CPU-load fractions.
 
 use fbuf_bench::report::print_curves;
-use fbuf_bench::{cpuload, fig5};
+use fbuf_bench::{cpuload, fig5, observe};
 use fbuf_net::{DomainSetup, EndToEndConfig};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::ToJson;
@@ -45,5 +45,9 @@ fn main() {
             .expect("cell present")
             .rx_cpu
     });
+    let obs = observe::endtoend(EndToEndConfig::fig6(DomainSetup::User), 256 << 10, 4);
+    r.counters(&obs.counters);
+    r.latency("alloc_user_user_uncached_256k", &obs.alloc);
+    r.latency("transfer_user_user_uncached_256k", &obs.transfer);
     r.finish().expect("write bench report");
 }

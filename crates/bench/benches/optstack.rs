@@ -1,8 +1,9 @@
 //! Bench target for the optimization-stack and policy ablations,
 //! reporting **simulated** per-page cost and throughput.
 
-use fbuf_bench::ablations;
+use fbuf::SendMode;
 use fbuf_bench::report::print_cost_rows;
+use fbuf_bench::{ablations, observe};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::{Json, ToJson};
 
@@ -61,5 +62,14 @@ fn main() {
     r.measure("bus_uncontended_ceiling", Unit::Mbps, || {
         ablations::bus_contention()[1].1
     });
+    for (label, send) in [
+        ("volatile", SendMode::Volatile),
+        ("secured", SendMode::Secure),
+    ] {
+        let obs = observe::crossing(true, send, 64 << 10, 4);
+        r.counters(&obs.counters);
+        r.latency(&format!("alloc_cached_{label}_64k"), &obs.alloc);
+        r.latency(&format!("transfer_cached_{label}_64k"), &obs.transfer);
+    }
     r.finish().expect("write bench report");
 }

@@ -1,9 +1,10 @@
 //! Bench target regenerating the §2.2.1 remap measurements, reporting
 //! **simulated** per-page cost (µs/page).
 
-use fbuf_bench::remap;
+use fbuf_bench::{observe, remap};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::ToJson;
+use fbuf_vm::facility::RemapFacility;
 
 fn main() {
     let rows = remap::run();
@@ -28,5 +29,9 @@ fn main() {
     r.measure("streaming_full_clear", Unit::SimUs, || {
         remap::streaming(1.0, 8, 8)
     });
+    let obs = observe::facility(&mut RemapFacility::new(1.0), 8, 8);
+    r.counters(&obs.counters);
+    r.latency("alloc_remap_full_clear", &obs.alloc);
+    r.latency("transfer_remap_full_clear", &obs.transfer);
     r.finish().expect("write bench report");
 }

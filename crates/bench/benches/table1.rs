@@ -4,7 +4,7 @@
 
 use fbuf::SendMode;
 use fbuf_bench::report::print_cost_rows;
-use fbuf_bench::table1;
+use fbuf_bench::{observe, table1};
 use fbuf_sim::bench::{BenchRunner, Unit};
 use fbuf_sim::ToJson;
 
@@ -28,5 +28,9 @@ fn main() {
     r.measure("uncached_secured_slope", Unit::SimUs, || {
         table1::fbuf_slope(false, SendMode::Secure)
     });
+    let obs = observe::crossing(true, SendMode::Volatile, 64 << 10, 4);
+    r.counters(&obs.counters);
+    r.latency("alloc_cached_volatile_64k", &obs.alloc);
+    r.latency("transfer_cached_volatile_64k", &obs.transfer);
     r.finish().expect("write bench report");
 }

@@ -239,7 +239,7 @@ pub fn notice_thresholds(thresholds: &[usize], frees: u64, rpc_every: u64) -> Ve
         .iter()
         .map(|&threshold| {
             let m = Machine::new(machine_cfg());
-            let mut rpc = Rpc::new(m.clock(), m.stats(), m.costs().clone());
+            let mut rpc = Rpc::new(m.clock(), m.stats(), m.tracer(), m.costs().clone());
             rpc.set_notice_threshold(threshold);
             let owner = DomainId(1);
             let holder = DomainId(2);

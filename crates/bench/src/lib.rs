@@ -19,6 +19,7 @@ pub mod cpuload;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod observe;
 pub mod remap;
 pub mod report;
 pub mod table1;

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fbuf_ipc::Rpc;
-use fbuf_sim::{CostCategory, MachineConfig, Stats};
+use fbuf_sim::{CostCategory, EventKind, MachineConfig, Stats};
 use fbuf_vm::{DomainId, Machine, Prot};
 
 use crate::buffer::{Fbuf, FbufId, FbufState};
@@ -95,7 +95,12 @@ impl FbufSystem {
     pub fn new(cfg: MachineConfig) -> FbufSystem {
         let machine = Machine::new(cfg);
         let cfg = machine.config().clone();
-        let rpc = Rpc::new(machine.clock(), machine.stats(), cfg.costs.clone());
+        let rpc = Rpc::new(
+            machine.clock(),
+            machine.stats(),
+            machine.tracer(),
+            cfg.costs.clone(),
+        );
         let mut sys = FbufSystem {
             machine,
             rpc,
@@ -204,6 +209,7 @@ impl FbufSystem {
     /// is required, and the appropriate mappings already exist", §3.2.2).
     pub fn alloc(&mut self, dom: DomainId, mode: AllocMode, len: u64) -> FbufResult<FbufId> {
         self.check_domain(dom)?;
+        let t0 = self.machine.clock().now();
         let pages = self.machine.config().pages_for(len).max(1);
         match mode {
             AllocMode::Cached(path_id) => {
@@ -230,16 +236,28 @@ impl FbufSystem {
                     }
                 };
                 if let Some(id) = parked {
-                    return self.reuse_cached(id, dom, len);
+                    let id = self.reuse_cached(id, dom, len)?;
+                    let tr = self.machine.tracer();
+                    tr.instant(EventKind::CacheHit, dom.0, Some(path_id.0), Some(id.0));
+                    tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
+                    return Ok(id);
                 }
                 self.stats().inc_fbuf_cache_misses();
-                self.build(dom, Some(path_id), pages, len)
+                let id = self.build(dom, Some(path_id), pages, len)?;
+                let tr = self.machine.tracer();
+                tr.instant(EventKind::CacheMiss, dom.0, Some(path_id.0), Some(id.0));
+                tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
+                Ok(id)
             }
             AllocMode::Uncached => {
                 // The default allocator enters the kernel VM system.
                 self.machine
                     .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
-                self.build(dom, None, pages, len)
+                let id = self.build(dom, None, pages, len)?;
+                self.machine
+                    .tracer()
+                    .span(t0, EventKind::Alloc, dom.0, None, Some(id.0));
+                Ok(id)
             }
         }
     }
@@ -384,6 +402,7 @@ impl FbufSystem {
         mode: SendMode,
     ) -> FbufResult<()> {
         self.check_domain(to)?;
+        let t0 = self.machine.clock().now();
         {
             let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
             if !f.held_by(from) {
@@ -426,6 +445,15 @@ impl FbufSystem {
         if !f.holders.contains(&to) {
             f.holders.push(to);
         }
+        let path = f.path;
+        self.machine.tracer().span_peer(
+            t0,
+            EventKind::Transfer,
+            from.0,
+            Some(to.0),
+            path.map(|p| p.0),
+            Some(id.0),
+        );
         Ok(())
     }
 
@@ -450,6 +478,14 @@ impl FbufSystem {
         if !f.holders.contains(&to) {
             f.holders.push(to);
         }
+        let path = f.path;
+        self.machine.tracer().instant_peer(
+            EventKind::Transfer,
+            from.0,
+            to.0,
+            path.map(|p| p.0),
+            Some(id.0),
+        );
         Ok(())
     }
 
@@ -506,9 +542,9 @@ impl FbufSystem {
     }
 
     fn do_secure(&mut self, id: FbufId) -> FbufResult<()> {
-        let (originator, va, pages, state) = {
+        let (originator, va, pages, state, path) = {
             let f = self.fbufs.get(&id).expect("caller checked");
-            (f.originator, f.va, f.pages, f.state)
+            (f.originator, f.va, f.pages, f.state, f.path)
         };
         if state == FbufState::Secured || originator.is_kernel() {
             return Ok(());
@@ -519,6 +555,12 @@ impl FbufSystem {
                 .protect_page(originator, va + i * page_size, Prot::Read)?;
         }
         self.stats().inc_fbufs_secured();
+        self.machine.tracer().instant(
+            EventKind::Secure,
+            originator.0,
+            path.map(|p| p.0),
+            Some(id.0),
+        );
         self.fbufs.get_mut(&id).expect("caller checked").state = FbufState::Secured;
         Ok(())
     }
@@ -530,7 +572,7 @@ impl FbufSystem {
     /// Releases `dom`'s reference; the last release deallocates the buffer
     /// (parking it on its path's free list if cached).
     pub fn free(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
-        let (originator, now_empty) = {
+        let (originator, now_empty, path) = {
             let f = self.fbufs.get_mut(&id).ok_or(FbufError::NoSuchFbuf(id))?;
             let Some(pos) = f.holders.iter().position(|&d| d == dom) else {
                 return Err(FbufError::NotHolder {
@@ -539,8 +581,11 @@ impl FbufSystem {
                 });
             };
             f.holders.remove(pos);
-            (f.originator, f.holders.is_empty())
+            (f.originator, f.holders.is_empty(), f.path)
         };
+        self.machine
+            .tracer()
+            .instant(EventKind::Free, dom.0, path.map(|p| p.0), Some(id.0));
         if dom != originator {
             // An external reference was dropped: queue a deallocation
             // notice for the owner (it rides the next RPC reply, or an
@@ -661,11 +706,23 @@ impl FbufSystem {
             }
             let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
             f.mapped_in.clear();
+            let path = f.path;
+            let originator = f.originator;
             let frames: Vec<_> = f.frames.iter_mut().map(|s| s.take()).collect();
+            let mut took_any = false;
             for frame in frames.into_iter().flatten() {
                 self.machine.release_frame(frame);
                 self.machine.stats().inc_frames_reclaimed();
                 reclaimed += 1;
+                took_any = true;
+            }
+            if took_any {
+                self.machine.tracer().instant(
+                    EventKind::Reclaim,
+                    originator.0,
+                    path.map(|p| p.0),
+                    Some(id.0),
+                );
             }
         }
         reclaimed
@@ -760,7 +817,7 @@ impl FbufSystem {
         off: u64,
         bytes: &[u8],
     ) -> FbufResult<()> {
-        let va = {
+        let (va, path) = {
             let f = self.fbuf(id)?;
             if off + bytes.len() as u64 > f.len {
                 return Err(FbufError::TooLarge {
@@ -768,9 +825,12 @@ impl FbufSystem {
                     max: f.len,
                 });
             }
-            f.va
+            (f.va, f.path)
         };
         self.machine.write(dom, va + off, bytes)?;
+        self.machine
+            .tracer()
+            .instant(EventKind::Write, dom.0, path.map(|p| p.0), Some(id.0));
         Ok(())
     }
 

@@ -1,6 +1,6 @@
 //! Synchronous RPC with calibrated control-transfer latency.
 
-use fbuf_sim::{Clock, CostCategory, CostModel, Ns, Stats};
+use fbuf_sim::{Clock, CostCategory, CostModel, EventKind, Ns, Stats, Tracer};
 use fbuf_vm::DomainId;
 
 use crate::notice::NoticeBoard;
@@ -33,16 +33,19 @@ pub enum Payload {
 pub struct Rpc {
     clock: Clock,
     stats: Stats,
+    tracer: Tracer,
     costs: CostModel,
     notices: NoticeBoard,
 }
 
 impl Rpc {
-    /// Creates the RPC layer over the shared clock/stats and cost model.
-    pub fn new(clock: Clock, stats: Stats, costs: CostModel) -> Rpc {
+    /// Creates the RPC layer over the shared clock/stats/tracer handles
+    /// and cost model.
+    pub fn new(clock: Clock, stats: Stats, tracer: Tracer, costs: CostModel) -> Rpc {
         Rpc {
             clock,
             stats,
+            tracer,
             costs,
             notices: NoticeBoard::new(),
         }
@@ -71,9 +74,14 @@ impl Rpc {
             self.latency(from, to) + self.costs.ipc_dispatch,
         );
         self.stats.inc_ipc_messages();
+        self.tracer
+            .instant_peer(EventKind::IpcCall, from.0, to.0, None, None);
         let drained = self.notices.drain_all_for(from);
-        for _ in 0..drained.len() {
+        for &token in &drained {
             self.stats.inc_piggybacked_notices();
+            // The notice reaches the owner (`from`) on this reply.
+            self.tracer
+                .instant_peer(EventKind::Notice, to.0, from.0, None, Some(token));
         }
         drained
     }
@@ -100,6 +108,8 @@ impl Rpc {
             );
             self.stats.inc_ipc_messages();
             self.stats.inc_explicit_notice_messages();
+            self.tracer
+                .instant_peer(EventKind::Notice, holder.0, owner.0, None, Some(token));
             Some(self.notices.drain(owner, holder))
         } else {
             None
@@ -138,9 +148,11 @@ mod tests {
     fn rpc() -> (Rpc, Clock, Stats) {
         let clock = Clock::new();
         let stats = Stats::new();
+        let tracer = Tracer::new(clock.clone());
         let r = Rpc::new(
             clock.clone(),
             stats.clone(),
+            tracer,
             CostModel::decstation_5000_200(),
         );
         (r, clock, stats)

@@ -11,7 +11,7 @@
 //! infinitely fast network."
 
 use fbuf::{AllocMode, FbufResult, FbufSystem, PathId, SendMode};
-use fbuf_sim::{CostCategory, MachineConfig, Ns};
+use fbuf_sim::{CostCategory, EventKind, MachineConfig, Ns};
 use fbuf_vm::{DomainId, KERNEL_DOMAIN};
 use fbuf_xkernel::{integrated, Msg, MsgRefs};
 
@@ -140,11 +140,15 @@ impl LoopbackStack {
             self.charge(costs.proto_frag_setup);
         }
         let frags = fragment(&msg, self.datagram, self.cfg.pdu);
+        let tracer = self.fbs.machine().tracer();
+        let path = self.path.map(|p| p.0);
         let mut reasm = Reassembler::new(0);
         let mut reassembled = None;
         for (hdr, body) in frags {
             self.charge(costs.proto_ip_pdu); // IP send processing
+            tracer.instant(EventKind::PduTx, self.netserver.0, path, None);
             self.charge(costs.proto_loopback_pdu); // loopback turnaround
+            tracer.instant(EventKind::PduRx, self.netserver.0, path, None);
             self.charge(costs.proto_ip_pdu); // IP receive processing
             if let Some(done) = reasm.add(hdr, body) {
                 reassembled = Some(done);

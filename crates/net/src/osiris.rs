@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use fbuf::{FbufResult, SendMode};
-use fbuf_sim::{CostCategory, MachineConfig, Ns};
+use fbuf_sim::{CostCategory, EventKind, MachineConfig, Ns};
 use fbuf_xkernel::Msg;
 
 use crate::host::{AllocStrategy, DomainSetup, Fill, Host};
@@ -272,6 +272,12 @@ impl EndToEnd {
                 payload,
             };
             // Serialize onto the wire.
+            self.tx.fbs.machine().tracer().instant(
+                EventKind::PduTx,
+                self.tx.kernel().0,
+                None,
+                None,
+            );
             let ready = self.tx.fbs.machine().clock().now();
             let arrive = ready.max(self.wire_free) + self.wire_time(pdu.wire_bytes());
             self.wire_free = arrive;
@@ -311,6 +317,11 @@ impl EndToEnd {
         self.rx.dma_into_fbuf(id, &pdu.payload)?;
         let m = Msg::from_fbuf(id, 0, pdu.payload.len() as u64);
         let kernel = self.rx.kernel();
+        self.rx
+            .fbs
+            .machine()
+            .tracer()
+            .instant(EventKind::PduRx, kernel.0, None, Some(id.0));
         self.rx.refs.adopt(kernel, &m);
 
         // IP up.

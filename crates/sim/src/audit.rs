@@ -1,0 +1,402 @@
+//! Trace-driven invariant auditing: replay the event ring and check
+//! fbuf lifecycle rules after the fact.
+//!
+//! The auditor deliberately checks by **replaying events** rather than
+//! by inline assertions at the call sites. Inline asserts see only the
+//! state of the one layer they live in; the replay sees the interleaved
+//! history of *every* layer (VM protection, cache parking, IPC notices,
+//! driver delivery) and so can state cross-layer rules — "no successful
+//! write lands on a secured fbuf", "a cache hit implies an earlier final
+//! free on the same path" — as pure functions over the event stream.
+//! It also keeps the hot path honest: the tracer records and moves on,
+//! so auditing costs nothing unless a test asks for it, and a failing
+//! audit leaves the full event history available for inspection instead
+//! of a panic at an arbitrary depth.
+//!
+//! Invariants checked (each a paper lifecycle rule, §3.1–§3.3):
+//!
+//! 1. **No write after secure** — a `Write` on an fbuf between its
+//!    `Secure` and the reset of its lifecycle means the write-protect
+//!    machinery leaked a writable mapping.
+//! 2. **Cache hits are preceded by frees** — a `CacheHit` on a path
+//!    requires a previously parked buffer, i.e. some fbuf on that path
+//!    saw its final `Free` earlier in the stream.
+//! 3. **Alloc/free balance** — every `Free` must come from a current
+//!    holder; a domain cannot free twice or free a buffer it never
+//!    held.
+//! 4. **No transfer after final free** — a `Transfer` of an fbuf with
+//!    no live holders is a use-after-free.
+//!
+//! The auditor is truncation-aware: a ring that overflowed has lost its
+//! prefix, so events referring to fbufs whose `Alloc` was evicted are
+//! skipped rather than misreported. Run it with a capacity sized to the
+//! workload (the integration suites do) for full coverage; see
+//! [`AuditReport::complete`].
+
+use std::collections::HashMap;
+
+use crate::trace::{EventKind, TraceEvent, Tracer};
+
+/// One invariant violation, tied to the event (by ring sequence number)
+/// that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// Which rule broke.
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[seq {}] {}: {}", self.seq, self.rule, self.detail)
+    }
+}
+
+/// Outcome of a replay: what was checked and what failed.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every violation found, in stream order.
+    pub violations: Vec<Violation>,
+    /// Events replayed.
+    pub events: usize,
+    /// Distinct fbufs whose lifecycle was tracked (an `Alloc` was seen).
+    pub fbufs_tracked: usize,
+    /// Events skipped because they referred to an fbuf allocated before
+    /// the ring's horizon.
+    pub skipped_unknown: usize,
+    /// True when the stream had no truncation artifacts (nothing
+    /// skipped): every rule was checked against complete history.
+    pub complete: bool,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with every violation listed unless the audit is clean.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let list: Vec<String> = self.violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "trace audit found {} violation(s) over {} events:\n  {}",
+                self.violations.len(),
+                self.events,
+                list.join("\n  ")
+            );
+        }
+    }
+}
+
+/// Per-fbuf replay state.
+#[derive(Debug, Default)]
+struct FbufState {
+    holders: Vec<u32>,
+    path: Option<u64>,
+    secured: bool,
+}
+
+/// Replays `events` (oldest first) and checks the lifecycle invariants.
+/// See the [module docs](self) for the rule list.
+pub fn audit(events: &[TraceEvent]) -> AuditReport {
+    let mut report = AuditReport {
+        events: events.len(),
+        complete: true,
+        ..AuditReport::default()
+    };
+    // Lifecycle state for every fbuf whose Alloc we observed.
+    let mut fbufs: HashMap<u64, FbufState> = HashMap::new();
+    // Buffers parked on each path's free list (final-freed, reusable).
+    let mut parked: HashMap<u64, u64> = HashMap::new();
+    let mut tracked = 0usize;
+
+    for e in events {
+        let id = match e.fbuf {
+            Some(id) => id,
+            None => continue, // IpcCall/Hop/PduTx… carry no fbuf state
+        };
+        match e.kind {
+            EventKind::Alloc => {
+                if !fbufs.contains_key(&id) {
+                    tracked += 1;
+                }
+                fbufs.insert(
+                    id,
+                    FbufState {
+                        holders: vec![e.dom],
+                        path: e.path,
+                        secured: false,
+                    },
+                );
+            }
+            EventKind::CacheHit => {
+                let Some(p) = e.path else { continue };
+                let slot = parked.entry(p).or_insert(0);
+                if *slot == 0 {
+                    report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "cache-hit-without-free",
+                        detail: format!(
+                            "CacheHit for fbuf {id} on path {p} with no parked buffer \
+                             (no prior final Free on this path)"
+                        ),
+                    });
+                } else {
+                    *slot -= 1;
+                }
+            }
+            EventKind::Secure => {
+                if let Some(st) = fbufs.get_mut(&id) {
+                    st.secured = true;
+                } else {
+                    report.skipped_unknown += 1;
+                    report.complete = false;
+                }
+            }
+            EventKind::Write => {
+                match fbufs.get(&id) {
+                    Some(st) if st.secured => report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "write-after-secure",
+                        detail: format!(
+                            "domain {} wrote fbuf {id} after it was secured",
+                            e.dom
+                        ),
+                    }),
+                    Some(_) => {}
+                    None => {
+                        report.skipped_unknown += 1;
+                        report.complete = false;
+                    }
+                }
+            }
+            EventKind::Transfer => {
+                let Some(st) = fbufs.get_mut(&id) else {
+                    report.skipped_unknown += 1;
+                    report.complete = false;
+                    continue;
+                };
+                if st.holders.is_empty() {
+                    report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "transfer-after-free",
+                        detail: format!(
+                            "domain {} transferred fbuf {id} after its final free",
+                            e.dom
+                        ),
+                    });
+                } else if !st.holders.contains(&e.dom) {
+                    report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "transfer-by-non-holder",
+                        detail: format!(
+                            "domain {} transferred fbuf {id} it does not hold \
+                             (holders: {:?})",
+                            e.dom, st.holders
+                        ),
+                    });
+                }
+                if let Some(to) = e.peer {
+                    if !st.holders.contains(&to) {
+                        st.holders.push(to);
+                    }
+                }
+            }
+            EventKind::Free => {
+                let Some(st) = fbufs.get_mut(&id) else {
+                    report.skipped_unknown += 1;
+                    report.complete = false;
+                    continue;
+                };
+                match st.holders.iter().position(|&d| d == e.dom) {
+                    Some(i) => {
+                        st.holders.remove(i);
+                        if st.holders.is_empty() {
+                            // Final free: the buffer parks on its path's
+                            // free list (if cached) and loses protection.
+                            st.secured = false;
+                            if let Some(p) = st.path {
+                                *parked.entry(p).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    None => report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "unbalanced-free",
+                        detail: format!(
+                            "domain {} freed fbuf {id} it does not hold \
+                             (holders: {:?})",
+                            e.dom, st.holders
+                        ),
+                    }),
+                }
+            }
+            EventKind::Reclaim => {
+                // A reclaimed parked buffer leaves the free list without
+                // producing a CacheHit.
+                if let Some(st) = fbufs.get(&id) {
+                    if let Some(p) = st.path {
+                        let slot = parked.entry(p).or_insert(0);
+                        *slot = slot.saturating_sub(1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report.fbufs_tracked = tracked;
+    report
+}
+
+/// Convenience: audits a tracer's current ring. Truncated rings (any
+/// dropped events) are marked incomplete.
+pub fn audit_tracer(tracer: &Tracer) -> AuditReport {
+    let mut report = audit(&tracer.events());
+    if tracer.dropped() > 0 {
+        report.complete = false;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Ns;
+
+    fn ev(
+        seq: u64,
+        kind: EventKind,
+        dom: u32,
+        peer: Option<u32>,
+        path: Option<u64>,
+        fbuf: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at: Ns(seq * 1_000),
+            kind,
+            dom,
+            peer,
+            path,
+            fbuf,
+            dur: None,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        // alloc → write → transfer → free(receiver) → free(owner) →
+        // cache hit on the now-parked path.
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Write, 1, None, Some(7), Some(3)),
+            ev(2, EventKind::Transfer, 1, Some(2), Some(7), Some(3)),
+            ev(3, EventKind::Free, 2, None, Some(7), Some(3)),
+            ev(4, EventKind::Free, 1, None, Some(7), Some(3)),
+            ev(5, EventKind::CacheHit, 1, None, Some(7), Some(3)),
+            ev(6, EventKind::Alloc, 1, None, Some(7), Some(3)),
+        ];
+        let r = audit(&events);
+        r.assert_clean();
+        assert_eq!(r.fbufs_tracked, 1);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn write_after_secure_is_rejected() {
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, None, Some(9)),
+            ev(1, EventKind::Secure, 1, None, None, Some(9)),
+            ev(2, EventKind::Write, 1, None, None, Some(9)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "write-after-secure");
+        assert_eq!(r.violations[0].seq, 2);
+    }
+
+    #[test]
+    fn secure_resets_on_final_free() {
+        // After the lifecycle resets, the same fbuf id may be written
+        // again (cached reuse unprotects on dealloc).
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(4), Some(9)),
+            ev(1, EventKind::Secure, 1, None, Some(4), Some(9)),
+            ev(2, EventKind::Free, 1, None, Some(4), Some(9)),
+            ev(3, EventKind::CacheHit, 1, None, Some(4), Some(9)),
+            ev(4, EventKind::Alloc, 1, None, Some(4), Some(9)),
+            ev(5, EventKind::Write, 1, None, Some(4), Some(9)),
+        ];
+        audit(&events).assert_clean();
+    }
+
+    #[test]
+    fn cache_hit_without_prior_free_is_rejected() {
+        let events = vec![ev(0, EventKind::CacheHit, 1, None, Some(7), Some(3))];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "cache-hit-without-free");
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, None, Some(3)),
+            ev(1, EventKind::Free, 1, None, None, Some(3)),
+            ev(2, EventKind::Free, 1, None, None, Some(3)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "unbalanced-free");
+    }
+
+    #[test]
+    fn transfer_after_final_free_is_rejected() {
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, None, Some(3)),
+            ev(1, EventKind::Free, 1, None, None, Some(3)),
+            ev(2, EventKind::Transfer, 1, Some(2), None, Some(3)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "transfer-after-free");
+    }
+
+    #[test]
+    fn free_by_stranger_is_rejected() {
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, None, Some(3)),
+            ev(1, EventKind::Free, 5, None, None, Some(3)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations[0].rule, "unbalanced-free");
+    }
+
+    #[test]
+    fn truncated_stream_skips_unknown_fbufs() {
+        // A Free whose Alloc fell off the ring must not misreport.
+        let events = vec![ev(10, EventKind::Free, 1, None, None, Some(3))];
+        let r = audit(&events);
+        assert!(r.is_clean());
+        assert_eq!(r.skipped_unknown, 1);
+        assert!(!r.complete);
+    }
+
+    #[test]
+    fn reclaim_consumes_a_parked_slot() {
+        // park → reclaim → a subsequent CacheHit has nothing to serve.
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Free, 1, None, Some(7), Some(3)),
+            ev(2, EventKind::Reclaim, 0, None, Some(7), Some(3)),
+            ev(3, EventKind::CacheHit, 1, None, Some(7), Some(3)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "cache-hit-without-free");
+    }
+}

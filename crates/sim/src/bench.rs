@@ -37,7 +37,9 @@
 
 use std::path::PathBuf;
 
+use crate::hist::Histogram;
 use crate::json::{Json, ToJson};
+use crate::stats::StatsSnapshot;
 
 /// The timebase of a scenario's samples. All units are *simulated*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +99,8 @@ pub struct BenchRunner {
     iters: usize,
     scenarios: Vec<Scenario>,
     artifacts: Vec<(String, Json)>,
+    counters: Option<StatsSnapshot>,
+    latency: Vec<(String, Histogram)>,
 }
 
 impl BenchRunner {
@@ -119,6 +123,8 @@ impl BenchRunner {
             iters,
             scenarios: Vec::new(),
             artifacts: Vec::new(),
+            counters: None,
+            latency: Vec::new(),
         }
     }
 
@@ -144,6 +150,26 @@ impl BenchRunner {
         self.artifacts.push((key.to_string(), value));
     }
 
+    /// Attaches the operation-counter delta of a representative workload
+    /// (a [`StatsSnapshot::delta`] over the measured section) to the
+    /// report's `counters` object. Repeated calls accumulate so a target
+    /// with several workloads reports their sum.
+    pub fn counters(&mut self, delta: &StatsSnapshot) {
+        self.counters = Some(match &self.counters {
+            None => delta.clone(),
+            Some(acc) => acc.plus(delta),
+        });
+    }
+
+    /// Attaches a latency percentile block (p50/p90/p99 and friends, see
+    /// [`Histogram`]'s `ToJson`) under `latency` with the given label.
+    /// Empty histograms are skipped — a percentile over nothing is noise.
+    pub fn latency(&mut self, label: &str, hist: &Histogram) {
+        if !hist.is_empty() {
+            self.latency.push((label.to_string(), hist.clone()));
+        }
+    }
+
     /// The full report as a JSON value (the exact document `finish` writes).
     pub fn report(&self) -> Json {
         let results: Vec<Json> = self
@@ -162,11 +188,30 @@ impl BenchRunner {
                 ])
             })
             .collect();
+        let latency: Vec<Json> = self
+            .latency
+            .iter()
+            .map(|(label, h)| {
+                let mut fields = vec![("label".to_string(), label.to_json())];
+                if let Json::Obj(hist_fields) = h.to_json() {
+                    fields.extend(hist_fields);
+                }
+                Json::Obj(fields)
+            })
+            .collect();
         Json::obj(vec![
             ("bench", self.name.to_json()),
             ("timebase", "simulated".to_json()),
             ("iters", self.iters.to_json()),
             ("results", Json::Arr(results)),
+            (
+                "counters",
+                self.counters
+                    .as_ref()
+                    .map(|c| c.to_json())
+                    .unwrap_or(Json::obj(vec![])),
+            ),
+            ("latency", Json::Arr(latency)),
             (
                 "artifacts",
                 Json::Obj(self.artifacts.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
@@ -242,6 +287,45 @@ mod tests {
         assert_eq!(row.get("p10").unwrap().as_f64(), Some(10.0));
         assert_eq!(row.get("p90").unwrap().as_f64(), Some(40.0));
         assert!(doc.get("artifacts").unwrap().get("rows").is_some());
+    }
+
+    #[test]
+    fn report_carries_counters_and_latency_blocks() {
+        use crate::stats::Stats;
+        let mut r = BenchRunner::named("observed", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        // Counter delta over a fake measured section.
+        let s = Stats::new();
+        let before = s.snapshot();
+        s.inc_fbuf_cache_hits();
+        s.inc_fbuf_cache_hits();
+        r.counters(&s.snapshot().delta(&before));
+        // Accumulation across workloads.
+        let mark = s.snapshot();
+        s.inc_pdus_sent();
+        r.counters(&s.snapshot().delta(&mark));
+        let mut h = Histogram::new();
+        h.record(5_000);
+        h.record(6_000);
+        r.latency("transfer", &h);
+        r.latency("empty", &Histogram::new()); // skipped
+        let doc = r.report();
+        let counters = doc.get("counters").expect("counters object");
+        assert!(counters.get("fbuf_cache_hits").unwrap().as_f64().unwrap() >= 2.0);
+        let lat = doc.get("latency").unwrap().as_arr().unwrap();
+        assert_eq!(lat.len(), 1, "empty histogram skipped");
+        assert_eq!(lat[0].get("label").unwrap().as_str(), Some("transfer"));
+        assert!(lat[0].get("p50_ns").unwrap().as_f64().unwrap() >= 5_000.0);
+        assert!(lat[0].get("p99_ns").is_some());
+    }
+
+    #[test]
+    fn counters_and_latency_keys_always_present() {
+        let mut r = BenchRunner::named("bare", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        let doc = r.report();
+        assert!(doc.get("counters").is_some(), "counters key is stable");
+        assert_eq!(doc.get("latency").unwrap().as_arr().unwrap().len(), 0);
     }
 
     #[test]

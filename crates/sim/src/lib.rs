@@ -34,21 +34,36 @@
 //! * [`bench`] — a bench runner that reports the simulator's **calibrated
 //!   simulated time** instead of host wall-clock (replaces `criterion`).
 //!
+//! And the observability layer threaded through every crate:
+//!
+//! * [`trace`] — a bounded ring buffer of typed lifecycle events
+//!   ([`Tracer`]), clock-stamped, exportable as Chrome `trace_event` JSON.
+//! * [`hist`] — log-bucketed latency [`Histogram`]s (p50/p90/p99) fed by
+//!   `Alloc`/`Transfer` spans and surfaced in every bench report.
+//! * [`audit`] — a replay auditor checking fbuf lifecycle invariants over
+//!   a recorded event stream.
+//!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
+pub mod audit;
 pub mod bench;
 pub mod check;
 pub mod config;
 pub mod costs;
+pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
+pub use audit::{audit, audit_tracer, AuditReport, Violation};
 pub use check::Checker;
 pub use config::MachineConfig;
 pub use costs::CostModel;
+pub use hist::Histogram;
 pub use json::{Json, ToJson};
 pub use rng::Rng;
-pub use stats::{Counter, Stats};
+pub use stats::{Counter, Stats, StatsSnapshot};
 pub use time::{Clock, CostCategory, Ns};
+pub use trace::{EventKind, TraceEvent, Tracer};

@@ -10,6 +10,8 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::json::{Json, ToJson};
+
 /// A single named counter value (snapshot).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Counter {
@@ -37,6 +39,14 @@ macro_rules! stats_impl {
             pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
                     $( $name: self.$name.saturating_sub(earlier.$name), )*
+                }
+            }
+
+            /// Per-field sum `self + other` (saturating), for accumulating
+            /// deltas across workloads.
+            pub fn plus(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $name: self.$name.saturating_add(other.$name), )*
                 }
             }
 
@@ -151,6 +161,20 @@ impl Stats {
     }
 }
 
+impl ToJson for StatsSnapshot {
+    /// An object with every counter by name, in declaration order
+    /// (zero-valued counters included, so report consumers see a stable
+    /// schema).
+    fn to_json(&self) -> Json {
+        Json::obj(
+            self.counters()
+                .iter()
+                .map(|c| (c.name, c.value.to_json()))
+                .collect(),
+        )
+    }
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for c in self.counters() {
@@ -216,6 +240,19 @@ mod tests {
         let text = s.snapshot().to_string();
         assert!(text.contains("soft_faults"));
         assert!(!text.contains("cow_faults"));
+    }
+
+    #[test]
+    fn json_snapshot_lists_every_counter() {
+        let s = Stats::new();
+        s.inc_pte_updates();
+        let j = s.snapshot().to_json();
+        assert_eq!(j.get("pte_updates").and_then(Json::as_f64), Some(1.0));
+        // Zero counters stay present: the report schema is stable.
+        assert_eq!(j.get("pages_copied").and_then(Json::as_f64), Some(0.0));
+        let rendered = j.render();
+        let parsed = Json::parse(&rendered).expect("snapshot json parses");
+        assert_eq!(parsed.get("pte_updates").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

@@ -272,11 +272,13 @@ impl Clock {
 
     /// CPU utilization (busy / elapsed) over the clock's whole lifetime.
     ///
-    /// Returns 1.0 for a clock that has never advanced.
+    /// Returns 0.0 for a clock that has never advanced: no elapsed time
+    /// means no work was measured, and the guard keeps the 0/0 case from
+    /// surfacing as NaN in reports.
     pub fn utilization(&self) -> f64 {
         let inner = self.inner.borrow();
         if inner.now.0 == 0 {
-            return 1.0;
+            return 0.0;
         }
         inner.busy.0 as f64 / inner.now.0 as f64
     }
@@ -314,11 +316,12 @@ impl Clock {
         self.busy() - mark.busy
     }
 
-    /// CPU utilization (busy / elapsed) since `mark`.
+    /// CPU utilization (busy / elapsed) since `mark`. Returns 0.0 over
+    /// a zero-elapsed interval (never NaN).
     pub fn utilization_since(&self, mark: ClockMark) -> f64 {
         let elapsed = self.since(mark);
         if elapsed.0 == 0 {
-            return 1.0;
+            return 0.0;
         }
         self.busy_since(mark).0 as f64 / elapsed.0 as f64
     }
@@ -381,6 +384,19 @@ mod tests {
         assert_eq!(clock.busy(), Ns(300));
         assert_eq!(clock.idle(), Ns(700));
         assert!((clock.utilization() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_over_zero_elapsed_is_zero_not_nan() {
+        let clock = Clock::new();
+        assert_eq!(clock.utilization(), 0.0, "fresh clock");
+        let mark = clock.mark();
+        let u = clock.utilization_since(mark);
+        assert_eq!(u, 0.0, "zero-elapsed interval");
+        assert!(!u.is_nan());
+        // A real interval afterwards still measures normally.
+        clock.charge(CostCategory::Driver, Ns(100));
+        assert!((clock.utilization_since(mark) - 1.0).abs() < 1e-9);
     }
 
     #[test]

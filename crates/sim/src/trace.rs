@@ -1,0 +1,547 @@
+//! Structured lifecycle tracing: a bounded ring buffer of typed events.
+//!
+//! The [`Tracer`] is a cheap-clone shared handle, distributed the same
+//! way as [`Clock`] and `Stats`: the machine creates one and every layer
+//! borrows it. It is **disabled by default** and gated on a single
+//! `Cell<bool>` read, and recording never charges the clock, so enabling
+//! it observes a run without perturbing a single simulated nanosecond —
+//! the "zero-cost-by-default" contract the bench suite pins.
+//!
+//! Each [`TraceEvent`] carries the simulated time, the acting domain,
+//! and the path/fbuf it concerns. Instant events mark points
+//! (`CacheHit`, `Fault`, `PduRx`, ...); span events additionally carry a
+//! duration measured from a caller-captured start time (`Alloc`,
+//! `Transfer`), and those two span kinds feed per-path
+//! [`Histogram`]s of allocation service time and transfer latency
+//! as a side effect of being recorded.
+//!
+//! Storage is a fixed-capacity ring: when full, the oldest event is
+//! dropped and a counter incremented, so a long workload can run under a
+//! small trace window without unbounded memory. [`Tracer::chrome_trace`]
+//! exports the ring in Chrome `trace_event` JSON (load it in
+//! `about://tracing` or Perfetto); [`Tracer::events`] hands the raw ring
+//! to the replay auditor in [`crate::audit`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::hist::Histogram;
+use crate::json::{Json, ToJson};
+use crate::time::{Clock, Ns};
+
+/// Default ring capacity: enough for every integration-test workload to
+/// fit untruncated, small enough to be negligible next to simulated
+/// physical memory.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// What happened. Instants mark a point; `Alloc` and `Transfer` are
+/// recorded as spans with a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An fbuf allocation completed (span; feeds the allocation-service
+    /// histogram).
+    Alloc,
+    /// A cached allocation was served from the path's free list.
+    CacheHit,
+    /// A cached allocation found the free list empty and built fresh.
+    CacheMiss,
+    /// An fbuf's pages were write-protected in every mapping.
+    Secure,
+    /// An fbuf was handed from `dom` to `peer` (span; feeds the
+    /// transfer-latency histogram).
+    Transfer,
+    /// A translation fault was serviced (soft, COW, violation, wild read).
+    Fault,
+    /// A dealloc notice travelled (piggybacked or explicit) to `peer`.
+    Notice,
+    /// A holder released its reference.
+    Free,
+    /// A parked cached frame was reclaimed under memory pressure.
+    Reclaim,
+    /// A PDU left a driver/stack.
+    PduTx,
+    /// A PDU arrived at a driver/stack.
+    PduRx,
+    /// An integrated-DAG node was visited during traversal.
+    DagVisit,
+    /// A domain wrote fbuf bytes (successfully — protection allowed it).
+    Write,
+    /// A cross-domain RPC from `dom` to `peer`.
+    IpcCall,
+    /// A message hopped a protocol-graph domain boundary.
+    Hop,
+}
+
+impl EventKind {
+    /// Stable label used in exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Alloc => "Alloc",
+            EventKind::CacheHit => "CacheHit",
+            EventKind::CacheMiss => "CacheMiss",
+            EventKind::Secure => "Secure",
+            EventKind::Transfer => "Transfer",
+            EventKind::Fault => "Fault",
+            EventKind::Notice => "Notice",
+            EventKind::Free => "Free",
+            EventKind::Reclaim => "Reclaim",
+            EventKind::PduTx => "PduTx",
+            EventKind::PduRx => "PduRx",
+            EventKind::DagVisit => "DagVisit",
+            EventKind::Write => "Write",
+            EventKind::IpcCall => "IpcCall",
+            EventKind::Hop => "Hop",
+        }
+    }
+}
+
+/// One recorded event. `at` is the simulated time the event was
+/// recorded (for spans: the end; the start is `at - dur`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (survives ring eviction, so gaps at the
+    /// front reveal truncation).
+    pub seq: u64,
+    /// Simulated timestamp at recording.
+    pub at: Ns,
+    /// Event kind.
+    pub kind: EventKind,
+    /// The acting domain.
+    pub dom: u32,
+    /// The peer domain, where the event has one (receiver of a
+    /// `Transfer`, callee of an `IpcCall`, holder a `Notice` reaches).
+    pub peer: Option<u32>,
+    /// The path concerned, if any.
+    pub path: Option<u64>,
+    /// The fbuf concerned, if any.
+    pub fbuf: Option<u64>,
+    /// Span duration; `None` for instants.
+    pub dur: Option<Ns>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    seq: u64,
+    /// Allocation service time per path (`None` = uncached allocs).
+    alloc_hist: Vec<(Option<u64>, Histogram)>,
+    /// Transfer latency per path.
+    transfer_hist: Vec<(Option<u64>, Histogram)>,
+}
+
+impl TracerInner {
+    fn push(&mut self, mut e: TraceEvent) {
+        e.seq = self.seq;
+        self.seq += 1;
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+}
+
+fn hist_entry(
+    table: &mut Vec<(Option<u64>, Histogram)>,
+    path: Option<u64>,
+) -> &mut Histogram {
+    if let Some(i) = table.iter().position(|(p, _)| *p == path) {
+        return &mut table[i].1;
+    }
+    table.push((path, Histogram::new()));
+    &mut table.last_mut().expect("just pushed").1
+}
+
+#[derive(Debug)]
+struct TracerShared {
+    enabled: Cell<bool>,
+    clock: Clock,
+    inner: RefCell<TracerInner>,
+}
+
+/// Shared tracing handle. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use fbuf_sim::{Clock, EventKind, Tracer};
+///
+/// let clock = Clock::new();
+/// let t = Tracer::new(clock.clone());
+/// t.instant(EventKind::CacheHit, 1, Some(7), Some(3)); // disabled: no-op
+/// assert_eq!(t.len(), 0);
+/// t.set_enabled(true);
+/// let t0 = clock.now();
+/// t.span(t0, EventKind::Alloc, 1, Some(7), Some(3));
+/// assert_eq!(t.len(), 1);
+/// assert_eq!(t.alloc_latency(Some(7)).expect("recorded").count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    shared: Rc<TracerShared>,
+}
+
+impl Tracer {
+    /// A disabled tracer stamping events from `clock`, with the
+    /// [default ring capacity](DEFAULT_CAPACITY).
+    pub fn new(clock: Clock) -> Tracer {
+        Tracer {
+            shared: Rc::new(TracerShared {
+                enabled: Cell::new(false),
+                clock,
+                inner: RefCell::new(TracerInner {
+                    cap: DEFAULT_CAPACITY,
+                    events: VecDeque::new(),
+                    dropped: 0,
+                    seq: 0,
+                    alloc_hist: Vec::new(),
+                    transfer_hist: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Turns recording on or off. The ring is kept either way.
+    pub fn set_enabled(&self, on: bool) {
+        self.shared.enabled.set(on);
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled.get()
+    }
+
+    /// Resizes the ring (evicting oldest events if shrinking below the
+    /// current length).
+    pub fn set_capacity(&self, cap: usize) {
+        let mut inner = self.shared.inner.borrow_mut();
+        inner.cap = cap.max(1);
+        while inner.events.len() > inner.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+    }
+
+    /// Discards every recorded event and histogram (keeps enablement,
+    /// capacity, and the sequence counter).
+    pub fn clear(&self) {
+        let mut inner = self.shared.inner.borrow_mut();
+        inner.events.clear();
+        inner.dropped = 0;
+        inner.alloc_hist.clear();
+        inner.transfer_hist.clear();
+    }
+
+    /// The simulated now, for capturing a span start.
+    pub fn now(&self) -> Ns {
+        self.shared.clock.now()
+    }
+
+    /// Records an instant event. No-op while disabled.
+    pub fn instant(&self, kind: EventKind, dom: u32, path: Option<u64>, fbuf: Option<u64>) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        self.push(kind, dom, None, path, fbuf, None);
+    }
+
+    /// Records an instant event with a peer domain. No-op while
+    /// disabled.
+    pub fn instant_peer(
+        &self,
+        kind: EventKind,
+        dom: u32,
+        peer: u32,
+        path: Option<u64>,
+        fbuf: Option<u64>,
+    ) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        self.push(kind, dom, Some(peer), path, fbuf, None);
+    }
+
+    /// Records a span that began at simulated time `t0` and ends now.
+    /// `Alloc` spans feed the per-path allocation-service histogram and
+    /// `Transfer` spans the per-path transfer-latency histogram. No-op
+    /// while disabled.
+    pub fn span(&self, t0: Ns, kind: EventKind, dom: u32, path: Option<u64>, fbuf: Option<u64>) {
+        self.span_peer(t0, kind, dom, None, path, fbuf);
+    }
+
+    /// [`Tracer::span`] with a peer domain (e.g. the receiver of a
+    /// `Transfer`).
+    pub fn span_peer(
+        &self,
+        t0: Ns,
+        kind: EventKind,
+        dom: u32,
+        peer: Option<u32>,
+        path: Option<u64>,
+        fbuf: Option<u64>,
+    ) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        let dur = self.shared.clock.now() - t0;
+        self.push(kind, dom, peer, path, fbuf, Some(dur));
+        let mut inner = self.shared.inner.borrow_mut();
+        match kind {
+            EventKind::Alloc => hist_entry(&mut inner.alloc_hist, path).record(dur.0),
+            EventKind::Transfer => hist_entry(&mut inner.transfer_hist, path).record(dur.0),
+            _ => {}
+        }
+    }
+
+    fn push(
+        &self,
+        kind: EventKind,
+        dom: u32,
+        peer: Option<u32>,
+        path: Option<u64>,
+        fbuf: Option<u64>,
+        dur: Option<Ns>,
+    ) {
+        self.shared.inner.borrow_mut().push(TraceEvent {
+            seq: 0, // assigned by TracerInner::push
+            at: self.shared.clock.now(),
+            kind,
+            dom,
+            peer,
+            path,
+            fbuf,
+            dur,
+        });
+    }
+
+    /// Number of events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.shared.inner.borrow().events.len()
+    }
+
+    /// True when the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the full ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.inner.borrow().dropped
+    }
+
+    /// A snapshot of the ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.shared.inner.borrow().events.iter().copied().collect()
+    }
+
+    /// How many ring events are of `kind`.
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.shared
+            .inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+
+    /// Allocation-service histogram for one path key (`None` =
+    /// uncached), if any span was recorded for it.
+    pub fn alloc_latency(&self, path: Option<u64>) -> Option<Histogram> {
+        let inner = self.shared.inner.borrow();
+        inner
+            .alloc_hist
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Transfer-latency histogram for one path key.
+    pub fn transfer_latency(&self, path: Option<u64>) -> Option<Histogram> {
+        let inner = self.shared.inner.borrow();
+        inner
+            .transfer_hist
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// All allocation-service spans merged across paths.
+    pub fn merged_alloc_latency(&self) -> Histogram {
+        let inner = self.shared.inner.borrow();
+        let mut out = Histogram::new();
+        for (_, h) in &inner.alloc_hist {
+            out.merge(h);
+        }
+        out
+    }
+
+    /// All transfer-latency spans merged across paths.
+    pub fn merged_transfer_latency(&self) -> Histogram {
+        let inner = self.shared.inner.borrow();
+        let mut out = Histogram::new();
+        for (_, h) in &inner.transfer_hist {
+            out.merge(h);
+        }
+        out
+    }
+
+    /// The path keys with at least one recorded latency span, in first-
+    /// seen order (transfer paths first, then alloc-only paths).
+    pub fn latency_paths(&self) -> Vec<Option<u64>> {
+        let inner = self.shared.inner.borrow();
+        let mut out: Vec<Option<u64>> = inner.transfer_hist.iter().map(|(p, _)| *p).collect();
+        for (p, _) in &inner.alloc_hist {
+            if !out.contains(p) {
+                out.push(*p);
+            }
+        }
+        out
+    }
+
+    /// Exports the ring as Chrome `trace_event` JSON: spans become
+    /// complete (`"ph":"X"`) events whose `ts` is the span start, and
+    /// instants become thread-scoped instant (`"ph":"i"`) events.
+    /// Timestamps are simulated microseconds; `pid` is 1 (one machine)
+    /// and `tid` is the acting domain, so each domain renders as its own
+    /// track.
+    pub fn chrome_trace(&self) -> Json {
+        let inner = self.shared.inner.borrow();
+        let events = inner
+            .events
+            .iter()
+            .map(|e| {
+                let mut args = vec![("seq", e.seq.to_json())];
+                if let Some(f) = e.fbuf {
+                    args.push(("fbuf", f.to_json()));
+                }
+                if let Some(p) = e.path {
+                    args.push(("path", p.to_json()));
+                }
+                if let Some(p) = e.peer {
+                    args.push(("peer_dom", p.to_json()));
+                }
+                let mut pairs = vec![
+                    ("name", e.kind.label().to_json()),
+                    ("cat", "fbuf".to_json()),
+                    ("pid", 1u64.to_json()),
+                    ("tid", e.dom.to_json()),
+                ];
+                match e.dur {
+                    Some(d) => {
+                        pairs.push(("ph", "X".to_json()));
+                        pairs.push(("ts", (e.at - d).as_us_f64().to_json()));
+                        pairs.push(("dur", d.as_us_f64().to_json()));
+                    }
+                    None => {
+                        pairs.push(("ph", "i".to_json()));
+                        pairs.push(("ts", e.at.as_us_f64().to_json()));
+                        pairs.push(("s", "t".to_json()));
+                    }
+                }
+                pairs.push(("args", Json::obj(args)));
+                Json::obj(pairs)
+            })
+            .collect();
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", "ms".to_json()),
+            ("dropped_events", inner.dropped.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> (Clock, Tracer) {
+        let clock = Clock::new();
+        let t = Tracer::new(clock.clone());
+        (clock, t)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let (clock, t) = tracer();
+        t.instant(EventKind::Fault, 2, None, Some(5));
+        t.span(clock.now(), EventKind::Alloc, 1, Some(1), Some(1));
+        assert!(t.is_empty());
+        assert!(t.merged_alloc_latency().is_empty());
+    }
+
+    #[test]
+    fn span_measures_simulated_duration() {
+        use crate::time::CostCategory;
+        let (clock, t) = tracer();
+        t.set_enabled(true);
+        let t0 = clock.now();
+        clock.charge(CostCategory::Vm, Ns(2_500));
+        t.span(t0, EventKind::Transfer, 3, Some(9), Some(4));
+        let e = t.events()[0];
+        assert_eq!(e.dur, Some(Ns(2_500)));
+        assert_eq!(e.at, Ns(2_500));
+        assert_eq!(e.dom, 3);
+        assert_eq!(e.path, Some(9));
+        let h = t.transfer_latency(Some(9)).expect("histogram exists");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), 2_500);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let (_, t) = tracer();
+        t.set_enabled(true);
+        t.set_capacity(3);
+        for i in 0..5u64 {
+            t.instant(EventKind::Free, 0, None, Some(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, seq monotone");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        use crate::time::CostCategory;
+        let (clock, t) = tracer();
+        t.set_enabled(true);
+        let t0 = clock.now();
+        clock.charge(CostCategory::Ipc, Ns(10_000));
+        t.span_peer(t0, EventKind::Transfer, 1, Some(2), Some(7), Some(3));
+        t.instant(EventKind::CacheHit, 2, Some(7), Some(3));
+        let rendered = t.chrome_trace().render();
+        let parsed = Json::parse(&rendered).expect("chrome trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("ph").and_then(Json::as_str),
+            Some("X"),
+            "span is a complete event"
+        );
+        assert_eq!(events[0].get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(events[0].get("dur").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            events[1].get("name").and_then(Json::as_str),
+            Some("CacheHit")
+        );
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let (_, t) = tracer();
+        t.set_enabled(true);
+        t.instant(EventKind::Free, 0, None, None);
+        t.clear();
+        t.instant(EventKind::Free, 0, None, None);
+        assert_eq!(t.events()[0].seq, 1, "seq not reused after clear");
+    }
+}

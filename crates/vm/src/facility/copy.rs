@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use crate::facility::{window_base, TransferMechanism, BUF_WINDOW_SIZE};
 use crate::machine::Machine;
 use crate::types::{DomainId, Fault, VmResult};
+use fbuf_sim::EventKind;
 
 /// Transfers data by physically copying it between per-domain private
 /// buffers through the kernel.
@@ -71,14 +72,17 @@ impl TransferMechanism for CopyFacility {
     }
 
     fn alloc(&mut self, m: &mut Machine, dom: DomainId, len: u64) -> VmResult<u64> {
+        let t0 = m.clock().now();
         let pages = m.config().pages_for(len).max(1);
         if let Some(va) = self.cache.get_mut(&(dom.0, pages)).and_then(|v| v.pop()) {
             self.live.insert((dom.0, va), pages);
+            m.tracer().span(t0, EventKind::Alloc, dom.0, None, None);
             return Ok(va);
         }
         let va = self.carve(m, dom, len)?;
         m.map_anon_region(dom, va, pages)?;
         self.live.insert((dom.0, va), pages);
+        m.tracer().span(t0, EventKind::Alloc, dom.0, None, None);
         Ok(va)
     }
 
@@ -90,17 +94,21 @@ impl TransferMechanism for CopyFacility {
         len: u64,
         dst: DomainId,
     ) -> VmResult<u64> {
+        let t0 = m.clock().now();
         let dst_va = self.alloc(m, dst, len)?;
         m.copy_data(src, va, dst, dst_va, len)?;
+        m.tracer()
+            .span_peer(t0, EventKind::Transfer, src.0, Some(dst.0), None, None);
         Ok(dst_va)
     }
 
-    fn free(&mut self, _m: &mut Machine, dom: DomainId, va: u64, _len: u64) -> VmResult<()> {
+    fn free(&mut self, m: &mut Machine, dom: DomainId, va: u64, _len: u64) -> VmResult<()> {
         let pages = self
             .live
             .remove(&(dom.0, va))
             .ok_or(Fault::NoSuchRegion { va })?;
         self.cache.entry((dom.0, pages)).or_default().push(va);
+        m.tracer().instant(EventKind::Free, dom.0, None, None);
         Ok(())
     }
 }

@@ -21,7 +21,7 @@ use crate::facility::TransferMechanism;
 use crate::machine::Machine;
 use crate::phys::FrameId;
 use crate::types::{DomainId, Fault, Prot, VmResult};
-use fbuf_sim::{CostCategory, Ns};
+use fbuf_sim::{CostCategory, EventKind, Ns};
 
 /// Base of the globally shared remap window (distinct from the fbuf
 /// region).
@@ -89,6 +89,7 @@ impl TransferMechanism for RemapFacility {
     }
 
     fn alloc(&mut self, m: &mut Machine, dom: DomainId, len: u64) -> VmResult<u64> {
+        let t0 = m.clock().now();
         self.prepare(m, dom)?;
         let pages = m.config().pages_for(len).max(1);
         let page = m.page_size();
@@ -124,6 +125,7 @@ impl TransferMechanism for RemapFacility {
                 holder: dom,
             },
         );
+        m.tracer().span(t0, EventKind::Alloc, dom.0, None, None);
         Ok(va)
     }
 
@@ -135,6 +137,7 @@ impl TransferMechanism for RemapFacility {
         len: u64,
         dst: DomainId,
     ) -> VmResult<u64> {
+        let t0 = m.clock().now();
         self.prepare(m, dst)?;
         let pages = m.config().pages_for(len).max(1);
         let page = m.page_size();
@@ -158,6 +161,8 @@ impl TransferMechanism for RemapFacility {
             m.map_page(dst, pva, *frame, Prot::ReadWrite)?;
         }
         let _ = pages;
+        m.tracer()
+            .span_peer(t0, EventKind::Transfer, src.0, Some(dst.0), None, None);
         Ok(va)
     }
 
@@ -173,6 +178,7 @@ impl TransferMechanism for RemapFacility {
             m.unmap_page(dom, va + i as u64 * page)?;
             m.release_frame(*frame);
         }
+        m.tracer().instant(EventKind::Free, dom.0, None, None);
         Ok(())
     }
 }

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use fbuf_sim::{Clock, CostCategory, CostModel, MachineConfig, Ns, Stats};
+use fbuf_sim::{Clock, CostCategory, CostModel, EventKind, MachineConfig, Ns, Stats, Tracer};
 
 use crate::phys::{FrameId, PhysMem};
 use crate::space::{AddressSpace, RegionPolicy};
@@ -64,6 +64,7 @@ pub struct Machine {
     cfg: MachineConfig,
     clock: Clock,
     stats: Stats,
+    tracer: Tracer,
     phys: PhysMem,
     tlb: Tlb,
     domains: Vec<Option<Domain>>,
@@ -82,6 +83,7 @@ impl Machine {
         cfg.validate().expect("invalid machine configuration");
         let clock = Clock::new();
         let stats = Stats::new();
+        let tracer = Tracer::new(clock.clone());
         let phys = PhysMem::new(
             cfg.frames(),
             cfg.page_size as usize,
@@ -94,6 +96,7 @@ impl Machine {
             cfg,
             clock,
             stats,
+            tracer,
             phys,
             tlb,
             domains: Vec::new(),
@@ -131,6 +134,11 @@ impl Machine {
     /// The shared statistics handle.
     pub fn stats(&self) -> Stats {
         self.stats.clone()
+    }
+
+    /// The shared lifecycle tracer handle (disabled by default).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Page size shorthand.
@@ -631,10 +639,12 @@ impl Machine {
         };
         let Some(region) = region else {
             self.stats.inc_access_violations();
+            self.tracer.instant(EventKind::Fault, dom.0, None, None);
             return Err(Fault::Unmapped { domain: dom, va });
         };
         if !region.max_prot.allows(access) {
             self.stats.inc_access_violations();
+            self.tracer.instant(EventKind::Fault, dom.0, None, None);
             return Err(Fault::AccessViolation {
                 domain: dom,
                 va,
@@ -662,6 +672,7 @@ impl Machine {
                 }
                 self.clock.charge(CostCategory::Vm, trap);
                 self.stats.inc_soft_faults();
+                self.tracer.instant(EventKind::Fault, dom.0, None, None);
                 // A domain that privatized this page post-COW must keep
                 // seeing its private copy, not the shared object page.
                 let frame = match self.cow_private.get(&(dom.0, region.start.0, idx)).copied() {
@@ -680,6 +691,7 @@ impl Machine {
             RegionPolicy::NullRead => {
                 if access == Access::Write {
                     self.stats.inc_access_violations();
+                    self.tracer.instant(EventKind::Fault, dom.0, None, None);
                     return Err(Fault::AccessViolation {
                         domain: dom,
                         va,
@@ -692,6 +704,7 @@ impl Machine {
                 self.clock
                     .charge(CostCategory::Vm, self.cfg.costs.fault_trap);
                 self.stats.inc_wild_reads_nullified();
+                self.tracer.instant(EventKind::Fault, dom.0, None, None);
                 let frame = self.phys.alloc()?;
                 let template = self.null_template.clone();
                 self.phys.fill_with_template(frame, &template);
@@ -703,6 +716,7 @@ impl Machine {
             }
             RegionPolicy::Explicit => {
                 self.stats.inc_access_violations();
+                self.tracer.instant(EventKind::Fault, dom.0, None, None);
                 Err(Fault::AccessViolation {
                     domain: dom,
                     va,
@@ -728,6 +742,7 @@ impl Machine {
             self.cfg.costs.fault_trap + self.cfg.costs.cow_fault,
         );
         self.stats.inc_cow_faults();
+        self.tracer.instant(EventKind::Fault, dom.0, None, None);
         let key = (dom.0, region_start.0, idx);
         let candidate = match self.cow_private.get(&key).copied() {
             Some(p) => p,

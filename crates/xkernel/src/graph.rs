@@ -13,6 +13,7 @@
 //! way to compose new stacks.
 
 use fbuf::{FbufResult, FbufSystem, SendMode};
+use fbuf_sim::EventKind;
 use fbuf_vm::DomainId;
 
 use crate::msg::Msg;
@@ -173,6 +174,13 @@ impl Graph {
                         if next_dom != dom {
                             // Cross the protection boundary: one RPC plus
                             // fbuf transfers; the receiving domain adopts.
+                            fbs.machine().tracer().instant_peer(
+                                EventKind::Hop,
+                                dom.0,
+                                next_dom.0,
+                                None,
+                                None,
+                            );
                             proxy::deliver(fbs, refs, &m, dom, next_dom, self.send_mode)?;
                             refs.release(fbs, dom, &m)?;
                         }

@@ -32,6 +32,7 @@
 use std::collections::HashSet;
 
 use fbuf::{AllocMode, FbufId, FbufResult, FbufSystem};
+use fbuf_sim::EventKind;
 use fbuf_vm::DomainId;
 
 /// Node record size in bytes.
@@ -193,6 +194,9 @@ pub fn traverse(
         }
         out.nodes += 1;
         stats.inc_dag_nodes_visited();
+        fbs.machine()
+            .tracer()
+            .instant(EventKind::DagVisit, dom.0, None, fbs.fbuf_at_va(va).map(|f| f.0));
         // Defense 3 happens inside the VM: if `dom` has no mapping, the
         // read faults to a null page stamped with empty leaves.
         let bytes = fbs.machine_mut().read(dom, va, NODE_SIZE)?;

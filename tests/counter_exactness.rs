@@ -1,0 +1,104 @@
+//! Pins the paper's operation-count claims *exactly*, using counter
+//! deltas over a warmed cached loopback run.
+//!
+//! §3.2.2: "only two page table updates are required, irrespective of
+//! the number of transfers" — and both of those happen while the path
+//! warms up. In steady state a cached fbuf shuttles between the free
+//! list and the path with **zero** page table updates and **zero**
+//! security page clears; every allocation is a cache hit.
+
+use fbufs::net::{LoopbackConfig, LoopbackStack};
+use fbufs::sim::{audit_tracer, EventKind, MachineConfig};
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 24 << 20;
+    cfg
+}
+
+#[test]
+fn cached_steady_state_counter_deltas_are_exact() {
+    let msgs = 8u64;
+    let size = 16 << 10; // 4 PDU-sized fbufs per message
+    let frags = size / 4096;
+
+    let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+    // Warm-up populates the per-path free list (the only point where
+    // mappings are installed and pages cleared).
+    for _ in 0..2 {
+        s.send_message(size, false).unwrap();
+    }
+    let mark = s.fbs.stats().snapshot();
+    for _ in 0..msgs {
+        s.send_message(size, false).unwrap();
+    }
+    let d = s.fbs.stats().snapshot().delta(&mark);
+
+    // The §3.2.2 claim, pinned exactly: zero VM work in steady state.
+    assert_eq!(d.pte_updates, 0, "cached path re-maps nothing");
+    assert_eq!(d.pages_cleared, 0, "cached path re-clears nothing");
+    assert_eq!(d.tlb_flushes, 0);
+    assert_eq!(d.frames_allocated, 0);
+
+    // Every allocation is served from the path's free list.
+    assert_eq!(d.fbuf_cache_hits, msgs * frags);
+    assert_eq!(d.fbuf_cache_misses, 0);
+
+    // Each fragment makes two body-mapped crossings per round trip
+    // (originator->netserver down, netserver->receiver up).
+    assert_eq!(d.fbuf_transfers, msgs * frags * 2);
+
+    // Two RPCs per message; dealloc notices ride the replies.
+    assert_eq!(d.ipc_messages, msgs * 2);
+    assert_eq!(d.explicit_notice_messages, 0);
+}
+
+#[test]
+fn uncached_steady_state_pays_vm_work_every_message() {
+    // The contrast case: without caching, each message's buffers are
+    // built and retired, so PTE updates and clears recur per message.
+    let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, false));
+    for _ in 0..2 {
+        s.send_message(16 << 10, false).unwrap();
+    }
+    let mark = s.fbs.stats().snapshot();
+    s.send_message(16 << 10, false).unwrap();
+    let d = s.fbs.stats().snapshot().delta(&mark);
+    assert!(d.pte_updates > 0, "uncached transfers update page tables");
+    assert!(d.pages_cleared > 0, "uncached allocations clear pages");
+    assert_eq!(d.fbuf_cache_hits, 0);
+}
+
+#[test]
+fn traced_cached_run_audits_clean_with_expected_events() {
+    let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+    let tracer = s.fbs.machine().tracer();
+    tracer.set_enabled(true);
+    for _ in 0..4 {
+        s.send_message(16 << 10, false).unwrap();
+    }
+    for kind in [
+        EventKind::Alloc,
+        EventKind::Transfer,
+        EventKind::CacheHit,
+        EventKind::Free,
+    ] {
+        assert!(tracer.count_of(kind) > 0, "expected {kind:?} events");
+    }
+    audit_tracer(&tracer).assert_clean();
+}
+
+#[test]
+fn tracing_is_zero_cost_in_simulated_time() {
+    // Enabling the tracer must not move a single simulated nanosecond:
+    // recording never charges the clock.
+    let run = |traced: bool| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+        s.fbs.machine().tracer().set_enabled(traced);
+        for _ in 0..3 {
+            s.send_message(32 << 10, false).unwrap();
+        }
+        s.fbs.machine().clock().now()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -3,7 +3,7 @@
 //! placement.
 
 use fbufs::net::{DomainSetup, EndToEnd, EndToEndConfig, LoopbackConfig, LoopbackStack};
-use fbufs::sim::MachineConfig;
+use fbufs::sim::{audit_tracer, MachineConfig};
 
 fn machine() -> MachineConfig {
     let mut cfg = MachineConfig::decstation_5000_200();
@@ -25,6 +25,8 @@ fn osiris_delivers_every_configuration() {
                 EndToEndConfig::fig6(setup)
             };
             let mut e = EndToEnd::new(machine(), cfg);
+            e.tx.fbs.machine().tracer().set_enabled(true);
+            e.rx.fbs.machine().tracer().set_enabled(true);
             // Several messages, odd sizes spanning fragment boundaries.
             for (i, size) in [1u64, 100, 4096, 16_384, 16_385, 100_000]
                 .iter()
@@ -41,6 +43,10 @@ fn osiris_delivers_every_configuration() {
             // Payloads differ per message (datagram-seeded), so any
             // cross-message buffer aliasing would show up here.
             assert_ne!(e.received[2], e.received[3][..4096].to_vec());
+            // The traced event streams obey the lifecycle invariants on
+            // both hosts.
+            audit_tracer(&e.tx.fbs.machine().tracer()).assert_clean();
+            audit_tracer(&e.rx.fbs.machine().tracer()).assert_clean();
         }
     }
 }
@@ -50,10 +56,12 @@ fn loopback_delivers_all_configurations() {
     for three in [false, true] {
         for cached in [true, false] {
             let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(three, cached));
+            s.fbs.machine().tracer().set_enabled(true);
             for size in [1u64, 4095, 4096, 4097, 50_000, 300_000] {
                 s.send_message(size, true)
                     .unwrap_or_else(|err| panic!("three={three} cached={cached}: {err}"));
             }
+            audit_tracer(&s.fbs.machine().tracer()).assert_clean();
         }
     }
 }

@@ -2,7 +2,7 @@
 //! deallocation notices, and domain churn combined.
 
 use fbufs::fbuf::{AllocMode, FbufSystem, SendMode};
-use fbufs::sim::MachineConfig;
+use fbufs::sim::{audit_tracer, MachineConfig};
 use fbufs::vm::KERNEL_DOMAIN;
 
 fn small_memory_system() -> FbufSystem {
@@ -15,6 +15,7 @@ fn small_memory_system() -> FbufSystem {
 #[test]
 fn pageout_keeps_io_running_under_memory_pressure() {
     let mut fbs = small_memory_system();
+    fbs.machine().tracer().set_enabled(true);
     let app = fbs.create_domain();
     let path = fbs.create_path(vec![KERNEL_DOMAIN, app]).unwrap();
     // Occupy most of memory with parked fbufs, then keep allocating:
@@ -64,6 +65,9 @@ fn pageout_keeps_io_running_under_memory_pressure() {
         fbs.stats().frames_reclaimed() > 0,
         "pressure exercised pageout"
     );
+    // The full alloc/transfer/free/reclaim stream obeys the lifecycle
+    // invariants.
+    audit_tracer(&fbs.machine().tracer()).assert_clean();
 }
 
 #[test]

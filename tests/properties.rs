@@ -6,7 +6,7 @@
 
 use fbufs::fbuf::{AllocMode, FbufId, FbufSystem, SendMode};
 use fbufs::net::ip;
-use fbufs::sim::{Checker, MachineConfig, Rng};
+use fbufs::sim::{Checker, Histogram, MachineConfig, Rng};
 use fbufs::xkernel::{Extent, Msg};
 
 const CASES: u64 = 64;
@@ -215,5 +215,85 @@ fn cached_reuse_returns_zero_pte_steady_state() {
                 ptes,
                 "steady-state cached/volatile transfers must do no mapping work"
             );
+        });
+}
+
+/// Arbitrary latency-like samples, spanning many histogram buckets
+/// (zeros, small, and large values all occur).
+fn arb_samples(rng: &mut Rng) -> Vec<u64> {
+    rng.vec_with(0, 40, |r| {
+        let shift = r.below(40) as u32;
+        r.below(1u64 << shift.max(1))
+    })
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    Checker::new("histogram_merge_is_associative_and_commutative")
+        .cases(CASES)
+        .run(|rng| {
+            let (a, b, c) = (
+                hist_of(&arb_samples(rng)),
+                hist_of(&arb_samples(rng)),
+                hist_of(&arb_samples(rng)),
+            );
+            // (a + b) + c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a + (b + c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge associativity");
+            // b + a == a + b
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge commutativity");
+        });
+}
+
+#[test]
+fn histogram_percentiles_are_monotone_and_bounded() {
+    Checker::new("histogram_percentiles_are_monotone_and_bounded")
+        .cases(CASES)
+        .run(|rng| {
+            let samples = arb_samples(rng);
+            let h = hist_of(&samples);
+            if h.is_empty() {
+                return;
+            }
+            assert!(h.p50() <= h.p90());
+            assert!(h.p90() <= h.p99());
+            assert!(h.min() <= h.p50());
+            assert!(h.p99() <= h.max());
+            assert_eq!(h.count(), samples.len() as u64);
+        });
+}
+
+#[test]
+fn histogram_split_then_merge_preserves_contents() {
+    Checker::new("histogram_split_then_merge_preserves_contents")
+        .cases(CASES)
+        .run(|rng| {
+            let h = hist_of(&arb_samples(rng));
+            let b = rng.below(70) as usize; // including out-of-range splits
+            let (lo, hi) = h.split_at_bucket(b);
+            assert_eq!(lo.count() + hi.count(), h.count(), "count preserved");
+            let mut back = lo.clone();
+            back.merge(&hi);
+            assert_eq!(back.buckets(), h.buckets(), "bucket-exact recombination");
+            assert_eq!(back.count(), h.count());
         });
 }
