@@ -1,0 +1,234 @@
+//! `fbuf-stress`: wall-clock throughput of the engine's cached hot path.
+//!
+//! Every other target in this crate reports *simulated* time — the paper's
+//! question. This one answers the engineering question underneath: how many
+//! cached loopback alloc→send→send→free cycles per second can the engine
+//! itself execute on the host? It drives the canonical three-domain
+//! (originator → netserver → receiver) pattern across a configurable
+//! number of paths, asserts the §3.2.2 steady-state invariant (zero PTE
+//! updates, zero page clears, every allocation a cache hit) over the
+//! measured window, and records both simulated and host throughput in
+//! `BENCH_stress.json` under the report's `host` block.
+//!
+//! Environment knobs:
+//!
+//! * `FBUF_STRESS_OPS`   — steady-state cycles to run (default 200000;
+//!   each cycle is 1 alloc + 2 sends + 3 frees = 6 fbuf operations);
+//! * `FBUF_STRESS_PATHS` — concurrent data paths (default 4, each with
+//!   its own originator/netserver/receiver domain triple);
+//! * `FBUF_STRESS_PAGES` — pages per buffer (default 1);
+//! * `FBUF_STRESS_BASELINE_NS` — ns per fbuf operation of a reference
+//!   engine build; when set, the report and summary line carry the
+//!   speedup against it;
+//! * `FBUF_BENCH_DIR`    — report directory (default `target/bench-reports`).
+//!
+//! Check mode: `fbuf-stress --check <dir>` validates every `BENCH_*.json`
+//! in `<dir>` with the in-repo parser and fails unless each carries a
+//! `host` block (used by `ci.sh`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fbuf::{AllocMode, FbufSystem, SendMode};
+use fbuf_sim::bench::{BenchRunner, Unit};
+use fbuf_sim::{Json, MachineConfig};
+use fbuf_vm::DomainId;
+use fbuf::PathId;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n: &f64| n > 0.0)
+}
+
+/// One path's cast: the three domains of the paper's loopback experiment.
+struct PathTriple {
+    path: PathId,
+    originator: DomainId,
+    netserver: DomainId,
+    receiver: DomainId,
+}
+
+/// One full cached loopback cycle on `p`: alloc at the originator, hand
+/// the buffer down to the netserver and up to the receiver (with the two
+/// RPCs the real stack makes, so dealloc notices keep draining), then
+/// free in every holding domain. 6 fbuf operations.
+fn cycle(s: &mut FbufSystem, p: &PathTriple, len: u64) {
+    let id = s.alloc(p.originator, AllocMode::Cached(p.path), len).expect("cached alloc");
+    s.rpc_mut().call(p.originator, p.netserver);
+    s.send(id, p.originator, p.netserver, SendMode::Volatile).expect("send down");
+    s.rpc_mut().call(p.netserver, p.receiver);
+    s.send(id, p.netserver, p.receiver, SendMode::Volatile).expect("send up");
+    s.free(id, p.receiver).expect("free receiver");
+    s.free(id, p.netserver).expect("free netserver");
+    s.free(id, p.originator).expect("free originator");
+}
+
+/// Validates every `BENCH_*.json` in `dir`: parses with the in-repo
+/// parser and requires the `host` block. Returns the number of reports
+/// checked, or an error description.
+fn check_reports(dir: &str) -> Result<usize, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir}: {e}"))?;
+    let mut checked = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| format!("{name}: JSON parse failed: {e:?}"))?;
+        let host = doc.get("host").ok_or(format!("{name}: missing `host` block"))?;
+        host.get("timebase")
+            .and_then(|t| t.as_str())
+            .filter(|&t| t == "wall_clock_ns")
+            .ok_or(format!("{name}: `host.timebase` is not wall_clock_ns"))?;
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!("no BENCH_*.json reports found in {dir}"));
+    }
+    Ok(checked)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--check") {
+        let dir = args.get(2).map(String::as_str).unwrap_or("target/bench-reports");
+        return match check_reports(dir) {
+            Ok(n) => {
+                println!("fbuf-stress --check: {n} report(s) in {dir} parse and carry a host block");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("fbuf-stress --check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cycles = env_u64("FBUF_STRESS_OPS", 200_000);
+    let npaths = env_u64("FBUF_STRESS_PATHS", 4) as usize;
+    let pages = env_u64("FBUF_STRESS_PAGES", 1);
+    let baseline = env_f64("FBUF_STRESS_BASELINE_NS");
+
+    let mut cfg = MachineConfig::decstation_5000_200();
+    // Enough physical memory and chunk space that every path's working
+    // set stays resident: the workload must never fall off the cached
+    // fast path into reclamation.
+    cfg.phys_mem = 64 << 20;
+    cfg.chunk_size = 1 << 20;
+    let page_size = cfg.page_size;
+    let len = pages * page_size;
+
+    let mut s = FbufSystem::new(cfg);
+    let mut triples = Vec::with_capacity(npaths);
+    for _ in 0..npaths {
+        let originator = s.create_domain();
+        let netserver = s.create_domain();
+        let receiver = s.create_domain();
+        let path = s
+            .create_path(vec![originator, netserver, receiver])
+            .expect("fresh domains make a path");
+        triples.push(PathTriple { path, originator, netserver, receiver });
+    }
+
+    // Warm every path: the first cycle per path builds the buffer and
+    // installs its mappings; afterwards the engine is in §3.2.2 steady
+    // state and stays there.
+    for t in &triples {
+        cycle(&mut s, t, len);
+    }
+
+    let mark = s.stats().snapshot();
+    let sim_t0 = s.machine().clock().now();
+    let host_t0 = Instant::now();
+    for i in 0..cycles {
+        let t = &triples[(i as usize) % npaths];
+        cycle(&mut s, t, len);
+    }
+    let host_elapsed = host_t0.elapsed();
+    let sim_elapsed = s.machine().clock().now() - sim_t0;
+    let delta = s.stats().snapshot().delta(&mark);
+
+    // The measured window must be pure steady state — otherwise the
+    // number is not the cached hot path and the run is meaningless.
+    let mut violations = Vec::new();
+    if delta.pte_updates != 0 {
+        violations.push(format!("pte_updates = {} (want 0)", delta.pte_updates));
+    }
+    if delta.pages_cleared != 0 {
+        violations.push(format!("pages_cleared = {} (want 0)", delta.pages_cleared));
+    }
+    if delta.fbuf_cache_misses != 0 {
+        violations.push(format!("fbuf_cache_misses = {} (want 0)", delta.fbuf_cache_misses));
+    }
+    if delta.fbuf_cache_hits != cycles {
+        violations.push(format!("fbuf_cache_hits = {} (want {cycles})", delta.fbuf_cache_hits));
+    }
+    if !violations.is_empty() {
+        eprintln!("fbuf-stress FAILED: measured window left §3.2.2 steady state:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // 6 fbuf operations per cycle: 1 alloc + 2 sends + 3 frees.
+    let fbuf_ops = cycles * 6;
+    let host_ns = host_elapsed.as_nanos() as u64;
+    let sim_us_per_cycle = sim_elapsed.as_us_f64() / cycles as f64;
+
+    println!(
+        "== fbuf-stress: {} cycles ({} fbuf ops) across {} path(s), {} page(s)/buffer ==",
+        cycles, fbuf_ops, npaths, pages
+    );
+    println!(
+        "simulated: {:.1} us total, {:.3} us/cycle, {:.0} Mb/s",
+        sim_elapsed.as_us_f64(),
+        sim_us_per_cycle,
+        sim_elapsed.mbps(len * cycles)
+    );
+
+    let mut runner = BenchRunner::new("stress");
+    runner.measure("cached_cycle", Unit::SimUs, || sim_us_per_cycle);
+    runner.host_throughput("cached_fbuf_ops", fbuf_ops, host_ns, baseline);
+    runner.host_throughput("cached_cycles", cycles, host_ns, None);
+    runner.counters(&delta);
+    runner.artifact(
+        "config",
+        Json::obj(vec![
+            ("cycles", fbuf_sim::ToJson::to_json(&cycles)),
+            ("paths", fbuf_sim::ToJson::to_json(&(npaths as u64))),
+            ("pages_per_buffer", fbuf_sim::ToJson::to_json(&pages)),
+            ("bytes_per_buffer", fbuf_sim::ToJson::to_json(&len)),
+            ("ops_per_cycle", fbuf_sim::ToJson::to_json(&6u64)),
+        ]),
+    );
+    let path = match runner.finish() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fbuf-stress FAILED: could not write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The report must round-trip through the in-repo parser and satisfy
+    // the same contract `--check` enforces.
+    let text = std::fs::read_to_string(&path).expect("just-written report");
+    let doc = Json::parse(&text).expect("report parses");
+    assert!(doc.get("host").is_some(), "stress report carries a host block");
+    ExitCode::SUCCESS
+}

@@ -44,8 +44,20 @@ pub struct Fbuf {
     pub frames: Vec<Option<FrameId>>,
     /// Domains currently holding a reference.
     pub holders: Vec<DomainId>,
+    /// Parallel to `holders`: this fbuf's index inside the system's
+    /// per-domain held list for the corresponding holder, so releasing a
+    /// reference is O(1) instead of a scan (maintained by `FbufSystem`).
+    pub held_pos: Vec<usize>,
     /// Domains in which the pages are currently mapped.
     pub mapped_in: Vec<DomainId>,
+    /// Intrusive parked-list link toward the cold end (maintained by
+    /// `FbufSystem`; meaningful only while `park_linked`).
+    pub park_prev: Option<FbufId>,
+    /// Intrusive parked-list link toward the hot end.
+    pub park_next: Option<FbufId>,
+    /// Whether the fbuf is currently linked into the system's parked
+    /// (reclaimable) list.
+    pub park_linked: bool,
 }
 
 impl Fbuf {
@@ -91,7 +103,11 @@ mod tests {
             state: FbufState::Volatile,
             frames: vec![Some(FrameId(3)), None],
             holders: vec![DomainId(1)],
+            held_pos: vec![0],
             mapped_in: vec![DomainId(1)],
+            park_prev: None,
+            park_next: None,
+            park_linked: false,
         }
     }
 

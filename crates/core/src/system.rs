@@ -13,12 +13,31 @@
 //!
 //! Only mapping operations that the regime actually requires are performed;
 //! the per-page costs of Table 1 emerge from these sequences.
+//!
+//! # Hot-path data structures
+//!
+//! The steady-state cycle (cached alloc → send → free) is the whole point
+//! of the paper, so the bookkeeping around it is O(1) and allocation-free:
+//!
+//! * fbufs live in a generational slab ([`fbuf_sim::Arena`]); an [`FbufId`]
+//!   *is* the arena handle, so a retired id can never silently alias a
+//!   recycled slot — stale ids report [`FbufError::NoSuchFbuf`];
+//! * every per-page `map_page`/`unmap_page`/`protect_page` loop became one
+//!   batched range call on [`Machine`] (identical simulated charges, one
+//!   ranged trace event instead of N);
+//! * each domain keeps an index of the fbufs it holds, with back-pointers
+//!   (`Fbuf::held_pos`) so [`FbufSystem::free`] and domain termination
+//!   never scan the fbuf table;
+//! * parked (free-listed) fbufs form an intrusive doubly-linked list,
+//!   coldest at the head, which is the pageout daemon's reclaim order —
+//!   [`FbufSystem::reclaim_frames`] pops victims lazily instead of
+//!   materializing a global victim vector.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use fbuf_ipc::Rpc;
-use fbuf_sim::{CostCategory, EventKind, MachineConfig, Stats};
-use fbuf_vm::{DomainId, Machine, Prot};
+use fbuf_sim::{Arena, CostCategory, EventKind, MachineConfig, Stats};
+use fbuf_vm::{DomainId, FrameId, Machine, Prot};
 
 use crate::buffer::{Fbuf, FbufId, FbufState};
 use crate::error::{FbufError, FbufResult};
@@ -59,12 +78,28 @@ pub struct FbufSystem {
     rpc: Rpc,
     chunk_alloc: ChunkAllocator,
     allocators: HashMap<(u32, Option<PathId>), LocalAllocator>,
-    paths: HashMap<PathId, DataPath>,
-    next_path: u64,
-    fbufs: HashMap<FbufId, Fbuf>,
-    next_fbuf: u64,
-    registered: HashSet<u32>,
-    terminated: HashSet<u32>,
+    /// Paths indexed directly by `PathId.0` (paths are never removed, only
+    /// marked dead).
+    paths: Vec<DataPath>,
+    /// Fbuf objects in a generational slab; an [`FbufId`] is the arena
+    /// handle, so stale ids fail instead of aliasing recycled slots.
+    fbufs: Arena<Fbuf>,
+    /// Registration flag per domain id (kernel included).
+    registered: Vec<bool>,
+    /// Termination flag per domain id (zombie-chunk bookkeeping).
+    terminated: Vec<bool>,
+    /// Per-domain index of the fbufs the domain currently holds, kept in
+    /// sync with `Fbuf::holders` via the `Fbuf::held_pos` back-pointers so
+    /// a release is O(1) and termination never scans the fbuf table.
+    held: Vec<Vec<FbufId>>,
+    /// Per-domain count of live fbufs the domain originated; the
+    /// zombie-chunk check reads this instead of scanning every fbuf.
+    originated_live: Vec<u64>,
+    /// Head (coldest) of the intrusive parked list — the pageout daemon's
+    /// reclaim order. Links live in `Fbuf::park_prev`/`park_next`.
+    park_head: Option<FbufId>,
+    /// Tail (hottest) of the intrusive parked list.
+    park_tail: Option<FbufId>,
     /// Base virtual address → fbuf, for reverse lookups (integrated
     /// aggregate inspection needs to map DAG pointers back to buffers).
     va_index: BTreeMap<u64, FbufId>,
@@ -89,6 +124,18 @@ pub enum ReusePolicy {
     Fifo,
 }
 
+/// Records `dom` as a holder of `id`, wiring the per-domain held index and
+/// the fbuf-side back-pointer in one step. No-op if already a holder.
+fn add_holder(f: &mut Fbuf, held: &mut [Vec<FbufId>], id: FbufId, dom: DomainId) {
+    if f.held_by(dom) {
+        return;
+    }
+    let hd = &mut held[dom.0 as usize];
+    f.held_pos.push(hd.len());
+    f.holders.push(dom);
+    hd.push(id);
+}
+
 impl FbufSystem {
     /// Builds the facility over a fresh machine; the kernel domain is
     /// created and registered.
@@ -110,12 +157,14 @@ impl FbufSystem {
                 cfg.chunk_size,
             ),
             allocators: HashMap::new(),
-            paths: HashMap::new(),
-            next_path: 0,
-            fbufs: HashMap::new(),
-            next_fbuf: 0,
-            registered: HashSet::new(),
-            terminated: HashSet::new(),
+            paths: Vec::new(),
+            fbufs: Arena::new(),
+            registered: Vec::new(),
+            terminated: Vec::new(),
+            held: Vec::new(),
+            originated_live: Vec::new(),
+            park_head: None,
+            park_tail: None,
             va_index: BTreeMap::new(),
             charge_clearing: true,
             reuse_policy: ReusePolicy::Lifo,
@@ -124,8 +173,24 @@ impl FbufSystem {
         sys.machine
             .map_fbuf_region(kernel)
             .expect("fresh kernel fbuf region");
-        sys.registered.insert(kernel.0);
+        sys.register(kernel);
         sys
+    }
+
+    /// Grows the per-domain tables to cover `dom` and marks it registered.
+    fn register(&mut self, dom: DomainId) {
+        let need = dom.0 as usize + 1;
+        if self.registered.len() < need {
+            self.registered.resize(need, false);
+            self.terminated.resize(need, false);
+            self.held.resize_with(need, Vec::new);
+            self.originated_live.resize(need, 0);
+        }
+        self.registered[dom.0 as usize] = true;
+    }
+
+    fn is_registered(&self, dom: DomainId) -> bool {
+        self.registered.get(dom.0 as usize).copied().unwrap_or(false)
     }
 
     /// Creates and registers a new protection domain (its slice of the
@@ -135,7 +200,7 @@ impl FbufSystem {
         self.machine
             .map_fbuf_region(dom)
             .expect("fresh domain fbuf region");
-        self.registered.insert(dom.0);
+        self.register(dom);
         dom
     }
 
@@ -164,24 +229,25 @@ impl FbufSystem {
     /// the originator).
     pub fn create_path(&mut self, domains: Vec<DomainId>) -> FbufResult<PathId> {
         for d in &domains {
-            if !self.registered.contains(&d.0) || !self.machine.domain_alive(*d) {
+            if !self.is_registered(*d) || !self.machine.domain_alive(*d) {
                 return Err(FbufError::UnknownDomain(*d));
             }
         }
-        let id = PathId(self.next_path);
-        self.next_path += 1;
-        self.paths.insert(id, DataPath::new(id, domains));
+        let id = PathId(self.paths.len() as u64);
+        self.paths.push(DataPath::new(id, domains));
         Ok(id)
     }
 
     /// Looks up a path.
     pub fn path(&self, id: PathId) -> FbufResult<&DataPath> {
-        self.paths.get(&id).ok_or(FbufError::NoSuchPath(id))
+        self.paths
+            .get(id.0 as usize)
+            .ok_or(FbufError::NoSuchPath(id))
     }
 
     /// Looks up an fbuf.
     pub fn fbuf(&self, id: FbufId) -> FbufResult<&Fbuf> {
-        self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))
+        self.fbufs.get(id.0).ok_or(FbufError::NoSuchFbuf(id))
     }
 
     /// Number of live fbuf objects (incl. parked ones).
@@ -193,7 +259,7 @@ impl FbufSystem {
     pub fn fbuf_at_va(&self, va: u64) -> Option<FbufId> {
         let page_size = self.machine.page_size();
         let (_, &id) = self.va_index.range(..=va).next_back()?;
-        let f = self.fbufs.get(&id)?;
+        let f = self.fbufs.get(id.0)?;
         (va < f.va + f.pages * page_size).then_some(id)
     }
 
@@ -209,42 +275,39 @@ impl FbufSystem {
     /// is required, and the appropriate mappings already exist", §3.2.2).
     pub fn alloc(&mut self, dom: DomainId, mode: AllocMode, len: u64) -> FbufResult<FbufId> {
         self.check_domain(dom)?;
-        let t0 = self.machine.clock().now();
+        let t0 = self.machine.now();
         let pages = self.machine.config().pages_for(len).max(1);
         match mode {
             AllocMode::Cached(path_id) => {
-                {
+                let reuse_policy = self.reuse_policy;
+                let parked = {
                     let path = self
                         .paths
-                        .get(&path_id)
+                        .get_mut(path_id.0 as usize)
+                        .filter(|p| p.live)
                         .ok_or(FbufError::NoSuchPath(path_id))?;
-                    if !path.live {
-                        return Err(FbufError::NoSuchPath(path_id));
-                    }
                     if path.originator() != dom {
                         return Err(FbufError::NotHolder {
                             domain: dom,
                             fbuf: FbufId(u64::MAX),
                         });
                     }
-                }
-                let parked = {
-                    let p = self.paths.get_mut(&path_id).expect("checked above");
-                    match self.reuse_policy {
-                        ReusePolicy::Lifo => p.take(pages),
-                        ReusePolicy::Fifo => p.take_fifo(pages),
+                    match reuse_policy {
+                        ReusePolicy::Lifo => path.take(pages),
+                        ReusePolicy::Fifo => path.take_fifo(pages),
                     }
                 };
                 if let Some(id) = parked {
+                    self.park_unlink(id);
                     let id = self.reuse_cached(id, dom, len)?;
-                    let tr = self.machine.tracer();
+                    let tr = self.machine.tracer_ref();
                     tr.instant(EventKind::CacheHit, dom.0, Some(path_id.0), Some(id.0));
                     tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
                     return Ok(id);
                 }
-                self.stats().inc_fbuf_cache_misses();
+                self.machine.stats_ref().inc_fbuf_cache_misses();
                 let id = self.build(dom, Some(path_id), pages, len)?;
-                let tr = self.machine.tracer();
+                let tr = self.machine.tracer_ref();
                 tr.instant(EventKind::CacheMiss, dom.0, Some(path_id.0), Some(id.0));
                 tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
                 Ok(id)
@@ -255,7 +318,7 @@ impl FbufSystem {
                     .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
                 let id = self.build(dom, None, pages, len)?;
                 self.machine
-                    .tracer()
+                    .tracer_ref()
                     .span(t0, EventKind::Alloc, dom.0, None, Some(id.0));
                 Ok(id)
             }
@@ -266,7 +329,7 @@ impl FbufSystem {
     /// first) when memory is tight — "the amount of physical memory
     /// allocated to fbufs depends on the level of I/O traffic compared to
     /// other system activity" (§3.3).
-    fn frame_with_reclaim(&mut self) -> FbufResult<fbuf_vm::FrameId> {
+    fn frame_with_reclaim(&mut self) -> FbufResult<FrameId> {
         match self.machine.alloc_frame() {
             Ok(f) => Ok(f),
             Err(fbuf_vm::Fault::OutOfMemory) => {
@@ -279,41 +342,73 @@ impl FbufSystem {
         }
     }
 
+    /// Hands a parked fbuf back to the originator: the paper's steady-state
+    /// hit path — a free-list charge and O(1) bookkeeping, no mapping work
+    /// and no allocation.
     fn reuse_cached(&mut self, id: FbufId, dom: DomainId, len: u64) -> FbufResult<FbufId> {
-        self.stats().inc_fbuf_cache_hits();
+        self.machine.stats_ref().inc_fbuf_cache_hits();
         self.machine
             .charge(CostCategory::Alloc, self.machine.costs().freelist_op);
+        if !self.fbufs.get(id.0).expect("parked fbuf exists").resident() {
+            // The pageout daemon stole frames while the buffer sat parked:
+            // re-materialize before handing it out.
+            self.rematerialize(id, dom)?;
+        }
+        let FbufSystem { fbufs, held, .. } = self;
+        let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
+        debug_assert!(f.holders.is_empty());
+        debug_assert_eq!(f.state, FbufState::Volatile);
+        f.len = len;
+        add_holder(f, held, id, dom);
+        Ok(id)
+    }
+
+    /// Re-materializes frames the pageout daemon reclaimed while the fbuf
+    /// sat parked: allocate and clear each missing frame, then install the
+    /// mappings with batched range ops over each contiguous missing run.
+    fn rematerialize(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
         let page_size = self.machine.page_size();
-        // Re-materialize frames the pageout daemon reclaimed while parked.
-        let missing: Vec<u64> = {
-            let f = self.fbufs.get(&id).expect("parked fbuf exists");
-            (0..f.pages)
-                .filter(|&i| f.frames[i as usize].is_none())
-                .collect()
+        let (va, missing): (u64, Vec<u64>) = {
+            let f = self.fbufs.get(id.0).expect("parked fbuf exists");
+            (
+                f.va,
+                (0..f.pages)
+                    .filter(|&i| f.frames[i as usize].is_none())
+                    .collect(),
+            )
         };
-        for i in missing {
+        let mut fresh = Vec::with_capacity(missing.len());
+        for _ in &missing {
             let frame = self.frame_with_reclaim()?;
             if self.charge_clearing {
                 self.machine.zero_frame(frame);
             } else {
                 self.machine.zero_frame_quietly(frame);
             }
-            let va = {
-                let f = self.fbufs.get(&id).expect("parked fbuf exists");
-                f.page_va(i, page_size)
-            };
-            self.machine.map_page(dom, va, frame, Prot::ReadWrite)?;
-            let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
-            f.frames[i as usize] = Some(frame);
-            if !f.mapped_in.contains(&dom) {
-                f.mapped_in.push(dom);
-            }
+            fresh.push(frame);
         }
-        let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
-        f.len = len;
-        f.holders = vec![dom];
-        debug_assert_eq!(f.state, FbufState::Volatile);
-        Ok(id)
+        let mut i = 0usize;
+        while i < missing.len() {
+            let mut run = 1usize;
+            while i + run < missing.len() && missing[i + run] == missing[i] + run as u64 {
+                run += 1;
+            }
+            self.machine.map_range(
+                dom,
+                va + missing[i] * page_size,
+                &fresh[i..i + run],
+                Prot::ReadWrite,
+            )?;
+            i += run;
+        }
+        let f = self.fbufs.get_mut(id.0).expect("parked fbuf exists");
+        for (k, &idx) in missing.iter().enumerate() {
+            f.frames[idx as usize] = Some(fresh[k]);
+        }
+        if !f.mapped_in.contains(&dom) {
+            f.mapped_in.push(dom);
+        }
+        Ok(())
     }
 
     fn build(
@@ -338,14 +433,14 @@ impl FbufSystem {
                 Some(va) => break va,
                 None => {
                     if allocator.at_quota() {
-                        self.machine.stats().inc_chunk_quota_denials();
+                        self.machine.stats_ref().inc_chunk_quota_denials();
                         return Err(FbufError::QuotaExceeded { path });
                     }
                     // Ask the kernel for another chunk.
                     self.machine
                         .charge(CostCategory::Alloc, self.machine.costs().chunk_request);
                     let chunk = self.chunk_alloc.grant()?;
-                    self.machine.stats().inc_chunks_granted();
+                    self.machine.stats_ref().inc_chunks_granted();
                     self.allocators
                         .get_mut(&(dom.0, path))
                         .expect("inserted above")
@@ -354,35 +449,39 @@ impl FbufSystem {
             }
         };
         let mut frames = Vec::with_capacity(pages as usize);
-        for i in 0..pages {
+        for _ in 0..pages {
             let frame = self.frame_with_reclaim()?;
             if self.charge_clearing {
                 self.machine.zero_frame(frame);
             } else {
                 self.machine.zero_frame_quietly(frame);
             }
-            self.machine
-                .map_page(dom, va + i * page_size, frame, Prot::ReadWrite)?;
-            frames.push(Some(frame));
+            frames.push(frame);
         }
-        let id = FbufId(self.next_fbuf);
-        self.next_fbuf += 1;
+        // One batched mapping install for the whole buffer.
+        self.machine.map_range(dom, va, &frames, Prot::ReadWrite)?;
+        let held_pos = self.held[dom.0 as usize].len();
+        let handle = self.fbufs.insert(Fbuf {
+            id: FbufId(0), // patched below once the handle is known
+            va,
+            pages,
+            len,
+            originator: dom,
+            path,
+            state: FbufState::Volatile,
+            frames: frames.into_iter().map(Some).collect(),
+            holders: vec![dom],
+            held_pos: vec![held_pos],
+            mapped_in: vec![dom],
+            park_prev: None,
+            park_next: None,
+            park_linked: false,
+        });
+        let id = FbufId(handle);
+        self.fbufs.get_mut(handle).expect("just inserted").id = id;
+        self.held[dom.0 as usize].push(id);
+        self.originated_live[dom.0 as usize] += 1;
         self.va_index.insert(va, id);
-        self.fbufs.insert(
-            id,
-            Fbuf {
-                id,
-                va,
-                pages,
-                len,
-                originator: dom,
-                path,
-                state: FbufState::Volatile,
-                frames,
-                holders: vec![dom],
-                mapped_in: vec![dom],
-            },
-        );
         Ok(id)
     }
 
@@ -402,51 +501,68 @@ impl FbufSystem {
         mode: SendMode,
     ) -> FbufResult<()> {
         self.check_domain(to)?;
-        let t0 = self.machine.clock().now();
-        {
-            let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
-            if !f.held_by(from) {
-                return Err(FbufError::NotHolder {
-                    domain: from,
-                    fbuf: id,
-                });
-            }
+        let t0 = self.machine.now();
+        let FbufSystem {
+            fbufs,
+            machine,
+            held,
+            ..
+        } = self;
+        let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        if !f.held_by(from) {
+            return Err(FbufError::NotHolder {
+                domain: from,
+                fbuf: id,
+            });
         }
-        self.stats().inc_fbuf_transfers();
+        machine.stats_ref().inc_fbuf_transfers();
+        let path = f.path;
+        let needs_secure = mode == SendMode::Secure
+            && f.state != FbufState::Secured
+            && !f.originator.is_kernel();
+        let needs_map = !f.mapped_in.contains(&to);
+        if !needs_secure && !needs_map {
+            // Steady-state cached transfer: one slab lookup, no VM work.
+            add_holder(f, held, id, to);
+            machine.tracer_ref().span_peer(
+                t0,
+                EventKind::Transfer,
+                from.0,
+                Some(to.0),
+                path.map(|p| p.0),
+                Some(id.0),
+            );
+            return Ok(());
+        }
         if mode == SendMode::Secure {
             self.do_secure(id)?;
         }
-        let (needs_map, cached) = {
-            let f = self.fbufs.get(&id).expect("checked above");
-            (!f.mapped_in.contains(&to), f.is_cached())
-        };
         if needs_map {
+            let FbufSystem { fbufs, machine, .. } = self;
+            let f = fbufs.get_mut(id.0).expect("checked above");
             // Mapping into the receiver requires the kernel; for cached
             // fbufs this happens once per buffer lifetime and then never
             // again.
-            if !cached {
-                self.machine
-                    .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
+            if !f.is_cached() {
+                machine.charge(CostCategory::Vm, machine.costs().vm_invoke);
             }
-            let page_size = self.machine.page_size();
-            let (va, pages, frames) = {
-                let f = self.fbufs.get(&id).expect("checked above");
-                (f.va, f.pages, f.frames.clone())
-            };
-            for i in 0..pages {
-                let frame = frames[i as usize].expect("held fbuf is resident");
-                self.machine
-                    .map_page(to, va + i * page_size, frame, Prot::Read)?;
-            }
-            let f = self.fbufs.get_mut(&id).expect("checked above");
+            let frames: Vec<FrameId> = f
+                .frames
+                .iter()
+                .map(|s| s.expect("held fbuf is resident"))
+                .collect();
+            machine.map_range(to, f.va, &frames, Prot::Read)?;
             f.mapped_in.push(to);
         }
-        let f = self.fbufs.get_mut(&id).expect("checked above");
-        if !f.holders.contains(&to) {
-            f.holders.push(to);
-        }
-        let path = f.path;
-        self.machine.tracer().span_peer(
+        let FbufSystem {
+            fbufs,
+            machine,
+            held,
+            ..
+        } = self;
+        let f = fbufs.get_mut(id.0).expect("checked above");
+        add_holder(f, held, id, to);
+        machine.tracer_ref().span_peer(
             t0,
             EventKind::Transfer,
             from.0,
@@ -466,24 +582,26 @@ impl FbufSystem {
     /// [`FbufSystem::ensure_mapped`].
     pub fn send_reference(&mut self, id: FbufId, from: DomainId, to: DomainId) -> FbufResult<()> {
         self.check_domain(to)?;
-        let stats = self.stats();
-        let f = self.fbufs.get_mut(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+        let FbufSystem {
+            fbufs,
+            machine,
+            held,
+            ..
+        } = self;
+        let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
         if !f.held_by(from) {
             return Err(FbufError::NotHolder {
                 domain: from,
                 fbuf: id,
             });
         }
-        stats.inc_fbuf_transfers();
-        if !f.holders.contains(&to) {
-            f.holders.push(to);
-        }
-        let path = f.path;
-        self.machine.tracer().instant_peer(
+        machine.stats_ref().inc_fbuf_transfers();
+        add_holder(f, held, id, to);
+        machine.tracer_ref().instant_peer(
             EventKind::Transfer,
             from.0,
             to.0,
-            path.map(|p| p.0),
+            f.path.map(|p| p.0),
             Some(id.0),
         );
         Ok(())
@@ -493,36 +611,26 @@ impl FbufSystem {
     /// counterpart of the mapping normally done by [`FbufSystem::send`];
     /// charged as a fault per page plus the mapping updates).
     pub fn ensure_mapped(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
-        let (needs, va, pages, frames, cached) = {
-            let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
-            if !f.held_by(dom) {
-                return Err(FbufError::NotHolder {
-                    domain: dom,
-                    fbuf: id,
-                });
-            }
-            (
-                !f.mapped_in.contains(&dom),
-                f.va,
-                f.pages,
-                f.frames.clone(),
-                f.is_cached(),
-            )
-        };
-        if !needs {
+        let FbufSystem { fbufs, machine, .. } = self;
+        let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        if !f.held_by(dom) {
+            return Err(FbufError::NotHolder {
+                domain: dom,
+                fbuf: id,
+            });
+        }
+        if f.mapped_in.contains(&dom) {
             return Ok(());
         }
-        let page_size = self.machine.page_size();
-        for i in 0..pages {
-            let frame = frames[i as usize].expect("held fbuf is resident");
-            // Lazy mapping is driven by page faults.
-            self.machine
-                .charge(CostCategory::Vm, self.machine.costs().fault_trap);
-            self.machine
-                .map_page(dom, va + i * page_size, frame, Prot::Read)?;
-        }
-        let _ = cached;
-        let f = self.fbufs.get_mut(&id).expect("checked above");
+        // Lazy mapping is driven by page faults: one trap per page, then a
+        // single batched mapping install.
+        machine.charge(CostCategory::Vm, machine.costs().fault_trap * f.pages);
+        let frames: Vec<FrameId> = f
+            .frames
+            .iter()
+            .map(|s| s.expect("held fbuf is resident"))
+            .collect();
+        machine.map_range(dom, f.va, &frames, Prot::Read)?;
         f.mapped_in.push(dom);
         Ok(())
     }
@@ -531,7 +639,7 @@ impl FbufSystem {
     /// originator's write permission. A no-op when the originator is the
     /// kernel ("this is a no-op if the originator is a trusted domain").
     pub fn secure(&mut self, id: FbufId, requester: DomainId) -> FbufResult<()> {
-        let f = self.fbufs.get(&id).ok_or(FbufError::NoSuchFbuf(id))?;
+        let f = self.fbufs.get(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
         if !f.held_by(requester) {
             return Err(FbufError::NotHolder {
                 domain: requester,
@@ -543,25 +651,21 @@ impl FbufSystem {
 
     fn do_secure(&mut self, id: FbufId) -> FbufResult<()> {
         let (originator, va, pages, state, path) = {
-            let f = self.fbufs.get(&id).expect("caller checked");
+            let f = self.fbufs.get(id.0).expect("caller checked");
             (f.originator, f.va, f.pages, f.state, f.path)
         };
         if state == FbufState::Secured || originator.is_kernel() {
             return Ok(());
         }
-        let page_size = self.machine.page_size();
-        for i in 0..pages {
-            self.machine
-                .protect_page(originator, va + i * page_size, Prot::Read)?;
-        }
-        self.stats().inc_fbufs_secured();
-        self.machine.tracer().instant(
+        self.machine.protect_range(originator, va, pages, Prot::Read)?;
+        self.machine.stats_ref().inc_fbufs_secured();
+        self.machine.tracer_ref().instant(
             EventKind::Secure,
             originator.0,
             path.map(|p| p.0),
             Some(id.0),
         );
-        self.fbufs.get_mut(&id).expect("caller checked").state = FbufState::Secured;
+        self.fbufs.get_mut(id.0).expect("caller checked").state = FbufState::Secured;
         Ok(())
     }
 
@@ -572,25 +676,47 @@ impl FbufSystem {
     /// Releases `dom`'s reference; the last release deallocates the buffer
     /// (parking it on its path's free list if cached).
     pub fn free(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
-        let (originator, now_empty, path) = {
-            let f = self.fbufs.get_mut(&id).ok_or(FbufError::NoSuchFbuf(id))?;
-            let Some(pos) = f.holders.iter().position(|&d| d == dom) else {
-                return Err(FbufError::NotHolder {
-                    domain: dom,
-                    fbuf: id,
-                });
-            };
-            f.holders.remove(pos);
-            (f.originator, f.holders.is_empty(), f.path)
+        let FbufSystem {
+            fbufs,
+            machine,
+            held,
+            rpc,
+            ..
+        } = self;
+        let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        let Some(i) = f.holders.iter().position(|&d| d == dom) else {
+            return Err(FbufError::NotHolder {
+                domain: dom,
+                fbuf: id,
+            });
         };
-        self.machine
-            .tracer()
+        f.holders.swap_remove(i);
+        let pos = f.held_pos.swap_remove(i);
+        let (originator, now_empty, path) = (f.originator, f.holders.is_empty(), f.path);
+        // Drop the entry from the per-domain held index in O(1); the
+        // held_pos back-pointer of whichever fbuf swap_remove moved into
+        // `pos` must be re-aimed.
+        let hd = &mut held[dom.0 as usize];
+        debug_assert_eq!(hd[pos], id);
+        hd.swap_remove(pos);
+        if pos < hd.len() {
+            let moved = hd[pos];
+            let mf = fbufs.get_mut(moved.0).expect("held fbuf is live");
+            let j = mf
+                .holders
+                .iter()
+                .position(|&d| d == dom)
+                .expect("held index consistent");
+            mf.held_pos[j] = pos;
+        }
+        machine
+            .tracer_ref()
             .instant(EventKind::Free, dom.0, path.map(|p| p.0), Some(id.0));
         if dom != originator {
             // An external reference was dropped: queue a deallocation
             // notice for the owner (it rides the next RPC reply, or an
             // explicit message when the backlog grows too long).
-            let _ = self.rpc.queue_dealloc_notice(originator, dom, id.0);
+            let _ = rpc.queue_dealloc_notice(originator, dom, id.0);
         }
         if now_empty {
             self.dealloc(id)?;
@@ -599,40 +725,27 @@ impl FbufSystem {
     }
 
     fn dealloc(&mut self, id: FbufId) -> FbufResult<()> {
-        let (cached_live_path, path, state, originator) = {
-            let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
+        let (cached_live_path, path, state, originator, va, pages) = {
+            let f = self.fbufs.get(id.0).expect("dealloc of live fbuf");
             let live = f
                 .path
-                .and_then(|p| self.paths.get(&p))
+                .and_then(|p| self.paths.get(p.0 as usize))
                 .map(|p| p.live)
                 .unwrap_or(false);
-            (live, f.path, f.state, f.originator)
+            (live, f.path, f.state, f.originator, f.va, f.pages)
         };
         if cached_live_path && self.machine.domain_alive(originator) {
             // Cached: return write permission to the originator and park on
             // the path free list; every mapping stays in place.
             if state == FbufState::Secured {
-                let (va, pages) = {
-                    let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
-                    (f.va, f.pages)
-                };
-                let page_size = self.machine.page_size();
-                for i in 0..pages {
-                    self.machine
-                        .protect_page(originator, va + i * page_size, Prot::ReadWrite)?;
-                }
-                self.fbufs.get_mut(&id).expect("dealloc of live fbuf").state = FbufState::Volatile;
+                self.machine
+                    .protect_range(originator, va, pages, Prot::ReadWrite)?;
+                self.fbufs.get_mut(id.0).expect("dealloc of live fbuf").state = FbufState::Volatile;
             }
             self.machine
                 .charge(CostCategory::Alloc, self.machine.costs().freelist_op);
-            let (pages, path_id) = {
-                let f = self.fbufs.get(&id).expect("dealloc of live fbuf");
-                (f.pages, path.expect("cached fbuf has a path"))
-            };
-            self.paths
-                .get_mut(&path_id)
-                .expect("live path")
-                .park(pages, id);
+            self.paths[path.expect("cached fbuf has a path").0 as usize].park(pages, id);
+            self.park_push_tail(id);
             return Ok(());
         }
         self.retire(id)
@@ -643,16 +756,15 @@ impl FbufSystem {
     fn retire(&mut self, id: FbufId) -> FbufResult<()> {
         self.machine
             .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
-        let page_size = self.machine.page_size();
-        let f = self.fbufs.remove(&id).expect("retire of live fbuf");
+        self.park_unlink(id);
+        let f = self.fbufs.remove(id.0).expect("retire of live fbuf");
+        debug_assert!(f.holders.is_empty(), "retire with outstanding references");
         self.va_index.remove(&f.va);
         for dom in &f.mapped_in {
             if !self.machine.domain_alive(*dom) {
                 continue; // its mappings died with it
             }
-            for i in 0..f.pages {
-                self.machine.unmap_page(*dom, f.va + i * page_size)?;
-            }
+            self.machine.unmap_range(*dom, f.va, f.pages)?;
         }
         for frame in f.frames.iter().flatten() {
             self.machine.release_frame(*frame);
@@ -660,10 +772,11 @@ impl FbufSystem {
         if let Some(alloc) = self.allocators.get_mut(&(f.originator.0, f.path)) {
             alloc.release(f.va, f.pages);
         }
+        self.originated_live[f.originator.0 as usize] -= 1;
         // If the originator terminated earlier, its chunks were parked
         // until all external references drained — check whether this was
         // the last one.
-        if self.terminated.contains(&f.originator.0) {
+        if self.terminated[f.originator.0 as usize] {
             self.maybe_release_zombie_chunks(f.originator);
         }
         Ok(())
@@ -677,55 +790,80 @@ impl FbufSystem {
     /// fbufs, coldest first. Contents are discarded, never paged out
     /// ("when the kernel reclaims the physical memory of an fbuf that is on
     /// a free list, it discards the fbuf's contents").
+    ///
+    /// Victims pop lazily off the head of the intrusive parked list, so the
+    /// walk stops the moment the request is met and already-reclaimed
+    /// buffers never show up (they were unlinked when their frames were
+    /// taken) — no victim vector, no residency re-checks.
     pub fn reclaim_frames(&mut self, want: usize) -> usize {
         let mut reclaimed = 0;
-        let page_size = self.machine.page_size();
-        let victims: Vec<FbufId> = self
-            .paths
-            .values()
-            .flat_map(|p| p.parked_cold_first())
-            .collect();
-        for id in victims {
-            if reclaimed >= want {
-                break;
-            }
-            let (va, pages, mapped_in, resident) = {
-                let f = self.fbufs.get(&id).expect("parked fbuf exists");
-                (f.va, f.pages, f.mapped_in.clone(), f.resident())
-            };
-            if !resident {
-                continue;
-            }
-            for dom in &mapped_in {
-                if !self.machine.domain_alive(*dom) {
-                    continue;
-                }
-                for i in 0..pages {
-                    let _ = self.machine.unmap_page(*dom, va + i * page_size);
+        while reclaimed < want {
+            let Some(id) = self.park_head else { break };
+            self.park_unlink(id);
+            let FbufSystem { fbufs, machine, .. } = self;
+            let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
+            let (va, pages, originator, path) = (f.va, f.pages, f.originator, f.path);
+            for dom in f.mapped_in.drain(..) {
+                if machine.domain_alive(dom) {
+                    let _ = machine.unmap_range(dom, va, pages);
                 }
             }
-            let f = self.fbufs.get_mut(&id).expect("parked fbuf exists");
-            f.mapped_in.clear();
-            let path = f.path;
-            let originator = f.originator;
-            let frames: Vec<_> = f.frames.iter_mut().map(|s| s.take()).collect();
-            let mut took_any = false;
-            for frame in frames.into_iter().flatten() {
-                self.machine.release_frame(frame);
-                self.machine.stats().inc_frames_reclaimed();
-                reclaimed += 1;
-                took_any = true;
+            let mut took = 0u64;
+            for slot in f.frames.iter_mut() {
+                if let Some(frame) = slot.take() {
+                    machine.release_frame(frame);
+                    took += 1;
+                }
             }
-            if took_any {
-                self.machine.tracer().instant(
+            if took > 0 {
+                machine.stats_ref().add_frames_reclaimed(took);
+                machine.tracer_ref().instant(
                     EventKind::Reclaim,
                     originator.0,
                     path.map(|p| p.0),
                     Some(id.0),
                 );
+                reclaimed += took as usize;
             }
         }
         reclaimed
+    }
+
+    /// Appends `id` at the hot end of the parked list.
+    fn park_push_tail(&mut self, id: FbufId) {
+        let old_tail = self.park_tail;
+        {
+            let f = self.fbufs.get_mut(id.0).expect("parked fbuf exists");
+            debug_assert!(!f.park_linked, "double park");
+            f.park_prev = old_tail;
+            f.park_next = None;
+            f.park_linked = true;
+        }
+        match old_tail {
+            Some(t) => self.fbufs.get_mut(t.0).expect("linked fbuf exists").park_next = Some(id),
+            None => self.park_head = Some(id),
+        }
+        self.park_tail = Some(id);
+    }
+
+    /// Removes `id` from the parked list if present (no-op otherwise).
+    fn park_unlink(&mut self, id: FbufId) {
+        let (prev, next) = {
+            let f = self.fbufs.get_mut(id.0).expect("fbuf exists");
+            if !f.park_linked {
+                return;
+            }
+            f.park_linked = false;
+            (f.park_prev.take(), f.park_next.take())
+        };
+        match prev {
+            Some(p) => self.fbufs.get_mut(p.0).expect("linked fbuf exists").park_next = next,
+            None => self.park_head = next,
+        }
+        match next {
+            Some(n) => self.fbufs.get_mut(n.0).expect("linked fbuf exists").park_prev = prev,
+            None => self.park_tail = prev,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -738,27 +876,23 @@ impl FbufSystem {
     /// references to its fbufs are relinquished.
     pub fn terminate_domain(&mut self, dom: DomainId) -> FbufResult<()> {
         self.check_domain(dom)?;
-        // 1. Release every reference the dying domain holds.
-        let held: Vec<FbufId> = self
-            .fbufs
-            .values()
-            .filter(|f| f.held_by(dom))
-            .map(|f| f.id)
-            .collect();
-        for id in held {
+        // 1. Release every reference the dying domain holds — read straight
+        //    off the per-domain held index instead of scanning every fbuf
+        //    (each free removes exactly one entry).
+        while let Some(&id) = self.held[dom.0 as usize].last() {
             self.free(id, dom)?;
         }
         // 2. Tear down paths through the domain; their parked fbufs are
         //    fully retired.
         let dead_paths: Vec<PathId> = self
             .paths
-            .values()
+            .iter()
             .filter(|p| p.live && p.contains(dom))
             .map(|p| p.id)
             .collect();
         for pid in dead_paths {
             let parked = {
-                let p = self.paths.get_mut(&pid).expect("listed above");
+                let p = &mut self.paths[pid.0 as usize];
                 p.live = false;
                 p.drain()
             };
@@ -768,8 +902,8 @@ impl FbufSystem {
         }
         // 3. Machine-level teardown (regions, pmap, TLB).
         self.machine.terminate_domain(dom)?;
-        self.registered.remove(&dom.0);
-        self.terminated.insert(dom.0);
+        self.registered[dom.0 as usize] = false;
+        self.terminated[dom.0 as usize] = true;
         // 4. Release the domain's chunks now, or park them until external
         //    references drain.
         self.maybe_release_zombie_chunks(dom);
@@ -777,8 +911,15 @@ impl FbufSystem {
     }
 
     fn maybe_release_zombie_chunks(&mut self, dom: DomainId) {
-        let still_referenced = self.fbufs.values().any(|f| f.originator == dom);
-        if still_referenced {
+        // O(1): the per-domain live-originated count replaces a scan over
+        // every fbuf in the system.
+        if self
+            .originated_live
+            .get(dom.0 as usize)
+            .copied()
+            .unwrap_or(0)
+            > 0
+        {
             return;
         }
         let keys: Vec<(u32, Option<PathId>)> = self
@@ -796,7 +937,7 @@ impl FbufSystem {
     }
 
     fn check_domain(&self, dom: DomainId) -> FbufResult<()> {
-        if self.registered.contains(&dom.0) && self.machine.domain_alive(dom) {
+        if self.is_registered(dom) && self.machine.domain_alive(dom) {
             Ok(())
         } else {
             Err(FbufError::UnknownDomain(dom))
@@ -829,7 +970,7 @@ impl FbufSystem {
         };
         self.machine.write(dom, va + off, bytes)?;
         self.machine
-            .tracer()
+            .tracer_ref()
             .instant(EventKind::Write, dom.0, path.map(|p| p.0), Some(id.0));
         Ok(())
     }
@@ -1217,5 +1358,42 @@ mod tests {
             s.send(id, d, a, SendMode::Volatile),
             Err(FbufError::NotHolder { .. })
         ));
+    }
+
+    #[test]
+    fn stale_fbuf_id_never_resolves_after_slot_reuse() {
+        // Generational handles: once retired, an FbufId must keep failing
+        // even after the arena slot is recycled by a new buffer.
+        let (mut s, a, b, _) = sys();
+        let old = s.alloc(a, AllocMode::Uncached, 100).unwrap();
+        s.free(old, a).unwrap();
+        assert!(s.fbuf(old).is_err());
+        let new = s.alloc(b, AllocMode::Uncached, 100).unwrap();
+        assert_ne!(old, new, "recycled slot must carry a new generation");
+        assert!(s.fbuf(old).is_err(), "stale id resolved to a recycled slot");
+        assert!(s.fbuf(new).is_ok());
+    }
+
+    #[test]
+    fn held_index_stays_consistent_under_interleaved_frees() {
+        // The swap_remove bookkeeping in `free` must re-aim back-pointers;
+        // exercise out-of-order frees across several buffers and domains.
+        let (mut s, a, b, _) = sys();
+        let ids: Vec<FbufId> = (0..5)
+            .map(|_| s.alloc(a, AllocMode::Uncached, 100).unwrap())
+            .collect();
+        for &id in &ids {
+            s.send(id, a, b, SendMode::Volatile).unwrap();
+        }
+        // Free a's references middle-out, then b's in reverse.
+        for &id in &[ids[2], ids[0], ids[4], ids[1], ids[3]] {
+            s.free(id, a).unwrap();
+        }
+        for &id in ids.iter().rev() {
+            assert!(s.fbuf(id).unwrap().held_by(b));
+            s.free(id, b).unwrap();
+            assert!(s.fbuf(id).is_err());
+        }
+        assert_eq!(s.live_fbufs(), 0);
     }
 }

@@ -6,8 +6,13 @@
 //! reply message is used to carry deallocation notices from this list. When
 //! too many freed references have accumulated, an explicit message must be
 //! sent notifying the owning domain of the deallocations."
-
-use std::collections::HashMap;
+//!
+//! The board sits on the free/RPC hot path (every external-reference free
+//! queues a notice; every RPC drains them), so it is indexed directly by
+//! owner domain id with per-holder token lists that retain their capacity
+//! across drains: the steady-state queue → drain cycle does no hashing and
+//! no allocation beyond the drained result itself, and draining an owner
+//! with nothing pending is a single counter check.
 
 use fbuf_vm::DomainId;
 
@@ -18,11 +23,20 @@ use fbuf_vm::DomainId;
 /// additional messages for the purpose of deallocation."
 pub const DEFAULT_THRESHOLD: usize = 1024;
 
+/// One owner's backlog: per-holder token lists plus a total for the O(1)
+/// emptiness check. Token `Vec`s are cleared, never dropped, so their
+/// capacity survives the steady-state drain cycle.
+#[derive(Debug, Default)]
+struct OwnerBoard {
+    lists: Vec<(u32, Vec<u64>)>,
+    total: usize,
+}
+
 /// Per-domain-pair lists of deallocated external references.
 #[derive(Debug)]
 pub struct NoticeBoard {
-    /// (owner, holder) → queued tokens.
-    pending: HashMap<(u32, u32), Vec<u64>>,
+    /// Indexed by owner domain id.
+    owners: Vec<OwnerBoard>,
     threshold: usize,
 }
 
@@ -30,7 +44,7 @@ impl NoticeBoard {
     /// Creates an empty board with the default threshold.
     pub fn new() -> NoticeBoard {
         NoticeBoard {
-            pending: HashMap::new(),
+            owners: Vec::new(),
             threshold: DEFAULT_THRESHOLD,
         }
     }
@@ -45,38 +59,61 @@ impl NoticeBoard {
     /// reached the threshold (the caller must send an explicit message and
     /// [`NoticeBoard::drain`]).
     pub fn queue(&mut self, owner: DomainId, holder: DomainId, token: u64) -> bool {
-        let list = self.pending.entry((owner.0, holder.0)).or_default();
+        let o = owner.0 as usize;
+        if self.owners.len() <= o {
+            self.owners.resize_with(o + 1, OwnerBoard::default);
+        }
+        let board = &mut self.owners[o];
+        let list = match board.lists.iter_mut().position(|(h, _)| *h == holder.0) {
+            Some(i) => &mut board.lists[i].1,
+            None => {
+                board.lists.push((holder.0, Vec::new()));
+                &mut board.lists.last_mut().expect("just pushed").1
+            }
+        };
         list.push(token);
+        board.total += 1;
         list.len() >= self.threshold
     }
 
     /// Removes and returns the backlog for (owner, holder).
     pub fn drain(&mut self, owner: DomainId, holder: DomainId) -> Vec<u64> {
-        self.pending
-            .remove(&(owner.0, holder.0))
-            .unwrap_or_default()
+        let Some(board) = self.owners.get_mut(owner.0 as usize) else {
+            return Vec::new();
+        };
+        let Some((_, list)) = board.lists.iter_mut().find(|(h, _)| *h == holder.0) else {
+            return Vec::new();
+        };
+        board.total -= list.len();
+        let mut out = Vec::with_capacity(list.len());
+        out.append(list); // leaves `list`'s capacity in place
+        out
     }
 
     /// Number of pending tokens for (owner, holder).
     pub fn pending(&self, owner: DomainId, holder: DomainId) -> usize {
-        self.pending
-            .get(&(owner.0, holder.0))
-            .map(|v| v.len())
+        self.owners
+            .get(owner.0 as usize)
+            .and_then(|b| b.lists.iter().find(|(h, _)| *h == holder.0))
+            .map(|(_, list)| list.len())
             .unwrap_or(0)
     }
 
-    /// Drains every backlog owed to `owner` (endpoint/domain teardown).
+    /// Drains every backlog owed to `owner` (RPC replies and
+    /// endpoint/domain teardown). Returns an empty `Vec` (no allocation)
+    /// when nothing is pending.
     pub fn drain_all_for(&mut self, owner: DomainId) -> Vec<u64> {
-        let keys: Vec<(u32, u32)> = self
-            .pending
-            .keys()
-            .filter(|(o, _)| *o == owner.0)
-            .copied()
-            .collect();
-        let mut out = Vec::new();
-        for k in keys {
-            out.extend(self.pending.remove(&k).unwrap_or_default());
+        let Some(board) = self.owners.get_mut(owner.0 as usize) else {
+            return Vec::new();
+        };
+        if board.total == 0 {
+            return Vec::new();
         }
+        let mut out = Vec::with_capacity(board.total);
+        for (_, list) in board.lists.iter_mut() {
+            out.append(list);
+        }
+        board.total = 0;
         out
     }
 }
@@ -123,6 +160,23 @@ mod tests {
         let h = DomainId(2);
         assert!(!b.queue(o, h, 1));
         assert!(b.queue(o, h, 2));
+    }
+
+    #[test]
+    fn drain_all_collects_every_holder_and_resets() {
+        let mut b = NoticeBoard::new();
+        let o = DomainId(1);
+        b.queue(o, DomainId(2), 1);
+        b.queue(o, DomainId(3), 2);
+        b.queue(o, DomainId(2), 3);
+        let mut all = b.drain_all_for(o);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+        assert!(b.drain_all_for(o).is_empty());
+        assert_eq!(b.pending(o, DomainId(2)), 0);
+        // Re-queue after a full drain works (capacity is retained).
+        assert!(!b.queue(o, DomainId(2), 4));
+        assert_eq!(b.pending(o, DomainId(2)), 1);
     }
 
     #[test]

@@ -77,11 +77,13 @@ impl Rpc {
         self.tracer
             .instant_peer(EventKind::IpcCall, from.0, to.0, None, None);
         let drained = self.notices.drain_all_for(from);
-        for &token in &drained {
-            self.stats.inc_piggybacked_notices();
-            // The notice reaches the owner (`from`) on this reply.
-            self.tracer
-                .instant_peer(EventKind::Notice, to.0, from.0, None, Some(token));
+        if !drained.is_empty() {
+            self.stats.add_piggybacked_notices(drained.len() as u64);
+            for &token in &drained {
+                // The notice reaches the owner (`from`) on this reply.
+                self.tracer
+                    .instant_peer(EventKind::Notice, to.0, from.0, None, Some(token));
+            }
         }
         drained
     }

@@ -284,6 +284,7 @@ mod tests {
             path,
             fbuf,
             dur: None,
+            pages: None,
         }
     }
 

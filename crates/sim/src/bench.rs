@@ -90,6 +90,20 @@ struct Scenario {
     label: String,
     unit: Unit,
     samples: Vec<f64>,
+    /// Host wall-clock nanoseconds per `measure` closure call, collected
+    /// alongside the simulated samples.
+    host_ns: Vec<f64>,
+}
+
+/// One engine-throughput record for the report's `host.throughput` array:
+/// how fast the *simulator itself* executed a workload in wall-clock terms.
+struct HostThroughput {
+    label: String,
+    ops: u64,
+    elapsed_ns: u64,
+    /// Reference ns/op of a prior engine build, when the caller has one
+    /// (lets a report carry its own before/after comparison).
+    baseline_ns_per_op: Option<f64>,
 }
 
 /// Collects simulated-time measurements for one bench target and emits the
@@ -101,6 +115,7 @@ pub struct BenchRunner {
     artifacts: Vec<(String, Json)>,
     counters: Option<StatsSnapshot>,
     latency: Vec<(String, Histogram)>,
+    host_throughput: Vec<HostThroughput>,
 }
 
 impl BenchRunner {
@@ -125,6 +140,7 @@ impl BenchRunner {
             artifacts: Vec::new(),
             counters: None,
             latency: Vec::new(),
+            host_throughput: Vec::new(),
         }
     }
 
@@ -134,13 +150,43 @@ impl BenchRunner {
     }
 
     /// Runs `f` for this runner's iteration count, recording one simulated
-    /// sample per call under `label`.
+    /// sample per call under `label`. Each call is also timed with the
+    /// host's monotonic clock, feeding the report's `host` block — the
+    /// simulated numbers answer the paper's questions, the host numbers
+    /// answer "how fast is the engine itself".
     pub fn measure(&mut self, label: &str, unit: Unit, mut f: impl FnMut() -> f64) {
-        let samples = (0..self.iters).map(|_| f()).collect();
+        let mut samples = Vec::with_capacity(self.iters);
+        let mut host_ns = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = std::time::Instant::now();
+            samples.push(f());
+            host_ns.push(t0.elapsed().as_nanos() as f64);
+        }
         self.scenarios.push(Scenario {
             label: label.to_string(),
             unit,
             samples,
+            host_ns,
+        });
+    }
+
+    /// Records an engine-throughput measurement under `host.throughput`:
+    /// `ops` operations took `elapsed_ns` of host wall-clock. An optional
+    /// `baseline_ns_per_op` from a reference engine build adds a
+    /// `speedup_vs_baseline` field, so the report carries its own
+    /// before/after comparison.
+    pub fn host_throughput(
+        &mut self,
+        label: &str,
+        ops: u64,
+        elapsed_ns: u64,
+        baseline_ns_per_op: Option<f64>,
+    ) {
+        self.host_throughput.push(HostThroughput {
+            label: label.to_string(),
+            ops,
+            elapsed_ns,
+            baseline_ns_per_op,
         });
     }
 
@@ -199,11 +245,62 @@ impl BenchRunner {
                 Json::Obj(fields)
             })
             .collect();
+        let host_scenarios: Vec<Json> = self
+            .scenarios
+            .iter()
+            .filter(|s| !s.host_ns.is_empty())
+            .map(|s| {
+                let sum = summarize(&s.host_ns);
+                let ops_per_sec = if sum.median > 0.0 { 1e9 / sum.median } else { 0.0 };
+                Json::obj(vec![
+                    ("label", s.label.to_json()),
+                    ("median_ns", sum.median.to_json()),
+                    ("p10_ns", sum.p10.to_json()),
+                    ("p90_ns", sum.p90.to_json()),
+                    ("calls_per_sec", ops_per_sec.to_json()),
+                ])
+            })
+            .collect();
+        let host_tp: Vec<Json> = self
+            .host_throughput
+            .iter()
+            .map(|t| {
+                let ns_per_op = if t.ops > 0 { t.elapsed_ns as f64 / t.ops as f64 } else { 0.0 };
+                let ops_per_sec = if t.elapsed_ns > 0 {
+                    t.ops as f64 * 1e9 / t.elapsed_ns as f64
+                } else {
+                    0.0
+                };
+                let mut fields = vec![
+                    ("label".to_string(), t.label.to_json()),
+                    ("ops".to_string(), t.ops.to_json()),
+                    ("elapsed_ns".to_string(), t.elapsed_ns.to_json()),
+                    ("ns_per_op".to_string(), ns_per_op.to_json()),
+                    ("ops_per_sec".to_string(), ops_per_sec.to_json()),
+                ];
+                if let Some(base) = t.baseline_ns_per_op {
+                    fields.push(("baseline_ns_per_op".to_string(), base.to_json()));
+                    if ns_per_op > 0.0 {
+                        fields.push((
+                            "speedup_vs_baseline".to_string(),
+                            (base / ns_per_op).to_json(),
+                        ));
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let host = Json::obj(vec![
+            ("timebase", "wall_clock_ns".to_json()),
+            ("scenarios", Json::Arr(host_scenarios)),
+            ("throughput", Json::Arr(host_tp)),
+        ]);
         Json::obj(vec![
             ("bench", self.name.to_json()),
             ("timebase", "simulated".to_json()),
             ("iters", self.iters.to_json()),
             ("results", Json::Arr(results)),
+            ("host", host),
             (
                 "counters",
                 self.counters
@@ -238,6 +335,28 @@ impl BenchRunner {
                 sum.p10,
                 sum.p90
             );
+        }
+        for t in &self.host_throughput {
+            let ns_per_op = if t.ops > 0 { t.elapsed_ns as f64 / t.ops as f64 } else { 0.0 };
+            let ops_per_sec = if t.elapsed_ns > 0 {
+                t.ops as f64 * 1e9 / t.elapsed_ns as f64
+            } else {
+                0.0
+            };
+            print!(
+                "host: {:<29} {:>10} ops in {:>8.1} ms -> {:>8.1} ns/op, {:>11.0} ops/s",
+                t.label,
+                t.ops,
+                t.elapsed_ns as f64 / 1e6,
+                ns_per_op,
+                ops_per_sec
+            );
+            match t.baseline_ns_per_op {
+                Some(base) if ns_per_op > 0.0 => {
+                    println!(" ({:.2}x vs baseline {:.1} ns/op)", base / ns_per_op, base)
+                }
+                _ => println!(),
+            }
         }
         let dir = std::env::var("FBUF_BENCH_DIR")
             .map(PathBuf::from)
@@ -326,6 +445,37 @@ mod tests {
         let doc = r.report();
         assert!(doc.get("counters").is_some(), "counters key is stable");
         assert_eq!(doc.get("latency").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn host_block_reports_wall_clock_for_every_scenario() {
+        let mut r = BenchRunner::named("hosted", 3);
+        r.measure("work", Unit::SimUs, || 1.0);
+        r.host_throughput("steady_state", 1_000, 2_000_000, None);
+        let doc = r.report();
+        let host = doc.get("host").expect("host block present");
+        assert_eq!(host.get("timebase").unwrap().as_str(), Some("wall_clock_ns"));
+        let scen = host.get("scenarios").unwrap().as_arr().unwrap();
+        assert_eq!(scen.len(), 1);
+        assert_eq!(scen[0].get("label").unwrap().as_str(), Some("work"));
+        assert!(scen[0].get("median_ns").unwrap().as_f64().is_some());
+        let tp = host.get("throughput").unwrap().as_arr().unwrap();
+        assert_eq!(tp.len(), 1);
+        assert_eq!(tp[0].get("ops").unwrap().as_f64(), Some(1_000.0));
+        assert_eq!(tp[0].get("ns_per_op").unwrap().as_f64(), Some(2_000.0));
+        assert_eq!(tp[0].get("ops_per_sec").unwrap().as_f64(), Some(500_000.0));
+        assert!(tp[0].get("baseline_ns_per_op").is_none());
+    }
+
+    #[test]
+    fn host_throughput_carries_baseline_speedup() {
+        let mut r = BenchRunner::named("speedup", 1);
+        r.host_throughput("steady_state", 100, 100_000, Some(4_000.0));
+        let doc = r.report();
+        let tp = &doc.get("host").unwrap().get("throughput").unwrap().as_arr().unwrap()[0];
+        assert_eq!(tp.get("baseline_ns_per_op").unwrap().as_f64(), Some(4_000.0));
+        // 1000 ns/op measured vs 4000 ns/op baseline = 4x.
+        assert_eq!(tp.get("speedup_vs_baseline").unwrap().as_f64(), Some(4.0));
     }
 
     #[test]

@@ -32,7 +32,11 @@
 //! * [`json`] — a minimal JSON value/writer/parser (replaces `serde` for
 //!   the bench reports).
 //! * [`bench`] — a bench runner that reports the simulator's **calibrated
-//!   simulated time** instead of host wall-clock (replaces `criterion`).
+//!   simulated time**, plus host wall-clock engine throughput under each
+//!   report's `host` block (replaces `criterion`).
+//! * [`Arena`] — a generational slab arena backing the hot-path id tables
+//!   (fbufs, VM objects): O(1) index derefs, stale handles error instead
+//!   of aliasing recycled slots.
 //!
 //! And the observability layer threaded through every crate:
 //!
@@ -45,6 +49,7 @@
 //!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
+pub mod arena;
 pub mod audit;
 pub mod bench;
 pub mod check;
@@ -57,6 +62,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use arena::Arena;
 pub use audit::{audit, audit_tracer, AuditReport, Violation};
 pub use check::Checker;
 pub use config::MachineConfig;

@@ -150,6 +150,30 @@ impl Stats {
         Stats::default()
     }
 
+    /// Bulk-increments `pte_updates` by `n`. Used by the batched VM range
+    /// operations, whose counter totals must be identical to the per-page
+    /// sequences they replace (`n` single increments).
+    pub fn add_pte_updates(&self, n: u64) {
+        self.inner.borrow_mut().pte_updates += n;
+    }
+
+    /// Bulk-increments `tlb_flushes` by `n` (see [`Stats::add_pte_updates`]).
+    pub fn add_tlb_flushes(&self, n: u64) {
+        self.inner.borrow_mut().tlb_flushes += n;
+    }
+
+    /// Bulk-increments `frames_reclaimed` by `n` (one per frame taken from
+    /// a parked buffer by the pageout daemon).
+    pub fn add_frames_reclaimed(&self, n: u64) {
+        self.inner.borrow_mut().frames_reclaimed += n;
+    }
+
+    /// Bulk-increments `piggybacked_notices` by `n` (one per token drained
+    /// into an RPC reply).
+    pub fn add_piggybacked_notices(&self, n: u64) {
+        self.inner.borrow_mut().piggybacked_notices += n;
+    }
+
     /// Copies out the current values.
     pub fn snapshot(&self) -> StatsSnapshot {
         self.inner.borrow().clone()

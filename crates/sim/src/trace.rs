@@ -71,6 +71,13 @@ pub enum EventKind {
     IpcCall,
     /// A message hopped a protocol-graph domain boundary.
     Hop,
+    /// A batched `map_range` installed `pages` translations in one VM
+    /// call (one event where the per-page sequence would emit N).
+    MapRange,
+    /// A batched `unmap_range` removed up to `pages` translations.
+    UnmapRange,
+    /// A batched `protect_range` changed `pages` pages' protection.
+    ProtectRange,
 }
 
 impl EventKind {
@@ -92,6 +99,9 @@ impl EventKind {
             EventKind::Write => "Write",
             EventKind::IpcCall => "IpcCall",
             EventKind::Hop => "Hop",
+            EventKind::MapRange => "MapRange",
+            EventKind::UnmapRange => "UnmapRange",
+            EventKind::ProtectRange => "ProtectRange",
         }
     }
 }
@@ -118,6 +128,9 @@ pub struct TraceEvent {
     pub fbuf: Option<u64>,
     /// Span duration; `None` for instants.
     pub dur: Option<Ns>,
+    /// Page count, for the ranged VM events (`MapRange`/`UnmapRange`/
+    /// `ProtectRange`); `None` otherwise.
+    pub pages: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -245,7 +258,17 @@ impl Tracer {
         if !self.shared.enabled.get() {
             return;
         }
-        self.push(kind, dom, None, path, fbuf, None);
+        self.push(kind, dom, None, path, fbuf, None, None);
+    }
+
+    /// Records one ranged VM event (`MapRange`/`UnmapRange`/
+    /// `ProtectRange`) covering `pages` pages — the batched replacement
+    /// for N per-page events. No-op while disabled.
+    pub fn range_op(&self, kind: EventKind, dom: u32, pages: u64) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        self.push(kind, dom, None, None, None, None, Some(pages));
     }
 
     /// Records an instant event with a peer domain. No-op while
@@ -261,7 +284,7 @@ impl Tracer {
         if !self.shared.enabled.get() {
             return;
         }
-        self.push(kind, dom, Some(peer), path, fbuf, None);
+        self.push(kind, dom, Some(peer), path, fbuf, None, None);
     }
 
     /// Records a span that began at simulated time `t0` and ends now.
@@ -287,7 +310,7 @@ impl Tracer {
             return;
         }
         let dur = self.shared.clock.now() - t0;
-        self.push(kind, dom, peer, path, fbuf, Some(dur));
+        self.push(kind, dom, peer, path, fbuf, Some(dur), None);
         let mut inner = self.shared.inner.borrow_mut();
         match kind {
             EventKind::Alloc => hist_entry(&mut inner.alloc_hist, path).record(dur.0),
@@ -296,6 +319,7 @@ impl Tracer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push(
         &self,
         kind: EventKind,
@@ -304,6 +328,7 @@ impl Tracer {
         path: Option<u64>,
         fbuf: Option<u64>,
         dur: Option<Ns>,
+        pages: Option<u64>,
     ) {
         self.shared.inner.borrow_mut().push(TraceEvent {
             seq: 0, // assigned by TracerInner::push
@@ -314,6 +339,7 @@ impl Tracer {
             path,
             fbuf,
             dur,
+            pages,
         });
     }
 
@@ -424,6 +450,9 @@ impl Tracer {
                 if let Some(p) = e.peer {
                     args.push(("peer_dom", p.to_json()));
                 }
+                if let Some(p) = e.pages {
+                    args.push(("pages", p.to_json()));
+                }
                 let mut pairs = vec![
                     ("name", e.kind.label().to_json()),
                     ("cat", "fbuf".to_json()),
@@ -489,6 +518,23 @@ mod tests {
         let h = t.transfer_latency(Some(9)).expect("histogram exists");
         assert_eq!(h.count(), 1);
         assert_eq!(h.p50(), 2_500);
+    }
+
+    #[test]
+    fn range_op_records_one_event_with_page_count() {
+        let (_, t) = tracer();
+        t.set_enabled(true);
+        t.range_op(EventKind::MapRange, 3, 16);
+        assert_eq!(t.len(), 1, "one event for the whole range");
+        let e = t.events()[0];
+        assert_eq!(e.kind, EventKind::MapRange);
+        assert_eq!(e.dom, 3);
+        assert_eq!(e.pages, Some(16));
+        assert_eq!(e.fbuf, None, "ranged events are auditor-neutral");
+        // And it renders in the chrome export with the page count.
+        let rendered = t.chrome_trace().render();
+        assert!(rendered.contains("MapRange"));
+        assert!(rendered.contains("\"pages\""));
     }
 
     #[test]

@@ -72,17 +72,17 @@ impl TransferMechanism for CopyFacility {
     }
 
     fn alloc(&mut self, m: &mut Machine, dom: DomainId, len: u64) -> VmResult<u64> {
-        let t0 = m.clock().now();
+        let t0 = m.now();
         let pages = m.config().pages_for(len).max(1);
         if let Some(va) = self.cache.get_mut(&(dom.0, pages)).and_then(|v| v.pop()) {
             self.live.insert((dom.0, va), pages);
-            m.tracer().span(t0, EventKind::Alloc, dom.0, None, None);
+            m.tracer_ref().span(t0, EventKind::Alloc, dom.0, None, None);
             return Ok(va);
         }
         let va = self.carve(m, dom, len)?;
         m.map_anon_region(dom, va, pages)?;
         self.live.insert((dom.0, va), pages);
-        m.tracer().span(t0, EventKind::Alloc, dom.0, None, None);
+        m.tracer_ref().span(t0, EventKind::Alloc, dom.0, None, None);
         Ok(va)
     }
 
@@ -94,10 +94,10 @@ impl TransferMechanism for CopyFacility {
         len: u64,
         dst: DomainId,
     ) -> VmResult<u64> {
-        let t0 = m.clock().now();
+        let t0 = m.now();
         let dst_va = self.alloc(m, dst, len)?;
         m.copy_data(src, va, dst, dst_va, len)?;
-        m.tracer()
+        m.tracer_ref()
             .span_peer(t0, EventKind::Transfer, src.0, Some(dst.0), None, None);
         Ok(dst_va)
     }
@@ -108,7 +108,7 @@ impl TransferMechanism for CopyFacility {
             .remove(&(dom.0, va))
             .ok_or(Fault::NoSuchRegion { va })?;
         self.cache.entry((dom.0, pages)).or_default().push(va);
-        m.tracer().instant(EventKind::Free, dom.0, None, None);
+        m.tracer_ref().instant(EventKind::Free, dom.0, None, None);
         Ok(())
     }
 }
@@ -126,9 +126,9 @@ mod tests {
         let mut f = CopyFacility::new();
         let va = f.alloc(&mut m, a, 4096).unwrap();
         m.write(a, va, &[9u8; 4096]).unwrap();
-        let t0 = m.clock().now();
+        let t0 = m.now();
         f.transfer(&mut m, a, va, 4096, b).unwrap();
-        let dt = m.clock().now() - t0;
+        let dt = m.now() - t0;
         // At least one full page copy must have been charged.
         assert!(dt >= m.costs().page_copy, "copy too cheap: {dt}");
     }

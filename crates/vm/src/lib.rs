@@ -29,7 +29,7 @@ pub mod space;
 pub mod tlb;
 pub mod types;
 
-pub use machine::{Machine, MachineRef};
+pub use machine::{Machine, MachineRef, ObjectId};
 pub use phys::{FrameId, PhysMem};
 pub use space::{AddressSpace, MapEntry, Pmap, RegionPolicy};
 pub use types::{Access, DomainId, Fault, Prot, VmResult, Vpn, KERNEL_DOMAIN};

@@ -4,7 +4,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use fbuf_sim::{Clock, CostCategory, CostModel, EventKind, MachineConfig, Ns, Stats, Tracer};
+use fbuf_sim::{
+    Arena, Clock, CostCategory, CostModel, EventKind, MachineConfig, Ns, Stats, Tracer,
+};
 
 use crate::phys::{FrameId, PhysMem};
 use crate::space::{AddressSpace, RegionPolicy};
@@ -31,9 +33,11 @@ struct VmObject {
 }
 
 /// Identifier of an anonymous memory object; stored in region
-/// bookkeeping.
+/// bookkeeping. Generational: the arena slot half names where the object
+/// lives, the generation half makes a retired id unresolvable even after
+/// its slot is recycled for a new object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ObjectId(usize);
+pub struct ObjectId(u64);
 
 /// The simulated machine: physical memory, TLB, and per-domain address
 /// spaces, with every operation charged to the shared clock.
@@ -67,9 +71,13 @@ pub struct Machine {
     tracer: Tracer,
     phys: PhysMem,
     tlb: Tlb,
-    domains: Vec<Option<Domain>>,
-    objects: Vec<Option<VmObject>>,
-    free_objects: Vec<usize>,
+    /// Domain slots are never recycled (a `DomainId` stays meaningful for
+    /// the life of the machine); termination just clears `alive`.
+    domains: Vec<Domain>,
+    /// Anonymous objects live in a generational slab: O(1) deref, and a
+    /// stale `ObjectId` fails to resolve instead of aliasing a recycled
+    /// slot.
+    objects: Arena<VmObject>,
     /// Region start-vpn keyed object attachment: (domain, start vpn) → object.
     region_objects: std::collections::HashMap<(u32, u64), ObjectId>,
     /// Per-(domain, region start, page index) private post-COW frames.
@@ -100,8 +108,7 @@ impl Machine {
             phys,
             tlb,
             domains: Vec::new(),
-            objects: Vec::new(),
-            free_objects: Vec::new(),
+            objects: Arena::new(),
             region_objects: std::collections::HashMap::new(),
             cow_private: std::collections::HashMap::new(),
             null_template: Vec::new(),
@@ -141,6 +148,22 @@ impl Machine {
         self.tracer.clone()
     }
 
+    /// Borrowed statistics handle — the hot-path alternative to
+    /// [`Machine::stats`], which clones an `Rc` per call.
+    pub fn stats_ref(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Borrowed tracer handle (see [`Machine::stats_ref`]).
+    pub fn tracer_ref(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Current simulated time, without cloning the clock handle.
+    pub fn now(&self) -> Ns {
+        self.clock.now()
+    }
+
     /// Page size shorthand.
     pub fn page_size(&self) -> u64 {
         self.cfg.page_size
@@ -166,10 +189,10 @@ impl Machine {
     /// Creates a new protection domain.
     pub fn create_domain(&mut self) -> DomainId {
         let id = DomainId(self.domains.len() as u32);
-        self.domains.push(Some(Domain {
+        self.domains.push(Domain {
             space: AddressSpace::new(),
             alive: true,
-        }));
+        });
         id
     }
 
@@ -177,7 +200,6 @@ impl Machine {
     pub fn domain_alive(&self, dom: DomainId) -> bool {
         self.domains
             .get(dom.0 as usize)
-            .and_then(|d| d.as_ref())
             .map(|d| d.alive)
             .unwrap_or(false)
     }
@@ -196,17 +218,13 @@ impl Machine {
             self.unmap_region(dom, start.base(self.cfg.page_size))?;
         }
         self.tlb.invalidate_domain(dom);
-        self.domains[dom.0 as usize]
-            .as_mut()
-            .expect("domain checked above")
-            .alive = false;
+        self.domains[dom.0 as usize].alive = false;
         Ok(())
     }
 
     fn domain(&self, dom: DomainId) -> VmResult<&Domain> {
         self.domains
             .get(dom.0 as usize)
-            .and_then(|d| d.as_ref())
             .filter(|d| d.alive)
             .ok_or(Fault::BadDomain(dom))
     }
@@ -214,7 +232,6 @@ impl Machine {
     fn domain_mut(&mut self, dom: DomainId) -> VmResult<&mut Domain> {
         self.domains
             .get_mut(dom.0 as usize)
-            .and_then(|d| d.as_mut())
             .filter(|d| d.alive)
             .ok_or(Fault::BadDomain(dom))
     }
@@ -269,14 +286,12 @@ impl Machine {
     pub fn unmap_region(&mut self, dom: DomainId, va: u64) -> VmResult<()> {
         let vpn = self.vpn_of(va);
         let entry = self.domain_mut(dom)?.space.unmap_region(vpn)?;
-        // Tear down resident pmap entries.
+        // Tear down resident pmap entries, batched per contiguous run.
         let resident = {
             let d = self.domain(dom)?;
             d.space.pmap.resident_in(entry.start, entry.pages)
         };
-        for (page, _) in resident {
-            self.unmap_page(dom, page.base(self.cfg.page_size))?;
-        }
+        self.unmap_resident_runs(dom, &resident)?;
         // Drop private COW frames.
         let keys: Vec<(u32, u64, u64)> = self
             .cow_private
@@ -296,30 +311,48 @@ impl Machine {
     }
 
     fn alloc_object(&mut self, pages: u64) -> ObjectId {
-        let obj = VmObject {
+        ObjectId(self.objects.insert(VmObject {
             frames: vec![None; pages as usize],
             refs: 1,
-        };
-        if let Some(slot) = self.free_objects.pop() {
-            self.objects[slot] = Some(obj);
-            ObjectId(slot)
-        } else {
-            self.objects.push(Some(obj));
-            ObjectId(self.objects.len() - 1)
-        }
+        }))
+    }
+
+    fn object(&self, id: ObjectId) -> &VmObject {
+        self.objects.get(id.0).expect("live object")
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> &mut VmObject {
+        self.objects.get_mut(id.0).expect("live object")
     }
 
     fn deref_object(&mut self, id: ObjectId) {
-        let obj = self.objects[id.0].as_mut().expect("live object");
+        let obj = self.object_mut(id);
         obj.refs -= 1;
         if obj.refs == 0 {
-            let frames: Vec<FrameId> = obj.frames.iter().flatten().copied().collect();
-            self.objects[id.0] = None;
-            self.free_objects.push(id.0);
-            for f in frames {
+            let obj = self.objects.remove(id.0).expect("live object");
+            for f in obj.frames.into_iter().flatten() {
                 self.phys.drop_ref(f);
             }
         }
+    }
+
+    /// The object backing the anonymous region at `va` in `dom`, if any
+    /// (diagnostics/tests; no cost).
+    pub fn region_object(&self, dom: DomainId, va: u64) -> Option<ObjectId> {
+        let vpn = Vpn::containing(va, self.cfg.page_size);
+        let start = self.domain(dom).ok()?.space.region_at(vpn)?.start;
+        self.region_objects.get(&(dom.0, start.0)).copied()
+    }
+
+    /// True while `id` resolves to a live object. A retired id stays false
+    /// forever, even after its arena slot is reused.
+    pub fn object_live(&self, id: ObjectId) -> bool {
+        self.objects.contains(id.0)
+    }
+
+    /// Number of live anonymous objects (diagnostics/tests).
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
     }
 
     /// Shares the object backing the region at `src_va` in `src` with a new
@@ -366,7 +399,7 @@ impl Machine {
             .cow_private
             .keys()
             .any(|(d, s, _)| *d == src.0 && *s == start.0);
-        let base_shared = self.objects[obj.0].as_ref().expect("live object").refs > 1;
+        let base_shared = self.object(obj).refs > 1;
         let dst_obj = if has_private || base_shared {
             let view = self.alloc_object(pages);
             for idx in 0..pages {
@@ -374,16 +407,15 @@ impl Machine {
                     .cow_private
                     .get(&(src.0, start.0, idx))
                     .copied()
-                    .or(self.objects[obj.0].as_ref().expect("live object").frames[idx as usize]);
+                    .or(self.object(obj).frames[idx as usize]);
                 if let Some(f) = frame {
                     self.phys.add_ref(f);
-                    self.objects[view.0].as_mut().expect("live object").frames[idx as usize] =
-                        Some(f);
+                    self.object_mut(view).frames[idx as usize] = Some(f);
                 }
             }
             view
         } else {
-            self.objects[obj.0].as_mut().expect("live object").refs += 1;
+            self.object_mut(obj).refs += 1;
             obj
         };
         self.region_objects.insert((dst.0, start.0), dst_obj);
@@ -395,8 +427,29 @@ impl Machine {
             .expect("region present")
             .cow = true;
         let resident = self.domain(src)?.space.pmap.resident_in(start, pages);
-        for (page, _) in resident {
-            self.unmap_page(src, page.base(self.cfg.page_size))?;
+        self.unmap_resident_runs(src, &resident)?;
+        Ok(())
+    }
+
+    /// Unmaps a sorted resident-page listing via [`Machine::unmap_range`],
+    /// one call per contiguous VPN run (identical charges to the per-page
+    /// loop, since every page in a run is resident).
+    fn unmap_resident_runs(
+        &mut self,
+        dom: DomainId,
+        resident: &[(Vpn, crate::space::PmapEntry)],
+    ) -> VmResult<()> {
+        let mut i = 0;
+        while i < resident.len() {
+            let run_start = resident[i].0;
+            let mut len: u64 = 1;
+            while i + (len as usize) < resident.len()
+                && resident[i + len as usize].0 .0 == run_start.0 + len
+            {
+                len += 1;
+            }
+            self.unmap_range(dom, run_start.base(self.cfg.page_size), len)?;
+            i += len as usize;
         }
         Ok(())
     }
@@ -473,6 +526,183 @@ impl Machine {
         Ok(old)
     }
 
+    // ------------------------------------------------------------------
+    // Batched range primitives
+    //
+    // Each is semantically identical to the per-page loop it replaces:
+    // the simulated time charged and the counters incremented are
+    // byte-for-byte the same totals (Ns addition is associative, so
+    // `cost * n` equals n separate `cost` charges), and the pmap/TLB/frame
+    // reference state afterwards is the same. What changes is the host
+    // work — one charge per category instead of n, one TLB sweep instead
+    // of n probes — and the trace: one ranged event instead of n (the
+    // per-page primitives emit none; the ranged ops record page counts).
+    //
+    // The one deliberate divergence is on *error* paths: a per-page loop
+    // charges page-by-page and can stop half-way through a bad range,
+    // while a range op validates up front and charges nothing on failure.
+    // No test pins error-path costs; the all-or-nothing behaviour is the
+    // more defensible contract.
+    // ------------------------------------------------------------------
+
+    /// Installs `frames.len()` consecutive mappings starting at `va`, all
+    /// with protection `prot` — the batched equivalent of that many
+    /// [`Machine::map_page`] calls. Adds a mapping reference per frame;
+    /// replaced mappings are dereferenced and, where resident, flushed
+    /// (charged per flushed entry, exactly as `map_page` does).
+    pub fn map_range(
+        &mut self,
+        dom: DomainId,
+        va: u64,
+        frames: &[FrameId],
+        prot: Prot,
+    ) -> VmResult<()> {
+        let n = frames.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let start = self.vpn_of(va);
+        self.domain(dom)?;
+        self.clock
+            .charge(CostCategory::Vm, self.cfg.costs.pte_map * n);
+        self.stats.add_pte_updates(n);
+        let mut replaced: Vec<(Vpn, FrameId)> = Vec::new();
+        {
+            let d = self.domain_mut(dom)?;
+            for (i, &frame) in frames.iter().enumerate() {
+                let vpn = Vpn(start.0 + i as u64);
+                if let Some(old) = d.space.pmap.remove(vpn) {
+                    replaced.push((vpn, old.frame));
+                }
+                d.space.pmap.enter(vpn, frame, prot);
+            }
+        }
+        for &frame in frames {
+            self.phys.add_ref(frame);
+        }
+        let mut flushes = 0u64;
+        for (vpn, old_frame) in replaced {
+            if self.tlb.invalidate(dom, vpn) {
+                flushes += 1;
+            }
+            self.phys.drop_ref(old_frame);
+        }
+        if flushes > 0 {
+            self.charge_tlb_flushes(flushes);
+        }
+        self.tracer.range_op(EventKind::MapRange, dom.0, n);
+        Ok(())
+    }
+
+    /// Removes up to `pages` consecutive mappings starting at `va` — the
+    /// batched equivalent of that many [`Machine::unmap_page`] calls.
+    /// Unmapped holes in the window cost nothing (as with `unmap_page`'s
+    /// `Ok(None)` path); each removed page is charged a page-table update
+    /// plus the unconditional TLB consistency flush. Returns the number
+    /// of mappings removed.
+    pub fn unmap_range(&mut self, dom: DomainId, va: u64, pages: u64) -> VmResult<u64> {
+        if pages == 0 {
+            self.domain(dom)?;
+            return Ok(0);
+        }
+        let start = self.vpn_of(va);
+        let mut dropped: Vec<FrameId> = Vec::new();
+        {
+            let d = self.domain_mut(dom)?;
+            for i in 0..pages {
+                if let Some(old) = d.space.pmap.remove(Vpn(start.0 + i)) {
+                    dropped.push(old.frame);
+                }
+            }
+        }
+        let n = dropped.len() as u64;
+        if n == 0 {
+            return Ok(0);
+        }
+        self.clock
+            .charge(CostCategory::Vm, self.cfg.costs.pte_unmap * n);
+        self.stats.add_pte_updates(n);
+        // One sweep over the TLB replaces n individual probes; the
+        // consistency action is still charged once per removed page,
+        // resident or not, exactly as the per-page loop does.
+        self.tlb.invalidate_range(dom, start, pages);
+        self.charge_tlb_flushes(n);
+        for f in dropped {
+            self.phys.drop_ref(f);
+        }
+        self.tracer.range_op(EventKind::UnmapRange, dom.0, n);
+        Ok(n)
+    }
+
+    /// Changes the protection of `pages` consecutive resident pages
+    /// starting at `va` — the batched equivalent of that many
+    /// [`Machine::protect_page`] calls. Downgrades charge the protect
+    /// path plus a per-page TLB flush; upgrades (and no-op re-protects)
+    /// charge the unprotect path, per page, exactly as the loop would.
+    /// Fails without charging if any page in the window is not resident.
+    pub fn protect_range(
+        &mut self,
+        dom: DomainId,
+        va: u64,
+        pages: u64,
+        prot: Prot,
+    ) -> VmResult<()> {
+        if pages == 0 {
+            self.domain(dom)?;
+            return Ok(());
+        }
+        let start = self.vpn_of(va);
+        {
+            let d = self.domain(dom)?;
+            for i in 0..pages {
+                if d.space.pmap.lookup(Vpn(start.0 + i)).is_none() {
+                    return Err(Fault::Unmapped {
+                        domain: dom,
+                        va: va + i * self.cfg.page_size,
+                    });
+                }
+            }
+        }
+        let mut downgrades: Vec<Vpn> = Vec::new();
+        let mut upgrades = 0u64;
+        {
+            let d = self.domain_mut(dom)?;
+            for i in 0..pages {
+                let vpn = Vpn(start.0 + i);
+                let old = d
+                    .space
+                    .pmap
+                    .protect(vpn, prot)
+                    .expect("validated resident above");
+                if prot < old {
+                    downgrades.push(vpn);
+                } else {
+                    upgrades += 1;
+                }
+            }
+        }
+        self.stats.add_pte_updates(pages);
+        if upgrades > 0 {
+            self.clock
+                .charge(CostCategory::Vm, self.cfg.costs.pte_unprotect * upgrades);
+        }
+        let downs = downgrades.len() as u64;
+        if downs > 0 {
+            self.clock
+                .charge(CostCategory::Vm, self.cfg.costs.pte_protect * downs);
+            if downs == pages {
+                self.tlb.invalidate_range(dom, start, pages);
+            } else {
+                for vpn in downgrades {
+                    self.tlb.invalidate(dom, vpn);
+                }
+            }
+            self.charge_tlb_flushes(downs);
+        }
+        self.tracer.range_op(EventKind::ProtectRange, dom.0, pages);
+        Ok(())
+    }
+
     /// The resident translation at `va`, if any (no cost; for assertions).
     pub fn mapping_of(&self, dom: DomainId, va: u64) -> Option<(FrameId, Prot)> {
         let vpn = Vpn::containing(va, self.cfg.page_size);
@@ -488,6 +718,12 @@ impl Machine {
         self.clock
             .charge(CostCategory::Tlb, self.cfg.costs.tlb_flush_entry);
         self.stats.inc_tlb_flushes();
+    }
+
+    fn charge_tlb_flushes(&mut self, n: u64) {
+        self.clock
+            .charge(CostCategory::Tlb, self.cfg.costs.tlb_flush_entry * n);
+        self.stats.add_tlb_flushes(n);
     }
 
     // ------------------------------------------------------------------
@@ -751,7 +987,7 @@ impl Machine {
         // The page may be written in place only when nothing else can see
         // it: the object is not shared with another region, and the frame
         // itself is not referenced by a snapshot view or a foreign mapping.
-        let obj_shared = self.objects[obj.0].as_ref().expect("live object").refs > 1;
+        let obj_shared = self.object(obj).refs > 1;
         let frame_shared = self.phys.refs(candidate) > 1;
         let frame = if !obj_shared && !frame_shared {
             candidate
@@ -773,13 +1009,13 @@ impl Machine {
     fn object_page(&mut self, obj: ObjectId, idx: u64) -> VmResult<FrameId> {
         // Consult any private override first? Private frames are per-domain
         // and handled by the COW path; the object itself is shared.
-        let existing = self.objects[obj.0].as_ref().expect("live object").frames[idx as usize];
+        let existing = self.object(obj).frames[idx as usize];
         if let Some(f) = existing {
             return Ok(f);
         }
         let f = self.phys.alloc()?;
         self.phys.zero(f);
-        self.objects[obj.0].as_mut().expect("live object").frames[idx as usize] = Some(f);
+        self.object_mut(obj).frames[idx as usize] = Some(f);
         Ok(f)
     }
 
@@ -1136,6 +1372,160 @@ mod tests {
             + c.tlb_refill
             + c.cache_fill_word;
         assert_eq!(dt, expected, "got {dt}, expected {expected}");
+    }
+
+    #[test]
+    fn range_ops_charge_identically_to_per_page_loops() {
+        // The same mixed workload driven through the per-page primitives
+        // and the batched range ops must land on the same simulated time
+        // and the same counter totals, byte for byte.
+        let run = |batched: bool| -> (Ns, fbuf_sim::StatsSnapshot) {
+            let mut m = machine_costed();
+            let d = m.create_domain();
+            m.map_explicit_region(d, 0x20000, 8, Prot::ReadWrite)
+                .unwrap();
+            let frames: Vec<FrameId> = (0..4).map(|_| m.alloc_frame().unwrap()).collect();
+            let page = m.page_size();
+            // Fresh map, touch (loads the TLB), downgrade, upgrade,
+            // replacement map, then unmap.
+            if batched {
+                m.map_range(d, 0x20000, &frames, Prot::ReadWrite).unwrap();
+                for i in 0..4 {
+                    m.write(d, 0x20000 + i * page, b"x").unwrap();
+                }
+                m.protect_range(d, 0x20000, 4, Prot::Read).unwrap();
+                m.protect_range(d, 0x20000, 4, Prot::ReadWrite).unwrap();
+                let repl: Vec<FrameId> = frames.iter().rev().copied().collect();
+                m.map_range(d, 0x20000, &repl, Prot::ReadWrite).unwrap();
+                assert_eq!(m.unmap_range(d, 0x20000, 8).unwrap(), 4);
+            } else {
+                for (i, &f) in frames.iter().enumerate() {
+                    m.map_page(d, 0x20000 + i as u64 * page, f, Prot::ReadWrite)
+                        .unwrap();
+                }
+                for i in 0..4 {
+                    m.write(d, 0x20000 + i * page, b"x").unwrap();
+                }
+                for i in 0..4 {
+                    m.protect_page(d, 0x20000 + i * page, Prot::Read).unwrap();
+                }
+                for i in 0..4 {
+                    m.protect_page(d, 0x20000 + i * page, Prot::ReadWrite)
+                        .unwrap();
+                }
+                for (i, &f) in frames.iter().rev().enumerate() {
+                    m.map_page(d, 0x20000 + i as u64 * page, f, Prot::ReadWrite)
+                        .unwrap();
+                }
+                for i in 0..8 {
+                    m.unmap_page(d, 0x20000 + i * page).unwrap();
+                }
+            }
+            for f in frames {
+                m.release_frame(f);
+            }
+            (m.clock().now(), m.stats().snapshot())
+        };
+        let (t_loop, s_loop) = run(false);
+        let (t_range, s_range) = run(true);
+        assert_eq!(t_range, t_loop);
+        assert_eq!(s_range, s_loop);
+        assert!(s_loop.pte_updates > 0 && s_loop.tlb_flushes > 0);
+    }
+
+    #[test]
+    fn unmap_range_skips_holes_for_free() {
+        let mut m = machine_costed();
+        let d = m.create_domain();
+        m.map_explicit_region(d, 0x20000, 8, Prot::ReadWrite)
+            .unwrap();
+        let f = m.alloc_frame().unwrap();
+        let page = m.page_size();
+        // Only page 2 of the 8-page window is mapped.
+        m.map_page(d, 0x20000 + 2 * page, f, Prot::ReadWrite).unwrap();
+        let t0 = m.clock().now();
+        let pte0 = m.stats().pte_updates();
+        assert_eq!(m.unmap_range(d, 0x20000, 8).unwrap(), 1);
+        // Exactly one page's unmap + flush was charged; the holes cost 0.
+        assert_eq!(
+            m.clock().now() - t0,
+            m.costs().pte_unmap + m.costs().tlb_flush_entry
+        );
+        assert_eq!(m.stats().pte_updates(), pte0 + 1);
+        // A fully-empty window charges nothing and removes nothing.
+        let t1 = m.clock().now();
+        assert_eq!(m.unmap_range(d, 0x20000, 8).unwrap(), 0);
+        assert_eq!(m.clock().now(), t1);
+        m.release_frame(f);
+    }
+
+    #[test]
+    fn protect_range_validates_whole_window_before_charging() {
+        let mut m = machine_costed();
+        let d = m.create_domain();
+        m.map_explicit_region(d, 0x20000, 4, Prot::ReadWrite)
+            .unwrap();
+        let f = m.alloc_frame().unwrap();
+        m.map_page(d, 0x20000, f, Prot::ReadWrite).unwrap();
+        let t0 = m.clock().now();
+        let s0 = m.stats().snapshot();
+        // Page 1 of the window is not resident: the whole op fails with no
+        // charge and no protection change.
+        assert!(matches!(
+            m.protect_range(d, 0x20000, 2, Prot::Read),
+            Err(Fault::Unmapped { .. })
+        ));
+        assert_eq!(m.clock().now(), t0);
+        assert_eq!(m.stats().snapshot(), s0);
+        assert_eq!(m.mapping_of(d, 0x20000).unwrap().1, Prot::ReadWrite);
+        m.release_frame(f);
+    }
+
+    #[test]
+    fn range_ops_emit_one_ranged_trace_event() {
+        let mut m = machine_costed();
+        m.tracer().set_enabled(true);
+        let d = m.create_domain();
+        m.map_explicit_region(d, 0x20000, 4, Prot::ReadWrite)
+            .unwrap();
+        let frames: Vec<FrameId> = (0..4).map(|_| m.alloc_frame().unwrap()).collect();
+        m.map_range(d, 0x20000, &frames, Prot::ReadWrite).unwrap();
+        m.protect_range(d, 0x20000, 4, Prot::Read).unwrap();
+        m.unmap_range(d, 0x20000, 4).unwrap();
+        let tracer = m.tracer();
+        assert_eq!(tracer.count_of(EventKind::MapRange), 1);
+        assert_eq!(tracer.count_of(EventKind::ProtectRange), 1);
+        assert_eq!(tracer.count_of(EventKind::UnmapRange), 1);
+        let ev: Vec<_> = tracer.events();
+        let map_ev = ev
+            .iter()
+            .find(|e| e.kind == EventKind::MapRange)
+            .expect("map event");
+        assert_eq!(map_ev.pages, Some(4));
+        for f in frames {
+            m.release_frame(f);
+        }
+    }
+
+    #[test]
+    fn stale_object_id_never_resolves_after_slot_reuse() {
+        let mut m = machine();
+        let d = m.create_domain();
+        m.map_anon_region(d, 0x40000, 2).unwrap();
+        let old = m.region_object(d, 0x40000).expect("object attached");
+        assert!(m.object_live(old));
+        let live0 = m.live_objects();
+        m.unmap_region(d, 0x40000).unwrap();
+        assert!(!m.object_live(old));
+        assert_eq!(m.live_objects(), live0 - 1);
+        // A new region recycles the arena slot; the retired id still
+        // refuses to resolve (generation mismatch) and the new region gets
+        // a distinct id.
+        m.map_anon_region(d, 0x40000, 2).unwrap();
+        let new = m.region_object(d, 0x40000).expect("object attached");
+        assert!(!m.object_live(old));
+        assert!(m.object_live(new));
+        assert_ne!(old, new);
     }
 
     #[test]

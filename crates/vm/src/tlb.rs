@@ -108,6 +108,18 @@ impl Tlb {
         self.entries.len() != before
     }
 
+    /// Batched invalidation: removes every translation for `domain` with a
+    /// VPN in `[start, start + pages)` in **one** pass over the entry
+    /// array, where per-page [`Tlb::invalidate`] calls would make `pages`
+    /// passes. Returns how many entries were removed.
+    pub fn invalidate_range(&mut self, domain: DomainId, start: Vpn, pages: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            !(e.domain == domain && e.vpn.0 >= start.0 && e.vpn.0 < start.0 + pages)
+        });
+        before - self.entries.len()
+    }
+
     /// Removes every translation belonging to `domain` (domain teardown).
     /// Returns how many entries were removed.
     pub fn invalidate_domain(&mut self, domain: DomainId) -> usize {
@@ -205,6 +217,24 @@ mod tests {
         assert_eq!(tlb.invalidate_domain(D0), 2);
         assert_eq!(tlb.len(), 1);
         assert!(tlb.lookup(D1, Vpn(1)).is_some());
+    }
+
+    #[test]
+    fn invalidate_range_sweeps_window_in_one_pass() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(D0, Vpn(1), FrameId(1), Prot::Read);
+        tlb.insert(D0, Vpn(2), FrameId(2), Prot::Read);
+        tlb.insert(D0, Vpn(3), FrameId(3), Prot::Read);
+        tlb.insert(D0, Vpn(9), FrameId(9), Prot::Read);
+        tlb.insert(D1, Vpn(2), FrameId(2), Prot::Read);
+        // [1, 4) for D0: removes vpns 1..=3, spares vpn 9 and D1's vpn 2.
+        assert_eq!(tlb.invalidate_range(D0, Vpn(1), 3), 3);
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(D0, Vpn(9)).is_some());
+        assert!(tlb.lookup(D1, Vpn(2)).is_some());
+        // Empty window and re-sweep are no-ops.
+        assert_eq!(tlb.invalidate_range(D0, Vpn(1), 0), 0);
+        assert_eq!(tlb.invalidate_range(D0, Vpn(1), 3), 0);
     }
 
     #[test]

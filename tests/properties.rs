@@ -218,6 +218,108 @@ fn cached_reuse_returns_zero_pte_steady_state() {
         });
 }
 
+#[test]
+fn retired_fbuf_ids_never_resolve_after_recycling() {
+    // Generational slab handles: once an fbuf is retired its id must keep
+    // failing forever, even after the arena slot has been recycled by
+    // later allocations — and `live_fbufs` must track the model exactly.
+    Checker::new("retired_fbuf_ids_never_resolve_after_recycling")
+        .cases(CASES)
+        .run(|rng| {
+            let ops = rng.vec_with(1, 50, |r| (r.below(3), r.range(1, 20_000)));
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            let dom = fbs.create_domain();
+            let mut live: Vec<FbufId> = Vec::new();
+            let mut retired: Vec<FbufId> = Vec::new();
+            for (op, len) in ops {
+                if op == 0 || live.is_empty() {
+                    if let Ok(id) = fbs.alloc(dom, AllocMode::Uncached, len) {
+                        assert!(
+                            !retired.contains(&id),
+                            "recycled slot produced a previously retired id"
+                        );
+                        live.push(id);
+                    }
+                } else {
+                    let id = live.remove(len as usize % live.len());
+                    fbs.free(id, dom).unwrap();
+                    retired.push(id);
+                }
+                assert_eq!(fbs.live_fbufs(), live.len(), "arena/model count drift");
+                for &id in &retired {
+                    assert!(fbs.fbuf(id).is_err(), "retired {id:?} resolved");
+                }
+                for &id in &live {
+                    assert!(fbs.fbuf(id).is_ok(), "live {id:?} lost");
+                }
+            }
+        });
+}
+
+#[test]
+fn retired_vm_object_ids_never_resolve_after_recycling() {
+    // Same property one layer down: anonymous VM objects live in a
+    // generational arena, so a torn-down region's ObjectId must stay dead
+    // even when a new region recycles the slot.
+    Checker::new("retired_vm_object_ids_never_resolve_after_recycling")
+        .cases(CASES)
+        .run(|rng| {
+            let rounds = rng.range(2, 8);
+            let mut m = fbufs::vm::Machine::new(MachineConfig::decstation_5000_200());
+            let dom = m.create_domain();
+            let page = m.page_size();
+            let base = 0xA000_0000u64;
+            let mut dead = Vec::new();
+            for r in 0..rounds {
+                let va = base + r * 16 * page;
+                let pages = rng.range(1, 5);
+                m.map_anon_region(dom, va, pages).unwrap();
+                let obj = m.region_object(dom, va).expect("fresh region has object");
+                assert!(m.object_live(obj));
+                for &d in &dead {
+                    assert!(!m.object_live(d), "retired object id resolved");
+                }
+                m.unmap_region(dom, va).unwrap();
+                assert!(!m.object_live(obj));
+                dead.push(obj);
+            }
+            assert_eq!(m.live_objects(), 0);
+        });
+}
+
+#[test]
+fn parked_reuse_round_trips_preserve_live_fbufs() {
+    // Cached park → reuse cycles (with the pageout daemon occasionally
+    // stealing frames) must neither leak nor retire fbuf objects: the
+    // arena population is invariant and the parked id stays resolvable.
+    Checker::new("parked_reuse_round_trips_preserve_live_fbufs")
+        .cases(CASES)
+        .run(|rng| {
+            let cycles = rng.range(2, 10);
+            let pages = rng.range(1, 4);
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            let a = fbs.create_domain();
+            let b = fbs.create_domain();
+            let path = fbs.create_path(vec![a, b]).unwrap();
+            let len = pages * fbs.machine().page_size();
+            let first = fbs.alloc(a, AllocMode::Cached(path), len).unwrap();
+            fbs.free(first, a).unwrap();
+            let live0 = fbs.live_fbufs();
+            for _ in 0..cycles {
+                if rng.below(3) == 0 {
+                    fbs.reclaim_frames(rng.range(1, 4) as usize);
+                }
+                let id = fbs.alloc(a, AllocMode::Cached(path), len).unwrap();
+                assert_eq!(id, first, "LIFO reuse hands back the parked buffer");
+                fbs.send(id, a, b, SendMode::Volatile).unwrap();
+                fbs.free(id, b).unwrap();
+                fbs.free(id, a).unwrap();
+                assert_eq!(fbs.live_fbufs(), live0, "park/reuse leaked or retired");
+                assert!(fbs.fbuf(id).is_ok(), "parked fbuf fell out of the arena");
+            }
+        });
+}
+
 /// Arbitrary latency-like samples, spanning many histogram buckets
 /// (zeros, small, and large values all occur).
 fn arb_samples(rng: &mut Rng) -> Vec<u64> {
