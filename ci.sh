@@ -21,12 +21,14 @@ FBUF_TRACE_MSGS=4 FBUF_TRACE_SIZE=8192 FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-trace
 test -s target/bench-reports/TRACE_loopback.json
 
-# Stress smoke test: a small fixed op budget must hold the §3.2.2
-# steady-state invariants (fbuf-stress exits nonzero otherwise) and
-# write a report whose host block validates; --check then re-parses
-# every BENCH_*.json in the report directory for a well-formed
-# wall-clock host block.
-FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=2 FBUF_BENCH_DIR=target/bench-reports \
+# Stress smoke test, single- and multi-shard: a small fixed op budget
+# must hold the §3.2.2 steady-state invariants *per shard* (fbuf-stress
+# exits nonzero otherwise), drive cross-shard payloads over the SPSC
+# rings at 2 threads, and write a report with a well-formed scaling
+# curve; --check then re-parses every BENCH_*.json in the report
+# directory for host + repro blocks and scaling-curve sanity.
+FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=4 FBUF_STRESS_THREADS=1,2 \
+    FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-stress
 cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-reports
 

@@ -76,6 +76,9 @@ fn main() {
     );
 
     let mut r = BenchRunner::new("aggregate_ops");
+    r.param("msg_extents", 64u64);
+    r.param("msg_fbufs", 16u64);
+    r.param("dag_nodes", 127u64);
     r.artifact(
         "editing",
         Json::obj(vec![

@@ -14,6 +14,9 @@ fn main() {
         &curves,
     );
     let mut r = BenchRunner::new("fig3_single_crossing");
+    r.param("size", 64u64 << 10);
+    r.param("rounds", 3u64);
+    r.param("observe_iters", 4u64);
     r.artifact("fig3_curves", curves.to_json());
     r.measure("fbuf_cached_volatile_64k", Unit::Mbps, || {
         fig3::fbuf_throughput(true, SendMode::Volatile, 64 << 10, 3)
@@ -26,9 +29,7 @@ fn main() {
     });
     for (label, cached) in [("cached", true), ("uncached", false)] {
         let obs = observe::crossing(cached, SendMode::Volatile, 64 << 10, 4);
-        r.counters(&obs.counters);
-        r.latency(&format!("alloc_{label}_volatile_64k"), &obs.alloc);
-        r.latency(&format!("transfer_{label}_volatile_64k"), &obs.transfer);
+        observe::attach(&mut r, &format!("{label}_volatile_64k"), &obs);
     }
     r.finish().expect("write bench report");
 }

@@ -14,6 +14,9 @@ fn main() {
         &curves,
     );
     let mut r = BenchRunner::new("fig4_loopback");
+    r.param("size", 64u64 << 10);
+    r.param("rounds", 3u64);
+    r.param("observe_msgs", 8u64);
     r.artifact("fig4_curves", curves.to_json());
     for (label, three, cached) in [
         ("single_domain_64k", false, true),
@@ -28,8 +31,6 @@ fn main() {
         });
     }
     let obs = observe::loopback(LoopbackConfig::paper(true, true), 64 << 10, 8);
-    r.counters(&obs.counters);
-    r.latency("alloc_three_domains_cached_64k", &obs.alloc);
-    r.latency("transfer_three_domains_cached_64k", &obs.transfer);
+    observe::attach(&mut r, "three_domains_cached_64k", &obs);
     r.finish().expect("write bench report");
 }

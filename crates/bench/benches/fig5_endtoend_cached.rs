@@ -14,6 +14,10 @@ fn main() {
         &curves,
     );
     let mut r = BenchRunner::new("fig5_endtoend_cached");
+    r.param("size", 1u64 << 20);
+    r.param("rounds", 3u64);
+    r.param("observe_size", 256u64 << 10);
+    r.param("observe_msgs", 4u64);
     r.artifact("fig5_curves", curves.to_json());
     for (label, setup) in [
         ("kernel_kernel_1m", DomainSetup::KernelOnly),
@@ -29,8 +33,6 @@ fn main() {
         256 << 10,
         4,
     );
-    r.counters(&obs.counters);
-    r.latency("alloc_user_netserver_user_256k", &obs.alloc);
-    r.latency("transfer_user_netserver_user_256k", &obs.transfer);
+    observe::attach(&mut r, "user_netserver_user_256k", &obs);
     r.finish().expect("write bench report");
 }

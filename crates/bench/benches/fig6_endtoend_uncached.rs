@@ -26,6 +26,10 @@ fn main() {
         );
     }
     let mut r = BenchRunner::new("fig6_endtoend_uncached");
+    r.param("size", 1u64 << 20);
+    r.param("rounds", 3u64);
+    r.param("observe_size", 256u64 << 10);
+    r.param("observe_msgs", 4u64);
     r.artifact("fig6_curves", curves.to_json());
     r.artifact("cpuload_rows", cpu_rows.to_json());
     r.measure("user_user_uncached_1m", Unit::Mbps, || {
@@ -46,8 +50,6 @@ fn main() {
             .rx_cpu
     });
     let obs = observe::endtoend(EndToEndConfig::fig6(DomainSetup::User), 256 << 10, 4);
-    r.counters(&obs.counters);
-    r.latency("alloc_user_user_uncached_256k", &obs.alloc);
-    r.latency("transfer_user_user_uncached_256k", &obs.transfer);
+    observe::attach(&mut r, "user_user_uncached_256k", &obs);
     r.finish().expect("write bench report");
 }

@@ -31,6 +31,9 @@ fn main() {
     let bus = ablations::bus_contention();
 
     let mut r = BenchRunner::new("optstack");
+    r.param("observe_size", 64u64 << 10);
+    r.param("observe_iters", 4u64);
+    r.param("lifo_rounds", 12u64);
     r.artifact("optimization_stack", stack.to_json());
     r.artifact("lifo_vs_fifo", lifo.to_json());
     r.artifact("path_cache", paths.to_json());
@@ -67,9 +70,7 @@ fn main() {
         ("secured", SendMode::Secure),
     ] {
         let obs = observe::crossing(true, send, 64 << 10, 4);
-        r.counters(&obs.counters);
-        r.latency(&format!("alloc_cached_{label}_64k"), &obs.alloc);
-        r.latency(&format!("transfer_cached_{label}_64k"), &obs.transfer);
+        observe::attach(&mut r, &format!("cached_{label}_64k"), &obs);
     }
     r.finish().expect("write bench report");
 }

@@ -18,6 +18,8 @@ fn main() {
         );
     }
     let mut r = BenchRunner::new("remap");
+    r.param("pages", 8u64);
+    r.param("rounds", 8u64);
     r.artifact("remap_rows", rows.to_json());
     r.measure("pingpong", Unit::SimUs, || remap::pingpong(8, 8));
     r.measure("streaming_no_clear", Unit::SimUs, || {
@@ -30,8 +32,6 @@ fn main() {
         remap::streaming(1.0, 8, 8)
     });
     let obs = observe::facility(&mut RemapFacility::new(1.0), 8, 8);
-    r.counters(&obs.counters);
-    r.latency("alloc_remap_full_clear", &obs.alloc);
-    r.latency("transfer_remap_full_clear", &obs.transfer);
+    observe::attach(&mut r, "remap_full_clear", &obs);
     r.finish().expect("write bench report");
 }

@@ -15,6 +15,8 @@ fn main() {
         &rows,
     );
     let mut r = BenchRunner::new("table1");
+    r.param("observe_size", 64u64 << 10);
+    r.param("observe_iters", 4u64);
     r.artifact("table1_rows", rows.to_json());
     r.measure("cached_volatile_slope", Unit::SimUs, || {
         table1::fbuf_slope(true, SendMode::Volatile)
@@ -29,8 +31,6 @@ fn main() {
         table1::fbuf_slope(false, SendMode::Secure)
     });
     let obs = observe::crossing(true, SendMode::Volatile, 64 << 10, 4);
-    r.counters(&obs.counters);
-    r.latency("alloc_cached_volatile_64k", &obs.alloc);
-    r.latency("transfer_cached_volatile_64k", &obs.transfer);
+    observe::attach(&mut r, "cached_volatile_64k", &obs);
     r.finish().expect("write bench report");
 }

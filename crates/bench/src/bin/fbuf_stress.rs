@@ -1,45 +1,68 @@
-//! `fbuf-stress`: wall-clock throughput of the engine's cached hot path.
+//! `fbuf-stress`: wall-clock throughput of the engine's cached hot path,
+//! single- and multi-core.
 //!
 //! Every other target in this crate reports *simulated* time — the paper's
 //! question. This one answers the engineering question underneath: how many
 //! cached loopback alloc→send→send→free cycles per second can the engine
-//! itself execute on the host? It drives the canonical three-domain
-//! (originator → netserver → receiver) pattern across a configurable
-//! number of paths, asserts the §3.2.2 steady-state invariant (zero PTE
-//! updates, zero page clears, every allocation a cache hit) over the
-//! measured window, and records both simulated and host throughput in
-//! `BENCH_stress.json` under the report's `host` block.
+//! itself execute on the host? It drives a fleet of sharded engines
+//! ([`fbuf::shard`]): each OS thread owns a complete machine running the
+//! canonical three-domain (originator → netserver → receiver) pattern over
+//! its partition of the data paths, with cross-shard payloads flowing over
+//! SPSC rings. For every thread count the harness asserts the §3.2.2
+//! steady-state invariant **per shard** (zero PTE updates, zero page
+//! clears, every allocation — local, egress, and ingress — a cache hit)
+//! over the measured window, then records the wall-clock scaling curve
+//! (ops/sec, speedup, efficiency vs linear) under `host.scaling` in
+//! `BENCH_stress.json`.
 //!
 //! Environment knobs:
 //!
-//! * `FBUF_STRESS_OPS`   — steady-state cycles to run (default 200000;
-//!   each cycle is 1 alloc + 2 sends + 3 frees = 6 fbuf operations);
-//! * `FBUF_STRESS_PATHS` — concurrent data paths (default 4, each with
-//!   its own originator/netserver/receiver domain triple);
-//! * `FBUF_STRESS_PAGES` — pages per buffer (default 1);
+//! * `FBUF_STRESS_OPS`     — steady-state cycles per run, split across the
+//!   shards (default 200000; each cycle is 1 alloc + 2 sends + 3 frees =
+//!   6 fbuf operations);
+//! * `FBUF_STRESS_THREADS` — comma-separated shard counts to sweep, e.g.
+//!   `1,2,4,8` (default: 1,2,4,8 capped to the host's available cores —
+//!   a fixed total workload, so the curve measures strong scaling);
+//! * `FBUF_STRESS_PATHS`   — total logical data paths, partitioned across
+//!   shards by path id (default 4 per shard at the largest thread count);
+//! * `FBUF_STRESS_PAGES`   — pages per buffer (default 1);
+//! * `FBUF_STRESS_CROSS`   — send one cross-shard payload every N local
+//!   cycles (default 64; 0 disables cross-shard traffic);
 //! * `FBUF_STRESS_BASELINE_NS` — ns per fbuf operation of a reference
-//!   engine build; when set, the report and summary line carry the
-//!   speedup against it;
-//! * `FBUF_BENCH_DIR`    — report directory (default `target/bench-reports`).
+//!   engine build; when set, the report carries the speedup against it;
+//! * `FBUF_STRESS_MIN_SPEEDUP` — `<threads>:<factor>` (e.g. `4:2.5`);
+//!   fail unless the run at `<threads>` reached `<factor>`× the first
+//!   (lowest) thread count's ops/sec. Only meaningful on a host with at
+//!   least `<threads>` cores, hence opt-in;
+//! * `FBUF_BENCH_DIR`      — report directory (default
+//!   `target/bench-reports`).
 //!
 //! Check mode: `fbuf-stress --check <dir>` validates every `BENCH_*.json`
 //! in `<dir>` with the in-repo parser and fails unless each carries a
-//! `host` block (used by `ci.sh`).
+//! `host` block **and** a `repro` header (seed, thread count, workload
+//! params); any `host.scaling` block must be well-formed (strictly
+//! increasing thread counts, positive ops/sec, efficiency in (0, 1.05]),
+//! and the stress report itself must carry a non-empty one.
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use fbuf::{AllocMode, FbufSystem, SendMode};
-use fbuf_sim::bench::{BenchRunner, Unit};
-use fbuf_sim::{Json, MachineConfig};
-use fbuf_vm::DomainId;
-use fbuf::PathId;
+use fbuf::shard::{fleet_snapshot, run_fleet, FleetConfig, ShardReport};
+use fbuf_sim::bench::{BenchRunner, ScalingPoint, Unit};
+use fbuf_sim::{Json, MachineConfig, Ns, ToJson};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Like [`env_u64`] but 0 is a meaningful value (e.g. "no cross traffic").
+fn env_u64_or_zero(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
         .unwrap_or(default)
 }
 
@@ -50,32 +73,162 @@ fn env_f64(name: &str) -> Option<f64> {
         .filter(|&n: &f64| n > 0.0)
 }
 
-/// One path's cast: the three domains of the paper's loopback experiment.
-struct PathTriple {
-    path: PathId,
-    originator: DomainId,
-    netserver: DomainId,
-    receiver: DomainId,
+/// The shard counts to sweep: `FBUF_STRESS_THREADS` as a comma list, or
+/// 1,2,4,8 capped to the host's cores (always at least `[1]`), sorted
+/// and deduplicated so the scaling curve is well-ordered.
+fn thread_counts() -> Vec<usize> {
+    let mut counts: Vec<usize> = match std::env::var("FBUF_STRESS_THREADS") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .collect(),
+        Err(_) => {
+            let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+            [1, 2, 4, 8].into_iter().filter(|&n| n <= cores).collect()
+        }
+    };
+    if counts.is_empty() {
+        counts.push(1);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
 }
 
-/// One full cached loopback cycle on `p`: alloc at the originator, hand
-/// the buffer down to the netserver and up to the receiver (with the two
-/// RPCs the real stack makes, so dealloc notices keep draining), then
-/// free in every holding domain. 6 fbuf operations.
-fn cycle(s: &mut FbufSystem, p: &PathTriple, len: u64) {
-    let id = s.alloc(p.originator, AllocMode::Cached(p.path), len).expect("cached alloc");
-    s.rpc_mut().call(p.originator, p.netserver);
-    s.send(id, p.originator, p.netserver, SendMode::Volatile).expect("send down");
-    s.rpc_mut().call(p.netserver, p.receiver);
-    s.send(id, p.netserver, p.receiver, SendMode::Volatile).expect("send up");
-    s.free(id, p.receiver).expect("free receiver");
-    s.free(id, p.netserver).expect("free netserver");
-    s.free(id, p.originator).expect("free originator");
+/// `FBUF_STRESS_MIN_SPEEDUP` as `(threads, factor)`, e.g. `4:2.5`.
+fn min_speedup_gate() -> Option<(u64, f64)> {
+    let raw = std::env::var("FBUF_STRESS_MIN_SPEEDUP").ok()?;
+    let (t, f) = raw.split_once(':')?;
+    Some((t.trim().parse().ok()?, f.trim().parse().ok()?))
+}
+
+/// One thread count's worth of fleet results.
+struct FleetRun {
+    threads: u64,
+    reports: Vec<ShardReport>,
+    /// Total fbuf operations across the fleet.
+    ops: u64,
+    /// Fleet wall-clock: max across shards (they start barrier-aligned).
+    host_ns: u64,
+    /// Simulated time of the slowest shard.
+    sim_elapsed: Ns,
+}
+
+/// Runs the fleet at one thread count and asserts the per-shard
+/// steady-state invariants plus cross-shard payload conservation.
+fn run_at(threads: usize, machine: &MachineConfig, paths: usize, pages: u64, cycles: u64, cross_every: u64) -> Result<FleetRun, String> {
+    let cfg = FleetConfig {
+        shards: threads,
+        machine: machine.clone(),
+        paths,
+        pages,
+        cycles,
+        cross_every,
+        channel_capacity: 16,
+        trace: false,
+    };
+    let reports = run_fleet(&cfg);
+    for r in &reports {
+        let violations = r.steady_state_violations();
+        if !violations.is_empty() {
+            return Err(format!(
+                "shard {}/{threads} left §3.2.2 steady state: {}",
+                r.shard,
+                violations.join("; ")
+            ));
+        }
+    }
+    let sent: u64 = reports.iter().map(|r| r.sent).sum();
+    let received: u64 = reports.iter().map(|r| r.received).sum();
+    if sent != received {
+        return Err(format!(
+            "cross-shard payloads not conserved: {sent} sent, {received} received"
+        ));
+    }
+    Ok(FleetRun {
+        threads: threads as u64,
+        ops: reports.iter().map(|r| r.fbuf_ops).sum(),
+        host_ns: reports.iter().map(|r| r.host_ns).max().unwrap_or(0).max(1),
+        sim_elapsed: reports
+            .iter()
+            .map(|r| r.sim_elapsed)
+            .max()
+            .unwrap_or(Ns::ZERO),
+        reports,
+    })
+}
+
+/// Validates one well-formed `host.scaling` array. `required` makes an
+/// empty (or absent) block an error — the stress report must carry one.
+fn check_scaling(name: &str, doc: &Json, required: bool) -> Result<(), String> {
+    let scaling = doc
+        .get("host")
+        .and_then(|h| h.get("scaling"))
+        .and_then(|s| s.as_arr().map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    if scaling.is_empty() {
+        if required {
+            return Err(format!("{name}: stress report lacks a host.scaling curve"));
+        }
+        return Ok(());
+    }
+    let mut prev_threads = 0.0;
+    for (i, point) in scaling.iter().enumerate() {
+        let threads = point
+            .get("threads")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("{name}: scaling[{i}] lacks a numeric `threads`"))?;
+        if threads <= prev_threads {
+            return Err(format!(
+                "{name}: scaling thread counts not strictly increasing at index {i}"
+            ));
+        }
+        prev_threads = threads;
+        let ops_per_sec = point
+            .get("ops_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("{name}: scaling[{i}] lacks `ops_per_sec`"))?;
+        if ops_per_sec <= 0.0 {
+            return Err(format!("{name}: scaling[{i}] ops_per_sec = {ops_per_sec} (want > 0)"));
+        }
+        let efficiency = point
+            .get("efficiency")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("{name}: scaling[{i}] lacks `efficiency`"))?;
+        if efficiency <= 0.0 || efficiency > 1.05 {
+            return Err(format!(
+                "{name}: scaling[{i}] efficiency = {efficiency} (want in (0, 1.05])"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates the `repro` header every report must carry: a numeric seed,
+/// a thread count of at least 1, and a params object.
+fn check_repro(name: &str, doc: &Json) -> Result<(), String> {
+    let repro = doc.get("repro").ok_or(format!("{name}: missing `repro` header"))?;
+    repro
+        .get("seed")
+        .and_then(|v| v.as_f64())
+        .ok_or(format!("{name}: `repro.seed` is not a number"))?;
+    let threads = repro
+        .get("threads")
+        .and_then(|v| v.as_f64())
+        .ok_or(format!("{name}: `repro.threads` is not a number"))?;
+    if threads < 1.0 {
+        return Err(format!("{name}: `repro.threads` = {threads} (want >= 1)"));
+    }
+    match repro.get("params") {
+        Some(Json::Obj(_)) => Ok(()),
+        _ => Err(format!("{name}: `repro.params` is not an object")),
+    }
 }
 
 /// Validates every `BENCH_*.json` in `dir`: parses with the in-repo
-/// parser and requires the `host` block. Returns the number of reports
-/// checked, or an error description.
+/// parser, requires the `host` block and `repro` header, and checks any
+/// scaling curve. Returns the number of reports checked.
 fn check_reports(dir: &str) -> Result<usize, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir}: {e}"))?;
     let mut checked = 0;
@@ -95,6 +248,8 @@ fn check_reports(dir: &str) -> Result<usize, String> {
             .and_then(|t| t.as_str())
             .filter(|&t| t == "wall_clock_ns")
             .ok_or(format!("{name}: `host.timebase` is not wall_clock_ns"))?;
+        check_repro(&name, &doc)?;
+        check_scaling(&name, &doc, name == "BENCH_stress.json")?;
         checked += 1;
     }
     if checked == 0 {
@@ -109,7 +264,9 @@ fn main() -> ExitCode {
         let dir = args.get(2).map(String::as_str).unwrap_or("target/bench-reports");
         return match check_reports(dir) {
             Ok(n) => {
-                println!("fbuf-stress --check: {n} report(s) in {dir} parse and carry a host block");
+                println!(
+                    "fbuf-stress --check: {n} report(s) in {dir} parse, carry host + repro blocks, scaling curves well-formed"
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -120,103 +277,140 @@ fn main() -> ExitCode {
     }
 
     let cycles = env_u64("FBUF_STRESS_OPS", 200_000);
-    let npaths = env_u64("FBUF_STRESS_PATHS", 4) as usize;
+    let threads = thread_counts();
+    let max_threads = *threads.last().expect("at least one thread count");
+    let npaths = env_u64("FBUF_STRESS_PATHS", 4 * max_threads as u64) as usize;
     let pages = env_u64("FBUF_STRESS_PAGES", 1);
+    let cross_every = env_u64_or_zero("FBUF_STRESS_CROSS", 64);
     let baseline = env_f64("FBUF_STRESS_BASELINE_NS");
 
     let mut cfg = MachineConfig::decstation_5000_200();
     // Enough physical memory and chunk space that every path's working
     // set stays resident: the workload must never fall off the cached
-    // fast path into reclamation.
+    // fast path into reclamation. Each shard instantiates its own copy.
     cfg.phys_mem = 64 << 20;
     cfg.chunk_size = 1 << 20;
-    let page_size = cfg.page_size;
-    let len = pages * page_size;
+    let len = pages * cfg.page_size;
 
-    let mut s = FbufSystem::new(cfg);
-    let mut triples = Vec::with_capacity(npaths);
-    for _ in 0..npaths {
-        let originator = s.create_domain();
-        let netserver = s.create_domain();
-        let receiver = s.create_domain();
-        let path = s
-            .create_path(vec![originator, netserver, receiver])
-            .expect("fresh domains make a path");
-        triples.push(PathTriple { path, originator, netserver, receiver });
-    }
+    println!(
+        "== fbuf-stress: {} cycles across {} path(s), {} page(s)/buffer, threads {:?}, cross-shard every {} ==",
+        cycles, npaths, pages, threads, cross_every
+    );
 
-    // Warm every path: the first cycle per path builds the buffer and
-    // installs its mappings; afterwards the engine is in §3.2.2 steady
-    // state and stays there.
-    for t in &triples {
-        cycle(&mut s, t, len);
-    }
-
-    let mark = s.stats().snapshot();
-    let sim_t0 = s.machine().clock().now();
-    let host_t0 = Instant::now();
-    for i in 0..cycles {
-        let t = &triples[(i as usize) % npaths];
-        cycle(&mut s, t, len);
-    }
-    let host_elapsed = host_t0.elapsed();
-    let sim_elapsed = s.machine().clock().now() - sim_t0;
-    let delta = s.stats().snapshot().delta(&mark);
-
-    // The measured window must be pure steady state — otherwise the
-    // number is not the cached hot path and the run is meaningless.
-    let mut violations = Vec::new();
-    if delta.pte_updates != 0 {
-        violations.push(format!("pte_updates = {} (want 0)", delta.pte_updates));
-    }
-    if delta.pages_cleared != 0 {
-        violations.push(format!("pages_cleared = {} (want 0)", delta.pages_cleared));
-    }
-    if delta.fbuf_cache_misses != 0 {
-        violations.push(format!("fbuf_cache_misses = {} (want 0)", delta.fbuf_cache_misses));
-    }
-    if delta.fbuf_cache_hits != cycles {
-        violations.push(format!("fbuf_cache_hits = {} (want {cycles})", delta.fbuf_cache_hits));
-    }
-    if !violations.is_empty() {
-        eprintln!("fbuf-stress FAILED: measured window left §3.2.2 steady state:");
-        for v in &violations {
-            eprintln!("  {v}");
+    let mut runs = Vec::with_capacity(threads.len());
+    for &n in &threads {
+        match run_at(n, &cfg, npaths, pages, cycles, cross_every) {
+            Ok(run) => {
+                println!(
+                    "{:>2} thread(s): {:>10} fbuf ops in {:>8.1} ms host ({:.3} us/cycle simulated, {} cross-shard payloads)",
+                    n,
+                    run.ops,
+                    run.host_ns as f64 / 1e6,
+                    run.sim_elapsed.as_us_f64() / (cycles.max(1) as f64 / n as f64),
+                    run.reports.iter().map(|r| r.sent).sum::<u64>(),
+                );
+                runs.push(run);
+            }
+            Err(e) => {
+                eprintln!("fbuf-stress FAILED at {n} thread(s): {e}");
+                return ExitCode::FAILURE;
+            }
         }
-        return ExitCode::FAILURE;
     }
 
-    // 6 fbuf operations per cycle: 1 alloc + 2 sends + 3 frees.
-    let fbuf_ops = cycles * 6;
-    let host_ns = host_elapsed.as_nanos() as u64;
-    let sim_us_per_cycle = sim_elapsed.as_us_f64() / cycles as f64;
+    if let Some((gate_threads, factor)) = min_speedup_gate() {
+        let ops_per_sec =
+            |r: &FleetRun| r.ops as f64 * 1e9 / r.host_ns as f64;
+        let base = &runs[0];
+        match runs.iter().find(|r| r.threads == gate_threads) {
+            Some(run) => {
+                let speedup = ops_per_sec(run) / ops_per_sec(base);
+                if speedup < factor {
+                    eprintln!(
+                        "fbuf-stress FAILED: {gate_threads}-thread speedup {speedup:.2}x < required {factor:.2}x (vs {} thread(s))",
+                        base.threads
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "speedup gate: {gate_threads} thread(s) at {speedup:.2}x >= {factor:.2}x vs {} thread(s)",
+                    base.threads
+                );
+            }
+            None => {
+                eprintln!(
+                    "fbuf-stress FAILED: FBUF_STRESS_MIN_SPEEDUP names {gate_threads} thread(s), but the sweep ran {threads:?}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
-    println!(
-        "== fbuf-stress: {} cycles ({} fbuf ops) across {} path(s), {} page(s)/buffer ==",
-        cycles, fbuf_ops, npaths, pages
-    );
-    println!(
-        "simulated: {:.1} us total, {:.3} us/cycle, {:.0} Mb/s",
-        sim_elapsed.as_us_f64(),
-        sim_us_per_cycle,
-        sim_elapsed.mbps(len * cycles)
-    );
+    let first = &runs[0];
+    let sim_us_per_cycle = first.sim_elapsed.as_us_f64()
+        / (cycles.max(1) as f64 / first.threads as f64);
 
     let mut runner = BenchRunner::new("stress");
-    runner.measure("cached_cycle", Unit::SimUs, || sim_us_per_cycle);
-    runner.host_throughput("cached_fbuf_ops", fbuf_ops, host_ns, baseline);
-    runner.host_throughput("cached_cycles", cycles, host_ns, None);
-    runner.counters(&delta);
-    runner.artifact(
-        "config",
-        Json::obj(vec![
-            ("cycles", fbuf_sim::ToJson::to_json(&cycles)),
-            ("paths", fbuf_sim::ToJson::to_json(&(npaths as u64))),
-            ("pages_per_buffer", fbuf_sim::ToJson::to_json(&pages)),
-            ("bytes_per_buffer", fbuf_sim::ToJson::to_json(&len)),
-            ("ops_per_cycle", fbuf_sim::ToJson::to_json(&6u64)),
-        ]),
+    runner.set_threads(max_threads as u64);
+    runner.param("ops", cycles);
+    runner.param("paths", npaths as u64);
+    runner.param("pages_per_buffer", pages);
+    runner.param("bytes_per_buffer", len);
+    runner.param("cross_every", cross_every);
+    runner.param(
+        "threads",
+        Json::Arr(threads.iter().map(|&n| (n as u64).to_json()).collect()),
     );
+    runner.measure("cached_cycle", Unit::SimUs, || sim_us_per_cycle);
+    runner.host_throughput("cached_fbuf_ops", first.ops, first.host_ns, baseline);
+    for run in &runs[1..] {
+        runner.host_throughput(
+            &format!("cached_fbuf_ops_t{}", run.threads),
+            run.ops,
+            run.host_ns,
+            None,
+        );
+    }
+    let curve: Vec<ScalingPoint> = runs
+        .iter()
+        .map(|r| ScalingPoint { threads: r.threads, ops: r.ops, elapsed_ns: r.host_ns })
+        .collect();
+    runner.host_scaling(&curve);
+    // One coherent fleet snapshot: the counter merge of the largest run.
+    let widest = runs.last().expect("at least one run");
+    runner.counters(&fleet_snapshot(&widest.reports));
+    let per_run: Vec<Json> = runs
+        .iter()
+        .map(|run| {
+            Json::obj(vec![
+                ("threads", run.threads.to_json()),
+                ("fbuf_ops", run.ops.to_json()),
+                ("host_ns", run.host_ns.to_json()),
+                ("sim_us", run.sim_elapsed.as_us_f64().to_json()),
+                (
+                    "shards",
+                    Json::Arr(
+                        run.reports
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("shard", (r.shard as u64).to_json()),
+                                    ("paths", (r.paths as u64).to_json()),
+                                    ("cycles", r.cycles.to_json()),
+                                    ("sent", r.sent.to_json()),
+                                    ("received", r.received.to_json()),
+                                    ("fbuf_ops", r.fbuf_ops.to_json()),
+                                    ("cache_hits", r.delta.fbuf_cache_hits.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    runner.artifact("fleet", Json::Arr(per_run));
+
     let path = match runner.finish() {
         Ok(p) => p,
         Err(e) => {
@@ -225,10 +419,15 @@ fn main() -> ExitCode {
         }
     };
 
-    // The report must round-trip through the in-repo parser and satisfy
-    // the same contract `--check` enforces.
+    // The report must satisfy the same contract `--check` enforces.
     let text = std::fs::read_to_string(&path).expect("just-written report");
     let doc = Json::parse(&text).expect("report parses");
     assert!(doc.get("host").is_some(), "stress report carries a host block");
+    if let Err(e) = check_repro("BENCH_stress.json", &doc)
+        .and_then(|()| check_scaling("BENCH_stress.json", &doc, true))
+    {
+        eprintln!("fbuf-stress FAILED: own report rejected: {e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

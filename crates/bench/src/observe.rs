@@ -13,6 +13,7 @@
 
 use fbuf::{AllocMode, FbufSystem, SendMode};
 use fbuf_net::{EndToEnd, EndToEndConfig, LoopbackConfig, LoopbackStack};
+use fbuf_sim::bench::BenchRunner;
 use fbuf_sim::{Histogram, MachineConfig, StatsSnapshot};
 use fbuf_vm::facility::TransferMechanism;
 use fbuf_vm::Machine;
@@ -26,6 +27,17 @@ pub struct Observation {
     pub alloc: Histogram,
     /// Transfer latency, merged across paths.
     pub transfer: Histogram,
+}
+
+/// Attaches an observation to a report the standard way: the counter
+/// delta accumulates into the `counters` object, and the two span
+/// histograms land under `latency` as `alloc_<label>` and
+/// `transfer_<label>`. Every target uses this instead of hand-rolling
+/// the same three calls.
+pub fn attach(r: &mut BenchRunner, label: &str, obs: &Observation) {
+    r.counters(&obs.counters);
+    r.latency(&format!("alloc_{label}"), &obs.alloc);
+    r.latency(&format!("transfer_{label}"), &obs.transfer);
 }
 
 fn bench_config() -> MachineConfig {

@@ -59,10 +59,15 @@ pub mod buffer;
 pub mod error;
 pub mod path;
 pub mod region;
+pub mod shard;
 pub mod system;
 
 pub use buffer::{Fbuf, FbufId, FbufState};
 pub use error::{FbufError, FbufResult};
 pub use path::{DataPath, PathId};
 pub use region::ChunkAllocator;
+pub use shard::{
+    fleet_snapshot, fleet_trace, run_fleet, shard_of_path, CrossShardMsg, FleetConfig, Links,
+    Shard, ShardReport,
+};
 pub use system::{AllocMode, FbufSystem, ReusePolicy, SendMode};

@@ -1,0 +1,764 @@
+//! Sharded multi-core engines: one complete machine per OS thread.
+//!
+//! The paper targets shared-memory multiprocessors and observes that the
+//! per-path free lists need no locking as long as a data path stays
+//! processor-local (§3.3). This module takes that design at its word:
+//! a **shard** is a complete, independent engine — its own simulated
+//! [`Machine`](fbuf_vm::Machine), [`FbufSystem`], clock, counters, and
+//! tracer — owned by exactly one OS thread. No `Rc` ever crosses a
+//! thread boundary, because a shard is *constructed inside* its thread;
+//! the only types that cross are plain data ([`CrossShardMsg`], notice
+//! tokens, [`StatsSnapshot`], [`TraceEvent`]).
+//!
+//! Data paths are partitioned across shards by path id
+//! ([`shard_of_path`]), so the steady-state hot path — cached alloc,
+//! volatile transfer, free — runs with zero synchronization of any kind.
+//! When data must leave its shard, it crosses an [`spsc`] ring pair:
+//! the sender serializes the fbuf's page payload plus a path token into
+//! the fixed-capacity **data ring**, the receiver materializes it
+//! through its *own* cached allocator (so §3.2.2 steady state — zero
+//! PTE updates, zero clears, all cache hits — holds per shard), and the
+//! deallocation notice flows back on the reverse **notice ring**, at
+//! which point the sender parks its copy on its free list.
+//!
+//! [`run_fleet`] drives N shards concurrently over a ring topology
+//! (shard *i* feeds shard *i*+1 mod N) with barrier-aligned warm-up and
+//! measurement phases, and returns one [`ShardReport`] per shard;
+//! [`fleet_snapshot`] and [`fleet_trace`] fold those into the single
+//! coherent view a fleet-level report needs.
+
+use std::collections::VecDeque;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use fbuf_sim::spsc::{self, Consumer, Producer};
+use fbuf_sim::{trace, MachineConfig, Ns, StatsSnapshot, TraceEvent};
+use fbuf_vm::DomainId;
+
+use crate::{AllocMode, FbufId, FbufSystem, PathId, SendMode};
+
+/// Which shard owns a data path: paths are partitioned round-robin by
+/// path id, the scheme both the fleet and its tests rely on.
+pub fn shard_of_path(path: u64, shards: usize) -> usize {
+    (path % shards.max(1) as u64) as usize
+}
+
+/// One fbuf's worth of cross-shard traffic: the page payload and the
+/// token the dealloc notice will echo back.
+#[derive(Debug)]
+pub struct CrossShardMsg {
+    /// Sender-unique token: shard id in the high bits, sequence below.
+    pub token: u64,
+    /// The fbuf's byte payload, serialized out of the sender's pages.
+    pub payload: Vec<u8>,
+}
+
+impl CrossShardMsg {
+    /// Packs a token from a shard id and a per-shard sequence number.
+    pub fn token_for(shard: usize, seq: u64) -> u64 {
+        ((shard as u64) << 48) | (seq & 0xffff_ffff_ffff)
+    }
+}
+
+/// A shard's four channel endpoints in the fleet's ring topology. All
+/// are `None` for a fleet without cross-shard traffic.
+#[derive(Debug, Default)]
+pub struct Links {
+    /// Data ring to the next shard (this shard is the producer).
+    pub data_tx: Option<Producer<CrossShardMsg>>,
+    /// Reverse notice ring from the next shard (tokens of payloads it
+    /// has fully consumed).
+    pub notice_rx: Option<Consumer<u64>>,
+    /// Data ring from the previous shard (this shard is the consumer).
+    pub data_rx: Option<Consumer<CrossShardMsg>>,
+    /// Reverse notice ring to the previous shard.
+    pub notice_tx: Option<Producer<u64>>,
+}
+
+/// The three domains of one local loopback path (originator →
+/// netserver → receiver), mirroring the paper's Figure-4 cast.
+#[derive(Debug, Clone, Copy)]
+struct Triple {
+    path: PathId,
+    originator: DomainId,
+    netserver: DomainId,
+    receiver: DomainId,
+}
+
+/// One complete engine owned by one OS thread. See the [module
+/// docs](self) for the ownership rules.
+#[derive(Debug)]
+pub struct Shard {
+    /// Fleet-wide shard index.
+    pub id: usize,
+    /// The shard's private engine (machine, clock, stats, tracer, RPC).
+    pub sys: FbufSystem,
+    /// Local loopback paths, cycled round-robin.
+    locals: Vec<Triple>,
+    /// Dedicated two-domain path whose buffers carry egress payloads
+    /// (separate from `locals` so an in-flight egress buffer never
+    /// steals a local path's parked buffer).
+    egress: Triple,
+    /// Dedicated path that materializes cross-shard arrivals.
+    ingress: Triple,
+    /// Bytes per buffer.
+    len: u64,
+    /// Egress buffers awaiting their dealloc notice, oldest first. The
+    /// SPSC rings are FIFO, so notices return in send order.
+    pending: VecDeque<(u64, FbufId)>,
+    next_seq: u64,
+    next_local: usize,
+    /// Measured-window activity counters (reset by
+    /// [`Shard::reset_activity`] after warm-up).
+    pub cycles: u64,
+    /// Cross-shard payloads sent.
+    pub sent: u64,
+    /// Cross-shard payloads materialized.
+    pub received: u64,
+}
+
+impl Shard {
+    /// Builds a shard with `paths` local loopback paths plus the
+    /// dedicated egress/ingress paths, each buffer `pages` pages long.
+    /// Call this *inside* the owning thread: the engine's `Rc` handles
+    /// must never cross threads.
+    pub fn new(id: usize, cfg: MachineConfig, paths: usize, pages: u64) -> Shard {
+        let len = pages.max(1) * cfg.page_size;
+        let mut sys = FbufSystem::new(cfg);
+        let triple = |sys: &mut FbufSystem| {
+            let originator = sys.create_domain();
+            let netserver = sys.create_domain();
+            let receiver = sys.create_domain();
+            let path = sys
+                .create_path(vec![originator, netserver, receiver])
+                .expect("fresh domains make a path");
+            Triple { path, originator, netserver, receiver }
+        };
+        let locals: Vec<Triple> = (0..paths.max(1)).map(|_| triple(&mut sys)).collect();
+        let ingress = triple(&mut sys);
+        let egress = {
+            let originator = sys.create_domain();
+            let receiver = sys.create_domain();
+            let path = sys
+                .create_path(vec![originator, receiver])
+                .expect("fresh domains make a path");
+            Triple { path, originator, netserver: receiver, receiver }
+        };
+        Shard {
+            id,
+            sys,
+            locals,
+            egress,
+            ingress,
+            len,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            next_local: 0,
+            cycles: 0,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Number of local paths this shard owns.
+    pub fn local_paths(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// One cached loopback cycle on the next local path (round-robin):
+    /// alloc at the originator, two RPC-carried sends down the path,
+    /// free in every holding domain — 6 fbuf operations, the same shape
+    /// `fbuf-stress` has always measured.
+    pub fn local_cycle(&mut self) {
+        let t = self.locals[self.next_local];
+        self.next_local = (self.next_local + 1) % self.locals.len();
+        let s = &mut self.sys;
+        let id = s
+            .alloc(t.originator, AllocMode::Cached(t.path), self.len)
+            .expect("cached alloc");
+        s.rpc_mut().call(t.originator, t.netserver);
+        s.send(id, t.originator, t.netserver, SendMode::Volatile)
+            .expect("send down");
+        s.rpc_mut().call(t.netserver, t.receiver);
+        s.send(id, t.netserver, t.receiver, SendMode::Volatile)
+            .expect("send up");
+        s.free(id, t.receiver).expect("free receiver");
+        s.free(id, t.netserver).expect("free netserver");
+        s.free(id, t.originator).expect("free originator");
+        self.cycles += 1;
+    }
+
+    /// Runs one warm-up cycle per local path, so every path enters
+    /// §3.2.2 steady state before measurement.
+    pub fn warm_local(&mut self) {
+        for _ in 0..self.locals.len() {
+            self.local_cycle();
+        }
+    }
+
+    /// Sends one fbuf's payload to the next shard: allocates from the
+    /// egress path's cache, stamps and serializes the payload, and
+    /// pushes it onto the data ring. The buffer stays held until the
+    /// receiver's dealloc notice returns (at most one in flight, so the
+    /// egress cache always has the parked buffer ready — all hits).
+    ///
+    /// No-op if the fleet has no cross-shard links.
+    pub fn egress(&mut self, links: &mut Links) {
+        if links.data_tx.is_none() {
+            return;
+        }
+        // Cap in-flight egress at one buffer: wait for the previous
+        // notice so this allocation is a guaranteed cache hit.
+        while !self.pending.is_empty() {
+            if self.poll(links) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        let t = self.egress;
+        let token = CrossShardMsg::token_for(self.id, self.next_seq);
+        self.next_seq += 1;
+        let id = self
+            .sys
+            .alloc(t.originator, AllocMode::Cached(t.path), self.len)
+            .expect("cached egress alloc");
+        self.sys
+            .write_fbuf(t.originator, id, 0, &token.to_le_bytes())
+            .expect("stamp egress payload");
+        let payload = self
+            .sys
+            .read_fbuf(t.originator, id, 0, self.len)
+            .expect("serialize egress payload");
+        let mut msg = CrossShardMsg { token, payload };
+        loop {
+            match links.data_tx.as_mut().expect("checked above").push(msg) {
+                Ok(()) => break,
+                Err(back) => {
+                    msg = back;
+                    // Ring full: keep consuming our own ingress so the
+                    // fleet cannot deadlock on mutually full rings.
+                    if self.poll(links) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        self.pending.push_back((token, id));
+        self.sent += 1;
+    }
+
+    /// Drains everything currently queued on the ingress and notice
+    /// rings: each arriving payload is materialized through this shard's
+    /// own cached allocator, walked down the ingress path, freed, and
+    /// acknowledged on the reverse ring; each returning notice frees
+    /// (parks) the corresponding egress buffer. Returns how many
+    /// messages and notices were processed.
+    pub fn poll(&mut self, links: &mut Links) -> usize {
+        let mut progressed = 0;
+        while let Some(msg) = links.data_rx.as_mut().and_then(Consumer::pop) {
+            self.ingest(msg, links);
+            progressed += 1;
+        }
+        while let Some(token) = links.notice_rx.as_mut().and_then(Consumer::pop) {
+            let (expect, id) = self
+                .pending
+                .pop_front()
+                .expect("notice without a pending egress buffer");
+            assert_eq!(token, expect, "notices return in send order (FIFO rings)");
+            self.sys
+                .free(id, self.egress.originator)
+                .expect("free acknowledged egress buffer");
+            progressed += 1;
+        }
+        progressed
+    }
+
+    /// Egress buffers still awaiting their dealloc notice.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn ingest(&mut self, msg: CrossShardMsg, links: &mut Links) {
+        let t = self.ingress;
+        let s = &mut self.sys;
+        let id = s
+            .alloc(t.originator, AllocMode::Cached(t.path), self.len)
+            .expect("cached ingress alloc");
+        s.write_fbuf(t.originator, id, 0, &msg.payload)
+            .expect("materialize payload");
+        s.rpc_mut().call(t.originator, t.netserver);
+        s.send(id, t.originator, t.netserver, SendMode::Volatile)
+            .expect("send down");
+        s.rpc_mut().call(t.netserver, t.receiver);
+        s.send(id, t.netserver, t.receiver, SendMode::Volatile)
+            .expect("send up");
+        let stamp = s
+            .read_fbuf(t.receiver, id, 0, 8)
+            .expect("read materialized stamp");
+        assert_eq!(
+            stamp,
+            msg.token.to_le_bytes(),
+            "payload must survive the cross-shard hop intact"
+        );
+        s.free(id, t.receiver).expect("free receiver");
+        s.free(id, t.netserver).expect("free netserver");
+        s.free(id, t.originator).expect("free originator");
+        self.received += 1;
+        let tx = links
+            .notice_tx
+            .as_mut()
+            .expect("an ingress link implies a notice ring");
+        let mut token = msg.token;
+        while let Err(back) = tx.push(token) {
+            token = back;
+            // The sender drains notices every cycle; just wait for room.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Zeroes the measured-window activity counters (after warm-up).
+    pub fn reset_activity(&mut self) {
+        self.cycles = 0;
+        self.sent = 0;
+        self.received = 0;
+    }
+}
+
+/// Configuration of a shard fleet run. See [`run_fleet`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// OS threads, each owning one complete engine.
+    pub shards: usize,
+    /// Machine configuration every shard instantiates privately.
+    pub machine: MachineConfig,
+    /// Total logical data paths, partitioned by [`shard_of_path`]
+    /// (every shard gets at least one).
+    pub paths: usize,
+    /// Pages per buffer.
+    pub pages: u64,
+    /// Total local cycles across the fleet, split evenly (remainder to
+    /// the lowest shard ids).
+    pub cycles: u64,
+    /// Send one cross-shard payload every `cross_every` local cycles;
+    /// 0 disables cross-shard traffic (no rings are built).
+    pub cross_every: u64,
+    /// Capacity of each data/notice ring.
+    pub channel_capacity: usize,
+    /// Enable each shard's tracer over the measured window.
+    pub trace: bool,
+}
+
+impl FleetConfig {
+    /// A fleet over `shards` engines with the defaults `fbuf-stress`
+    /// uses: 4 logical paths per shard, 1-page buffers, cross-shard
+    /// traffic every 64 cycles, 16-slot rings, tracing off.
+    pub fn new(shards: usize, machine: MachineConfig, cycles: u64) -> FleetConfig {
+        FleetConfig {
+            shards: shards.max(1),
+            machine,
+            paths: 4 * shards.max(1),
+            pages: 1,
+            cycles,
+            cross_every: 64,
+            channel_capacity: 16,
+            trace: false,
+        }
+    }
+}
+
+/// What one shard did over its measured window. Plain data — this is
+/// what crosses back from the worker threads.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Fleet-wide shard index.
+    pub shard: usize,
+    /// Local paths the shard owned.
+    pub paths: usize,
+    /// Domains the shard's machine created (for fleet-unique domain
+    /// offsets when merging traces).
+    pub domains: u32,
+    /// Local cycles executed.
+    pub cycles: u64,
+    /// Cross-shard payloads sent.
+    pub sent: u64,
+    /// Cross-shard payloads materialized.
+    pub received: u64,
+    /// Fbuf operations: 6 per local cycle and ingested payload
+    /// (alloc + 2 sends + 3 frees), 2 per egress (alloc + free).
+    pub fbuf_ops: u64,
+    /// Counter delta over the measured window.
+    pub delta: StatsSnapshot,
+    /// Simulated time the measured window covered.
+    pub sim_elapsed: Ns,
+    /// Host wall-clock of the measured window (barrier-aligned start).
+    pub host_ns: u64,
+    /// The shard's trace ring (empty unless `FleetConfig::trace`).
+    pub events: Vec<TraceEvent>,
+}
+
+impl ShardReport {
+    /// The §3.2.2 steady-state violations of this shard's measured
+    /// window: an empty vector is the per-shard invariant the fleet
+    /// harness asserts — zero PTE updates, zero page clears, and every
+    /// allocation (local, egress, and ingress alike) a cache hit.
+    pub fn steady_state_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let expected_allocs = self.cycles + self.sent + self.received;
+        if self.delta.pte_updates != 0 {
+            v.push(format!("pte_updates = {} (want 0)", self.delta.pte_updates));
+        }
+        if self.delta.pages_cleared != 0 {
+            v.push(format!("pages_cleared = {} (want 0)", self.delta.pages_cleared));
+        }
+        if self.delta.fbuf_cache_misses != 0 {
+            v.push(format!(
+                "fbuf_cache_misses = {} (want 0)",
+                self.delta.fbuf_cache_misses
+            ));
+        }
+        if self.delta.fbuf_cache_hits != expected_allocs {
+            v.push(format!(
+                "fbuf_cache_hits = {} (want {expected_allocs})",
+                self.delta.fbuf_cache_hits
+            ));
+        }
+        v
+    }
+}
+
+/// Merges every shard's counter delta into one fleet snapshot.
+pub fn fleet_snapshot(reports: &[ShardReport]) -> StatsSnapshot {
+    StatsSnapshot::merge_all(reports.iter().map(|r| &r.delta))
+}
+
+/// Merges every shard's trace ring into one time-ordered stream with
+/// fleet-unique domain ids (shard *i*'s domains are offset by the sum
+/// of earlier shards' domain counts).
+pub fn fleet_trace(reports: &[ShardReport]) -> Vec<TraceEvent> {
+    let mut base = 0u32;
+    let mut rings = Vec::with_capacity(reports.len());
+    for r in reports {
+        rings.push((base, r.events.clone()));
+        base += r.domains;
+    }
+    trace::merge_rings(&rings)
+}
+
+/// Everything one worker thread needs, bundled so it can be moved into
+/// the thread in one piece.
+struct ShardSpec {
+    id: usize,
+    machine: MachineConfig,
+    paths: usize,
+    pages: u64,
+    cycles: u64,
+    cross_every: u64,
+    expected_rx: u64,
+    trace: bool,
+    links: Links,
+}
+
+/// Runs a fleet of shards to completion and returns their reports,
+/// shard 0 first.
+///
+/// Topology: shard *i*'s egress ring feeds shard *i*+1 mod N (for
+/// N = 1 with cross traffic, the shard feeds itself — the workload
+/// shape stays identical across thread counts, which is what makes the
+/// scaling curve comparable). Three phases, barrier-aligned:
+///
+/// 1. **warm** — every local path runs one cycle, and one warm payload
+///    enters each data ring;
+/// 2. **settle** — every shard materializes its warm arrival and drains
+///    the returning warm notice, so ingress and egress caches are in
+///    steady state too;
+/// 3. **measure** — the counted window: local cycles with a cross-shard
+///    payload every `cross_every`-th, followed by a flush that ingests
+///    the peer's remaining payloads and collects outstanding notices.
+pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
+    let n = cfg.shards.max(1);
+    let cross = cfg.cross_every > 0;
+    let total_paths = cfg.paths.max(1);
+    let paths_of: Vec<usize> = (0..n)
+        .map(|s| (0..total_paths).filter(|p| shard_of_path(*p as u64, n) == s).count().max(1))
+        .collect();
+    let cycles_of: Vec<u64> =
+        (0..n as u64).map(|s| cfg.cycles / n as u64 + u64::from(s < cfg.cycles % n as u64)).collect();
+    let sent_of: Vec<u64> = cycles_of
+        .iter()
+        .map(|&c| if cross { c / cfg.cross_every } else { 0 })
+        .collect();
+
+    let mut links: Vec<Links> = (0..n).map(|_| Links::default()).collect();
+    if cross {
+        for i in 0..n {
+            let cap = cfg.channel_capacity.max(1);
+            let (data_tx, data_rx) = spsc::ring::<CrossShardMsg>(cap);
+            let (notice_tx, notice_rx) = spsc::ring::<u64>(cap);
+            links[i].data_tx = Some(data_tx);
+            links[i].notice_rx = Some(notice_rx);
+            links[(i + 1) % n].data_rx = Some(data_rx);
+            links[(i + 1) % n].notice_tx = Some(notice_tx);
+        }
+    }
+
+    let barrier = Barrier::new(n);
+    let mut specs: Vec<ShardSpec> = links
+        .into_iter()
+        .enumerate()
+        .map(|(id, links)| ShardSpec {
+            id,
+            machine: cfg.machine.clone(),
+            paths: paths_of[id],
+            pages: cfg.pages,
+            cycles: cycles_of[id],
+            cross_every: cfg.cross_every,
+            // Ring topology: shard `id` ingests what shard `id - 1` sends.
+            expected_rx: sent_of[(id + n - 1) % n],
+            trace: cfg.trace,
+            links,
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = specs
+            .drain(..)
+            .map(|spec| scope.spawn(move || shard_main(spec, barrier)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+}
+
+/// One worker thread's whole life. The engine is built here, inside the
+/// thread, and never leaves it.
+fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
+    let ShardSpec {
+        id,
+        machine,
+        paths,
+        pages,
+        cycles,
+        cross_every,
+        expected_rx,
+        trace,
+        mut links,
+    } = spec;
+    let mut sh = Shard::new(id, machine, paths, pages);
+    if trace {
+        sh.sys.machine().tracer().set_enabled(true);
+    }
+
+    // Phase 1: warm every allocator this shard will touch.
+    sh.warm_local();
+    sh.egress(&mut links);
+    barrier.wait();
+
+    // Phase 2: settle the cross-shard warm traffic.
+    if links.data_rx.is_some() {
+        while sh.received < 1 {
+            if sh.poll(&mut links) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+    while sh.in_flight() > 0 {
+        if sh.poll(&mut links) == 0 {
+            std::thread::yield_now();
+        }
+    }
+    barrier.wait();
+
+    // Phase 3: the measured window.
+    sh.reset_activity();
+    let mark = sh.sys.stats().snapshot();
+    let sim0 = sh.sys.machine().clock().now();
+    let t0 = Instant::now();
+    for i in 0..cycles {
+        sh.poll(&mut links);
+        sh.local_cycle();
+        if cross_every > 0 && (i + 1) % cross_every == 0 {
+            sh.egress(&mut links);
+        }
+    }
+    while sh.received < expected_rx || sh.in_flight() > 0 {
+        if sh.poll(&mut links) == 0 {
+            std::thread::yield_now();
+        }
+    }
+    let host_ns = t0.elapsed().as_nanos() as u64;
+    let sim_elapsed = sh.sys.machine().clock().now() - sim0;
+    let delta = sh.sys.stats().snapshot().delta(&mark);
+
+    ShardReport {
+        shard: id,
+        paths,
+        domains: sh.sys.machine().domain_count() as u32,
+        cycles: sh.cycles,
+        sent: sh.sent,
+        received: sh.received,
+        fbuf_ops: sh.cycles * 6 + sh.sent * 2 + sh.received * 6,
+        delta,
+        sim_elapsed,
+        host_ns,
+        events: sh.sys.machine().tracer().events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        let mut cfg = MachineConfig::decstation_5000_200();
+        cfg.phys_mem = 16 << 20;
+        cfg.chunk_size = 1 << 20;
+        cfg
+    }
+
+    #[test]
+    fn paths_partition_round_robin() {
+        assert_eq!(shard_of_path(0, 4), 0);
+        assert_eq!(shard_of_path(5, 4), 1);
+        assert_eq!(shard_of_path(7, 4), 3);
+        assert_eq!(shard_of_path(7, 1), 0, "one shard owns everything");
+        // Every path lands on exactly one shard, and all shards are hit.
+        let n = 3;
+        let mut per_shard = vec![0; n];
+        for p in 0..12u64 {
+            per_shard[shard_of_path(p, n)] += 1;
+        }
+        assert_eq!(per_shard, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn single_shard_fleet_matches_the_legacy_stress_shape() {
+        let cfg = FleetConfig {
+            cross_every: 0,
+            ..FleetConfig::new(1, machine(), 500)
+        };
+        let reports = run_fleet(&cfg);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.cycles, 500);
+        assert_eq!((r.sent, r.received), (0, 0));
+        assert_eq!(r.fbuf_ops, 3_000, "6 fbuf ops per cycle");
+        assert_eq!(r.delta.fbuf_cache_hits, 500, "every alloc a hit");
+        assert!(r.steady_state_violations().is_empty(), "{:?}", r.steady_state_violations());
+        assert!(r.sim_elapsed > Ns::ZERO);
+    }
+
+    #[test]
+    fn self_linked_single_shard_keeps_steady_state_with_cross_traffic() {
+        let cfg = FleetConfig {
+            cross_every: 8,
+            ..FleetConfig::new(1, machine(), 256)
+        };
+        let r = &run_fleet(&cfg)[0];
+        assert_eq!(r.cycles, 256);
+        assert_eq!(r.sent, 256 / 8);
+        assert_eq!(r.received, r.sent, "self-link: every payload comes home");
+        assert!(r.steady_state_violations().is_empty(), "{:?}", r.steady_state_violations());
+    }
+
+    #[test]
+    fn two_shard_fleet_holds_per_shard_invariants_and_conserves_payloads() {
+        let cfg = FleetConfig {
+            cross_every: 16,
+            ..FleetConfig::new(2, machine(), 600)
+        };
+        let reports = run_fleet(&cfg);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(
+                r.steady_state_violations().is_empty(),
+                "shard {}: {:?}",
+                r.shard,
+                r.steady_state_violations()
+            );
+        }
+        assert_eq!(reports[0].cycles + reports[1].cycles, 600);
+        // Conservation: everything sent somewhere was received elsewhere.
+        let sent: u64 = reports.iter().map(|r| r.sent).sum();
+        let received: u64 = reports.iter().map(|r| r.received).sum();
+        assert_eq!(sent, received);
+        assert!(sent > 0, "cross traffic actually flowed");
+        // The merged snapshot is the fieldwise sum.
+        let merged = fleet_snapshot(&reports);
+        assert_eq!(
+            merged.fbuf_cache_hits,
+            reports.iter().map(|r| r.delta.fbuf_cache_hits).sum::<u64>()
+        );
+        assert_eq!(merged.pte_updates, 0);
+    }
+
+    #[test]
+    fn uneven_cycle_split_gives_remainder_to_low_shards() {
+        let cfg = FleetConfig {
+            cross_every: 0,
+            ..FleetConfig::new(3, machine(), 100)
+        };
+        let reports = run_fleet(&cfg);
+        let cycles: Vec<u64> = reports.iter().map(|r| r.cycles).collect();
+        assert_eq!(cycles, vec![34, 33, 33]);
+    }
+
+    #[test]
+    fn fleet_trace_merges_rings_with_unique_domains() {
+        let cfg = FleetConfig {
+            trace: true,
+            cross_every: 0,
+            cycles: 40,
+            ..FleetConfig::new(2, machine(), 40)
+        };
+        let reports = run_fleet(&cfg);
+        for r in &reports {
+            assert!(!r.events.is_empty(), "tracing was on");
+        }
+        let merged = fleet_trace(&reports);
+        assert_eq!(
+            merged.len(),
+            reports.iter().map(|r| r.events.len()).sum::<usize>()
+        );
+        // Domain ids from shard 1 sit above shard 0's whole range, so
+        // the merged stream never aliases two shards' domains.
+        let shard0_max = reports[0]
+            .events
+            .iter()
+            .map(|e| e.dom)
+            .max()
+            .expect("shard 0 traced");
+        assert!(shard0_max < reports[0].domains);
+        let shard1_events = merged.len() - reports[0].events.len();
+        let above: usize = merged.iter().filter(|e| e.dom >= reports[0].domains).count();
+        assert_eq!(above, shard1_events);
+        // Sequence numbers are the merged order.
+        for (i, e) in merged.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn four_shard_fleet_runs_and_reports_coherently() {
+        let cfg = FleetConfig {
+            cross_every: 32,
+            ..FleetConfig::new(4, machine(), 400)
+        };
+        let reports = run_fleet(&cfg);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.cycles).sum::<u64>(), 400);
+        for r in &reports {
+            assert!(
+                r.steady_state_violations().is_empty(),
+                "shard {}: {:?}",
+                r.shard,
+                r.steady_state_violations()
+            );
+            assert_eq!(r.fbuf_ops, r.cycles * 6 + r.sent * 2 + r.received * 6);
+        }
+        let sent: u64 = reports.iter().map(|r| r.sent).sum();
+        let received: u64 = reports.iter().map(|r| r.received).sum();
+        assert_eq!(sent, received);
+    }
+}

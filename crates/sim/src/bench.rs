@@ -106,6 +106,20 @@ struct HostThroughput {
     baseline_ns_per_op: Option<f64>,
 }
 
+/// One point of the wall-clock thread-scaling curve under `host.scaling`:
+/// the whole fleet executed `ops` engine operations in `elapsed_ns` of
+/// host time at this thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Shard (OS thread) count of this run.
+    pub threads: u64,
+    /// Total fbuf operations across all shards.
+    pub ops: u64,
+    /// Fleet wall-clock for the measured window (max across shards; the
+    /// shards start barrier-aligned).
+    pub elapsed_ns: u64,
+}
+
 /// Collects simulated-time measurements for one bench target and emits the
 /// `BENCH_<name>.json` report. See the [module docs](self).
 pub struct BenchRunner {
@@ -116,6 +130,13 @@ pub struct BenchRunner {
     counters: Option<StatsSnapshot>,
     latency: Vec<(String, Histogram)>,
     host_throughput: Vec<HostThroughput>,
+    host_scaling: Vec<ScalingPoint>,
+    /// RNG seed the workload ran under (the `repro` header).
+    seed: u64,
+    /// OS threads the workload ran across (the `repro` header).
+    threads: u64,
+    /// Workload parameters, for bit-for-bit regeneration from the report.
+    params: Vec<(String, Json)>,
 }
 
 impl BenchRunner {
@@ -133,6 +154,10 @@ impl BenchRunner {
     /// Creates a runner with an explicit iteration count (ignores the
     /// environment; used by tests and doctests).
     pub fn named(name: &str, iters: usize) -> BenchRunner {
+        let seed = std::env::var("FBUF_BENCH_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(crate::check::DEFAULT_SEED);
         BenchRunner {
             name: name.to_string(),
             iters,
@@ -141,7 +166,33 @@ impl BenchRunner {
             counters: None,
             latency: Vec::new(),
             host_throughput: Vec::new(),
+            host_scaling: Vec::new(),
+            seed,
+            threads: 1,
+            params: Vec::new(),
         }
+    }
+
+    /// Records the RNG seed the workload ran under, for the report's
+    /// `repro` header. Defaults to `FBUF_BENCH_SEED` or the workspace
+    /// property-test seed, so every report carries *a* seed even when the
+    /// target never draws random numbers.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Records the OS-thread count the workload ran across (`repro`
+    /// header; defaults to 1 — every target before the sharded stress
+    /// harness is single-threaded by construction).
+    pub fn set_threads(&mut self, threads: u64) {
+        self.threads = threads.max(1);
+    }
+
+    /// Records one workload parameter in the report's `repro.params`
+    /// header. A report whose header lists every knob the run consumed
+    /// can be regenerated bit-for-bit from the report alone.
+    pub fn param(&mut self, key: &str, value: impl ToJson) {
+        self.params.push((key.to_string(), value.to_json()));
     }
 
     /// Iterations each scenario runs.
@@ -188,6 +239,15 @@ impl BenchRunner {
             elapsed_ns,
             baseline_ns_per_op,
         });
+    }
+
+    /// Records the wall-clock thread-scaling curve under `host.scaling`:
+    /// one [`ScalingPoint`] per thread count, in ascending order. Each
+    /// point gains derived `ops_per_sec`, `speedup_vs_1t` (vs the first
+    /// point), and `efficiency` (speedup over the thread-count ratio;
+    /// 1.0 = perfectly linear) fields in the report.
+    pub fn host_scaling(&mut self, points: &[ScalingPoint]) {
+        self.host_scaling.extend_from_slice(points);
     }
 
     /// Attaches a regenerated paper artifact (table rows, figure curves) to
@@ -290,15 +350,57 @@ impl BenchRunner {
                 Json::Obj(fields)
             })
             .collect();
+        let base_ops_per_sec = self
+            .host_scaling
+            .first()
+            .filter(|p| p.elapsed_ns > 0)
+            .map(|p| p.ops as f64 * 1e9 / p.elapsed_ns as f64);
+        let base_threads = self.host_scaling.first().map(|p| p.threads.max(1));
+        let host_scaling: Vec<Json> = self
+            .host_scaling
+            .iter()
+            .map(|p| {
+                let ops_per_sec = if p.elapsed_ns > 0 {
+                    p.ops as f64 * 1e9 / p.elapsed_ns as f64
+                } else {
+                    0.0
+                };
+                let speedup = base_ops_per_sec
+                    .filter(|&b| b > 0.0)
+                    .map(|b| ops_per_sec / b)
+                    .unwrap_or(0.0);
+                let efficiency = base_threads
+                    .map(|b| speedup / (p.threads.max(1) as f64 / b as f64))
+                    .unwrap_or(0.0);
+                Json::obj(vec![
+                    ("threads", p.threads.to_json()),
+                    ("ops", p.ops.to_json()),
+                    ("elapsed_ns", p.elapsed_ns.to_json()),
+                    ("ops_per_sec", ops_per_sec.to_json()),
+                    ("speedup_vs_1t", speedup.to_json()),
+                    ("efficiency", efficiency.to_json()),
+                ])
+            })
+            .collect();
         let host = Json::obj(vec![
             ("timebase", "wall_clock_ns".to_json()),
             ("scenarios", Json::Arr(host_scenarios)),
             ("throughput", Json::Arr(host_tp)),
+            ("scaling", Json::Arr(host_scaling)),
+        ]);
+        let repro = Json::obj(vec![
+            ("seed", self.seed.to_json()),
+            ("threads", self.threads.to_json()),
+            (
+                "params",
+                Json::Obj(self.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
+            ),
         ]);
         Json::obj(vec![
             ("bench", self.name.to_json()),
             ("timebase", "simulated".to_json()),
             ("iters", self.iters.to_json()),
+            ("repro", repro),
             ("results", Json::Arr(results)),
             ("host", host),
             (
@@ -356,6 +458,35 @@ impl BenchRunner {
                     println!(" ({:.2}x vs baseline {:.1} ns/op)", base / ns_per_op, base)
                 }
                 _ => println!(),
+            }
+        }
+        if !self.host_scaling.is_empty() {
+            let base = self
+                .host_scaling
+                .first()
+                .filter(|p| p.elapsed_ns > 0)
+                .map(|p| (p.threads.max(1), p.ops as f64 * 1e9 / p.elapsed_ns as f64));
+            println!("host scaling (wall-clock):");
+            for p in &self.host_scaling {
+                let ops_per_sec = if p.elapsed_ns > 0 {
+                    p.ops as f64 * 1e9 / p.elapsed_ns as f64
+                } else {
+                    0.0
+                };
+                let (speedup, eff) = base
+                    .filter(|&(_, b)| b > 0.0)
+                    .map(|(bt, b)| {
+                        let s = ops_per_sec / b;
+                        (s, s / (p.threads.max(1) as f64 / bt as f64))
+                    })
+                    .unwrap_or((0.0, 0.0));
+                println!(
+                    "  {:>2} thread(s): {:>11.0} ops/s  ({:.2}x vs first, {:.0}% of linear)",
+                    p.threads,
+                    ops_per_sec,
+                    speedup,
+                    eff * 100.0
+                );
             }
         }
         let dir = std::env::var("FBUF_BENCH_DIR")
@@ -476,6 +607,65 @@ mod tests {
         assert_eq!(tp.get("baseline_ns_per_op").unwrap().as_f64(), Some(4_000.0));
         // 1000 ns/op measured vs 4000 ns/op baseline = 4x.
         assert_eq!(tp.get("speedup_vs_baseline").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn every_report_carries_a_repro_header() {
+        let mut r = BenchRunner::named("reproducible", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        let doc = r.report();
+        let repro = doc.get("repro").expect("repro header always present");
+        assert!(repro.get("seed").unwrap().as_f64().is_some());
+        assert_eq!(repro.get("threads").unwrap().as_f64(), Some(1.0));
+        assert!(repro.get("params").is_some(), "params object always present");
+    }
+
+    #[test]
+    fn repro_header_records_seed_threads_and_params() {
+        let mut r = BenchRunner::named("knobs", 1);
+        r.set_seed(0xdead_beef);
+        r.set_threads(4);
+        r.param("msgs", 128u64);
+        r.param("size", 65_536u64);
+        let doc = Json::parse(&r.report().render()).unwrap();
+        let repro = doc.get("repro").unwrap();
+        assert_eq!(repro.get("seed").unwrap().as_f64(), Some(0xdead_beefu32 as f64));
+        assert_eq!(repro.get("threads").unwrap().as_f64(), Some(4.0));
+        let params = repro.get("params").unwrap();
+        assert_eq!(params.get("msgs").unwrap().as_f64(), Some(128.0));
+        assert_eq!(params.get("size").unwrap().as_f64(), Some(65_536.0));
+    }
+
+    #[test]
+    fn scaling_block_derives_speedup_and_efficiency() {
+        let mut r = BenchRunner::named("scaled", 1);
+        r.host_scaling(&[
+            ScalingPoint { threads: 1, ops: 1_000, elapsed_ns: 1_000_000 },
+            ScalingPoint { threads: 2, ops: 2_000, elapsed_ns: 1_250_000 },
+            ScalingPoint { threads: 4, ops: 4_000, elapsed_ns: 1_600_000 },
+        ]);
+        let doc = r.report();
+        let scaling = doc.get("host").unwrap().get("scaling").unwrap().as_arr().unwrap();
+        assert_eq!(scaling.len(), 3);
+        assert_eq!(scaling[0].get("threads").unwrap().as_f64(), Some(1.0));
+        assert_eq!(scaling[0].get("ops_per_sec").unwrap().as_f64(), Some(1e6));
+        assert_eq!(scaling[0].get("speedup_vs_1t").unwrap().as_f64(), Some(1.0));
+        assert_eq!(scaling[0].get("efficiency").unwrap().as_f64(), Some(1.0));
+        // 2 threads: 1.6x speedup -> 80% efficiency.
+        assert_eq!(scaling[1].get("speedup_vs_1t").unwrap().as_f64(), Some(1.6));
+        assert!((scaling[1].get("efficiency").unwrap().as_f64().unwrap() - 0.8).abs() < 1e-9);
+        // 4 threads: 2.5x speedup -> 62.5% efficiency.
+        assert_eq!(scaling[2].get("speedup_vs_1t").unwrap().as_f64(), Some(2.5));
+        assert!((scaling[2].get("efficiency").unwrap().as_f64().unwrap() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_block_is_an_empty_array_when_unused() {
+        let mut r = BenchRunner::named("unscaled", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        let doc = r.report();
+        let scaling = doc.get("host").unwrap().get("scaling").unwrap().as_arr().unwrap();
+        assert!(scaling.is_empty());
     }
 
     #[test]

@@ -40,8 +40,12 @@
 //!
 //! And the observability layer threaded through every crate:
 //!
+//! * [`spsc`] — fixed-capacity single-producer/single-consumer ring
+//!   channels (bare atomics, no locks), carrying payloads and dealloc
+//!   notices between the sharded engines of `fbuf::shard`.
 //! * [`trace`] — a bounded ring buffer of typed lifecycle events
-//!   ([`Tracer`]), clock-stamped, exportable as Chrome `trace_event` JSON.
+//!   ([`Tracer`]), clock-stamped, exportable as Chrome `trace_event` JSON;
+//!   [`trace::merge_rings`] folds per-shard rings into one stream.
 //! * [`hist`] — log-bucketed latency [`Histogram`]s (p50/p90/p99) fed by
 //!   `Alloc`/`Transfer` spans and surfaced in every bench report.
 //! * [`audit`] — a replay auditor checking fbuf lifecycle invariants over
@@ -58,6 +62,7 @@ pub mod costs;
 pub mod hist;
 pub mod json;
 pub mod rng;
+pub mod spsc;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,292 @@
+//! Hermetic single-producer/single-consumer ring channels.
+//!
+//! The sharded engine (one complete machine per OS thread, see
+//! `fbuf::shard`) moves payloads and deallocation notices between shards
+//! over fixed-capacity rings. Nothing in the workspace may pull an
+//! external crate, so this is the classic Lamport SPSC queue on bare
+//! `std::sync::atomic`: the producer owns `tail`, the consumer owns
+//! `head`, both indices grow monotonically, and a slot is `index %
+//! capacity`. One acquire/release pair per operation — no locks, no
+//! spurious wakeups, no allocation after construction.
+//!
+//! The endpoints are deliberately *move-only* handles ([`Producer`],
+//! [`Consumer`]): the type system enforces the single-producer/
+//! single-consumer discipline, so the `unsafe` inside is confined to the
+//! two well-understood index handoffs.
+//!
+//! # Examples
+//!
+//! ```
+//! let (mut tx, mut rx) = fbuf_sim::spsc::ring::<u64>(2);
+//! tx.push(1).unwrap();
+//! tx.push(2).unwrap();
+//! assert_eq!(tx.push(3), Err(3), "ring is full");
+//! assert_eq!(rx.pop(), Some(1));
+//! assert_eq!(rx.pop(), Some(2));
+//! assert_eq!(rx.pop(), None);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to pop; written only by the consumer.
+    head: AtomicUsize,
+    /// Next slot to push; written only by the producer.
+    tail: AtomicUsize,
+}
+
+// The ring is shared by exactly one producer and one consumer thread;
+// each mutates disjoint slots (guarded by the head/tail handoff), so the
+// usual `T: Send` bound is all that cross-thread transfer requires.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Exclusive access at drop: plain loads are fine.
+        let cap = self.buf.len();
+        let mut i = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        while i != tail {
+            unsafe { (*self.buf[i % cap].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The sending endpoint of a [`ring`]. Move it to the producer thread.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving endpoint of a [`ring`]. Move it to the consumer thread.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "a zero-capacity ring can never transfer");
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let ring = Arc::new(Ring {
+        buf,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer { ring: ring.clone() },
+        Consumer { ring },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `v`, or returns it if the ring is full.
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == ring.buf.len() {
+            return Err(v);
+        }
+        unsafe { (*ring.buf[tail % ring.buf.len()].get()).write(v) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently queued (may be stale the instant it returns).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(ring.head.load(Ordering::Acquire))
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len()
+    }
+
+    /// True once the consumer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) < 2
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest item, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let v = unsafe { (*ring.buf[head % ring.buf.len()].get()).assume_init_read() };
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Items currently queued (may be stale the instant it returns).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(ring.head.load(Ordering::Relaxed))
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.len()
+    }
+
+    /// True once the producer endpoint has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) < 2
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("spsc::Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("spsc::Consumer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = ring::<u64>(3);
+        for i in 0..1000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        assert_eq!((tx.len(), rx.len()), (0, 0));
+        tx.push(1).unwrap();
+        assert_eq!((tx.len(), rx.len()), (1, 1));
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn disconnect_is_visible_from_both_ends() {
+        let (tx, rx) = ring::<u8>(1);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        let (tx2, rx2) = ring::<u8>(1);
+        drop(tx2);
+        assert!(rx2.is_disconnected());
+    }
+
+    #[test]
+    fn queued_items_drop_with_the_ring() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = ring::<Counted>(4);
+        tx.push(Counted).unwrap();
+        tx.push(Counted).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_every_item() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        const N: u64 = 20_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    // yield, not spin: on a single-core host the consumer
+                    // cannot progress until this thread is descheduled.
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect, "items arrive in order, exactly once");
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn heap_payloads_cross_intact() {
+        let (mut tx, mut rx) = ring::<Vec<u8>>(2);
+        tx.push(vec![7u8; 4096]).unwrap();
+        let got = rx.pop().unwrap();
+        assert_eq!(got.len(), 4096);
+        assert!(got.iter().all(|&b| b == 7));
+    }
+}

@@ -55,6 +55,30 @@ macro_rules! stats_impl {
             pub fn total(&self) -> u64 {
                 0 $( + self.$name )*
             }
+
+            /// Combines two shards' snapshots into one fleet snapshot.
+            ///
+            /// Counters are additive, so merging is fieldwise saturating
+            /// addition — associative, commutative, with the zeroed
+            /// snapshot as identity (properties pinned in
+            /// `tests/properties.rs`). [`StatsSnapshot::plus`] is the
+            /// same operation under its workload-accumulation name; this
+            /// alias exists so sharded-fleet call sites read as what they
+            /// are.
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                self.plus(other)
+            }
+
+            /// Merges any number of shard snapshots ([`StatsSnapshot::merge`]
+            /// folded over the zero identity).
+            pub fn merge_all<'a, I>(snapshots: I) -> StatsSnapshot
+            where
+                I: IntoIterator<Item = &'a StatsSnapshot>,
+            {
+                snapshots
+                    .into_iter()
+                    .fold(StatsSnapshot::default(), |acc, s| acc.merge(s))
+            }
         }
 
         impl Stats {
@@ -247,6 +271,26 @@ mod tests {
         assert_eq!(d.pages_cleared, 1);
         assert_eq!(d.pages_copied, 1);
         assert_eq!(d.pte_updates, 0);
+    }
+
+    #[test]
+    fn merge_is_plus_with_zero_identity() {
+        let s = Stats::new();
+        s.inc_fbuf_cache_hits();
+        s.inc_pte_updates();
+        let a = s.snapshot();
+        s.reset();
+        s.inc_fbuf_cache_hits();
+        let b = s.snapshot();
+        let merged = a.merge(&b);
+        assert_eq!(merged.fbuf_cache_hits, 2);
+        assert_eq!(merged.pte_updates, 1);
+        assert_eq!(a.merge(&StatsSnapshot::default()), a);
+        assert_eq!(StatsSnapshot::merge_all([&a, &b]), merged);
+        assert_eq!(
+            StatsSnapshot::merge_all(std::iter::empty()),
+            StatsSnapshot::default()
+        );
     }
 
     #[test]

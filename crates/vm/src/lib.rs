@@ -33,3 +33,28 @@ pub use machine::{Machine, MachineRef, ObjectId};
 pub use phys::{FrameId, PhysMem};
 pub use space::{AddressSpace, MapEntry, Pmap, RegionPolicy};
 pub use types::{Access, DomainId, Fault, Prot, VmResult, Vpn, KERNEL_DOMAIN};
+
+#[cfg(test)]
+mod send_audit {
+    //! The sharded multi-core engine (`fbuf::shard`) moves only plain
+    //! data between threads. This pins the `Send` story at compile time:
+    //! everything that crosses a shard boundary is `Send` (and stays
+    //! that way), while `Machine` itself is `!Send` — see the
+    //! `compile_fail` doctest on [`crate::Machine`].
+
+    fn crosses_threads<T: Send>() {}
+
+    #[test]
+    fn everything_a_shard_exports_is_send() {
+        crosses_threads::<fbuf_sim::MachineConfig>();
+        crosses_threads::<fbuf_sim::CostModel>();
+        crosses_threads::<fbuf_sim::StatsSnapshot>();
+        crosses_threads::<fbuf_sim::TraceEvent>();
+        crosses_threads::<Vec<fbuf_sim::TraceEvent>>();
+        crosses_threads::<fbuf_sim::Ns>();
+        crosses_threads::<crate::DomainId>();
+        crosses_threads::<crate::FrameId>();
+        crosses_threads::<crate::Prot>();
+        crosses_threads::<crate::Fault>();
+    }
+}

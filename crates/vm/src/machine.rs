@@ -63,6 +63,20 @@ pub struct ObjectId(u64);
 /// # m.release_frame(frame);
 /// # Ok::<(), fbuf_vm::Fault>(())
 /// ```
+///
+/// # Threading
+///
+/// A `Machine` is **intentionally `!Send`**: its clock, counters, and
+/// tracer are `Rc`-shared with the layers above, so a whole engine is
+/// pinned to the thread that built it. The sharded multi-core design
+/// (`fbuf::shard`) relies on this — each OS thread constructs its own
+/// `Machine` *inside* the thread, and only plain data (config, snapshots,
+/// trace events, payload bytes) ever crosses a thread boundary:
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>() {}
+/// assert_send::<fbuf_vm::Machine>(); // must not compile: Rc inside
+/// ```
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,

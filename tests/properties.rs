@@ -399,3 +399,140 @@ fn histogram_split_then_merge_preserves_contents() {
             assert_eq!(back.count(), h.count());
         });
 }
+
+// ---------------------------------------------------------------------------
+// StatsSnapshot::merge: the algebra the sharded fleet relies on.
+// ---------------------------------------------------------------------------
+
+use fbufs::fbuf::shard::shard_of_path;
+use fbufs::sim::StatsSnapshot;
+
+/// Arbitrary snapshots over a representative spread of counters (the
+/// macro generates `merge` identically for every field, so exercising a
+/// subset exercises them all; the final equality compares every field).
+fn arb_snapshot(rng: &mut Rng) -> StatsSnapshot {
+    StatsSnapshot {
+        pte_updates: rng.below(1_000),
+        pages_cleared: rng.below(1_000),
+        fbuf_cache_hits: rng.below(100_000),
+        fbuf_cache_misses: rng.below(1_000),
+        fbuf_transfers: rng.below(100_000),
+        ipc_messages: rng.below(50_000),
+        frames_allocated: rng.below(10_000),
+        pdus_sent: rng.below(10_000),
+        ..StatsSnapshot::default()
+    }
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative_with_identity() {
+    Checker::new("snapshot_merge_is_associative_and_commutative_with_identity")
+        .cases(CASES)
+        .run(|rng| {
+            let (a, b, c) = (arb_snapshot(rng), arb_snapshot(rng), arb_snapshot(rng));
+            // Associativity: (a + b) + c == a + (b + c), every field.
+            assert_eq!(
+                a.merge(&b).merge(&c).counters(),
+                a.merge(&b.merge(&c)).counters()
+            );
+            // Commutativity: a + b == b + a.
+            assert_eq!(a.merge(&b).counters(), b.merge(&a).counters());
+            // Identity: the zero snapshot is neutral on both sides.
+            let zero = StatsSnapshot::default();
+            assert_eq!(a.merge(&zero).counters(), a.counters());
+            assert_eq!(zero.merge(&a).counters(), a.counters());
+            // merge_all folds the same algebra.
+            assert_eq!(
+                StatsSnapshot::merge_all([&a, &b, &c]).counters(),
+                a.merge(&b).merge(&c).counters()
+            );
+            assert_eq!(
+                StatsSnapshot::merge_all(std::iter::empty()).counters(),
+                zero.counters()
+            );
+        });
+}
+
+/// A minimal engine for the partitioning property: two-domain paths on a
+/// private machine, cycled with the same alloc → RPC → send → free shape
+/// the stress harness uses.
+struct MiniEngine {
+    sys: FbufSystem,
+    paths: Vec<(fbufs::fbuf::PathId, fbufs::vm::DomainId, fbufs::vm::DomainId)>,
+}
+
+impl MiniEngine {
+    fn new(npaths: u64) -> MiniEngine {
+        let mut cfg = MachineConfig::decstation_5000_200();
+        cfg.phys_mem = 16 << 20;
+        cfg.chunk_size = 1 << 20;
+        let mut sys = FbufSystem::new(cfg);
+        let paths = (0..npaths)
+            .map(|_| {
+                let a = sys.create_domain();
+                let b = sys.create_domain();
+                let p = sys.create_path(vec![a, b]).expect("fresh domains");
+                (p, a, b)
+            })
+            .collect();
+        MiniEngine { sys, paths }
+    }
+
+    fn cycle(&mut self, path_index: usize) {
+        let (p, a, b) = self.paths[path_index];
+        let id = self
+            .sys
+            .alloc(a, AllocMode::Cached(p), 4096)
+            .expect("cached alloc");
+        self.sys.rpc_mut().call(a, b);
+        self.sys.send(id, a, b, SendMode::Volatile).expect("send");
+        self.sys.free(id, b).expect("free b");
+        self.sys.free(id, a).expect("free a");
+    }
+
+    fn delta(&self) -> StatsSnapshot {
+        self.sys.stats().snapshot()
+    }
+}
+
+#[test]
+fn merged_shard_snapshots_equal_single_engine_over_concatenated_workload() {
+    Checker::new("merged_shard_snapshots_equal_single_engine_over_concatenated_workload")
+        .cases(16)
+        .run(|rng| {
+            let shards = rng.range(1, 4) as usize;
+            let npaths = rng.range(shards as u64, 8);
+            let ops = rng.range(20, 120);
+            let workload: Vec<u64> = (0..ops).map(|_| rng.below(npaths)).collect();
+
+            // One engine owning every path, running the whole workload.
+            let mut single = MiniEngine::new(npaths);
+            for &p in &workload {
+                single.cycle(p as usize);
+            }
+
+            // N engines, each owning its partition of the paths (the
+            // fleet's round-robin scheme) and running its share.
+            let mut engines: Vec<MiniEngine> = (0..shards)
+                .map(|s| {
+                    MiniEngine::new((0..npaths).filter(|&p| shard_of_path(p, shards) == s).count()
+                        as u64)
+                })
+                .collect();
+            for &p in &workload {
+                let s = shard_of_path(p, shards);
+                // Global path id -> index within the shard's partition.
+                let local = (0..p).filter(|&q| shard_of_path(q, shards) == s).count();
+                engines[s].cycle(local);
+            }
+
+            let deltas: Vec<StatsSnapshot> = engines.iter().map(MiniEngine::delta).collect();
+            let merged = StatsSnapshot::merge_all(deltas.iter());
+            assert_eq!(
+                merged.counters(),
+                single.delta().counters(),
+                "partitioning a path-local workload across shards must not \
+                 change any operation count"
+            );
+        });
+}
