@@ -32,4 +32,12 @@ FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=4 FBUF_STRESS_THREADS=1,2 \
     cargo run --release -q -p fbuf-bench --bin fbuf-stress
 cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-reports
 
+# Lockstep-fuzzer smoke: a bounded fixed-seed campaign against the
+# reference model must finish with zero divergences (long campaigns run
+# the same binary with FBUF_FUZZ_CASES/FBUF_FUZZ_CMDS raised), and every
+# pinned corpus case must replay clean.
+FBUF_FUZZ_CASES=${FBUF_FUZZ_CASES:-16} FBUF_FUZZ_CMDS=${FBUF_FUZZ_CMDS:-150} \
+    cargo run --release -q -p fbuf-bench --bin fbuf-fuzz
+cargo run --release -q -p fbuf-bench --bin fbuf-fuzz -- --replay tests/corpus
+
 echo "ci: ok"

@@ -127,6 +127,7 @@ fn run_at(threads: usize, machine: &MachineConfig, paths: usize, pages: u64, cyc
         cross_every,
         channel_capacity: 16,
         trace: false,
+        fault: None,
     };
     let reports = run_fleet(&cfg);
     for r in &reports {

@@ -158,4 +158,73 @@ mod tests {
     fn single_domain_path_rejected() {
         DataPath::new(PathId(0), vec![DomainId(0)]);
     }
+
+    #[test]
+    fn lifo_vs_fifo_diverge_on_the_same_park_history() {
+        // Identical histories; the two policies must return mirror-image
+        // orders within each size class without disturbing the other.
+        let mut lifo = path();
+        let mut fifo = path();
+        for p in [&mut lifo, &mut fifo] {
+            p.park(4, FbufId(1));
+            p.park(2, FbufId(2));
+            p.park(4, FbufId(3));
+            p.park(2, FbufId(4));
+            p.park(4, FbufId(5));
+        }
+        assert_eq!(
+            [lifo.take(4), lifo.take(4), lifo.take(4)],
+            [Some(FbufId(5)), Some(FbufId(3)), Some(FbufId(1))]
+        );
+        assert_eq!(
+            [fifo.take_fifo(4), fifo.take_fifo(4), fifo.take_fifo(4)],
+            [Some(FbufId(1)), Some(FbufId(3)), Some(FbufId(5))]
+        );
+        // The interleaved 2-page class is untouched by either sweep.
+        assert_eq!(lifo.take(2), Some(FbufId(4)));
+        assert_eq!(fifo.take_fifo(2), Some(FbufId(2)));
+        assert_eq!(lifo.parked(), 1);
+        assert_eq!(fifo.parked(), 1);
+    }
+
+    #[test]
+    fn take_and_take_fifo_agree_on_a_singleton_class() {
+        let mut p = path();
+        p.park(8, FbufId(9));
+        assert_eq!(p.take_fifo(8), Some(FbufId(9)));
+        p.park(8, FbufId(9));
+        assert_eq!(p.take(8), Some(FbufId(9)));
+        // Neither policy invents buffers of a size never parked.
+        assert_eq!(p.take(8), None);
+        assert_eq!(p.take_fifo(8), None);
+    }
+
+    #[test]
+    fn unpark_of_an_already_taken_id_is_a_clean_miss() {
+        let mut p = path();
+        p.park(4, FbufId(1));
+        p.park(4, FbufId(2));
+        // `take` removed it; a later unpark (e.g. a retire racing a
+        // cache hit) must report absence and leave the rest alone.
+        assert_eq!(p.take(4), Some(FbufId(2)));
+        assert!(!p.unpark(FbufId(2)));
+        assert_eq!(p.parked(), 1);
+        assert_eq!(p.take(4), Some(FbufId(1)));
+        // Same via the FIFO policy.
+        p.park(4, FbufId(3));
+        assert_eq!(p.take_fifo(4), Some(FbufId(3)));
+        assert!(!p.unpark(FbufId(3)));
+        assert!(!p.unpark(FbufId(3)), "repeat misses stay misses");
+        assert_eq!(p.parked(), 0);
+    }
+
+    #[test]
+    fn drain_returns_cold_first_and_empties() {
+        let mut p = path();
+        p.park(4, FbufId(1));
+        p.park(2, FbufId(2));
+        assert_eq!(p.drain(), vec![FbufId(1), FbufId(2)]);
+        assert_eq!(p.parked(), 0);
+        assert_eq!(p.take(4), None);
+    }
 }

@@ -32,7 +32,7 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use fbuf_sim::spsc::{self, Consumer, Producer};
-use fbuf_sim::{trace, MachineConfig, Ns, StatsSnapshot, TraceEvent};
+use fbuf_sim::{trace, FaultSite, FaultSpec, MachineConfig, Ns, StatsSnapshot, TraceEvent};
 use fbuf_vm::DomainId;
 
 use crate::{AllocMode, FbufId, FbufSystem, PathId, SendMode};
@@ -230,16 +230,22 @@ impl Shard {
             .expect("serialize egress payload");
         let mut msg = CrossShardMsg { token, payload };
         loop {
-            match links.data_tx.as_mut().expect("checked above").push(msg) {
-                Ok(()) => break,
-                Err(back) => {
-                    msg = back;
-                    // Ring full: keep consuming our own ingress so the
-                    // fleet cannot deadlock on mutually full rings.
-                    if self.poll(links) == 0 {
-                        std::thread::yield_now();
-                    }
+            // An injected RingFull behaves exactly like an organically
+            // full ring: back off, keep draining, retry.
+            let injected = self
+                .sys
+                .fault_plan()
+                .is_some_and(|p| p.fires(FaultSite::RingFull));
+            if !injected {
+                match links.data_tx.as_mut().expect("checked above").push(msg) {
+                    Ok(()) => break,
+                    Err(back) => msg = back,
                 }
+            }
+            // Ring full: keep consuming our own ingress so the fleet
+            // cannot deadlock on mutually full rings.
+            if self.poll(links) == 0 {
+                std::thread::yield_now();
             }
         }
         self.pending.push_back((token, id));
@@ -308,8 +314,17 @@ impl Shard {
             .as_mut()
             .expect("an ingress link implies a notice ring");
         let mut token = msg.token;
-        while let Err(back) = tx.push(token) {
-            token = back;
+        loop {
+            let injected = self
+                .sys
+                .fault_plan()
+                .is_some_and(|p| p.fires(FaultSite::RingFull));
+            if !injected {
+                match tx.push(token) {
+                    Ok(()) => break,
+                    Err(back) => token = back,
+                }
+            }
             // The sender drains notices every cycle; just wait for room.
             std::thread::yield_now();
         }
@@ -345,6 +360,12 @@ pub struct FleetConfig {
     pub channel_capacity: usize,
     /// Enable each shard's tracer over the measured window.
     pub trace: bool,
+    /// Fault-injection spec, armed per shard (the per-shard seed is the
+    /// spec seed xor the shard id, so shards draw distinct schedules).
+    /// Under the fleet's expect-everything workload only backpressure
+    /// faults ([`FaultSite::RingFull`]) are survivable; the lockstep
+    /// fuzzer exercises the full fault surface on single engines.
+    pub fault: Option<FaultSpec>,
 }
 
 impl FleetConfig {
@@ -361,6 +382,7 @@ impl FleetConfig {
             cross_every: 64,
             channel_capacity: 16,
             trace: false,
+            fault: None,
         }
     }
 }
@@ -393,6 +415,9 @@ pub struct ShardReport {
     pub host_ns: u64,
     /// The shard's trace ring (empty unless `FleetConfig::trace`).
     pub events: Vec<TraceEvent>,
+    /// Faults injected into this shard over its whole life (zero unless
+    /// `FleetConfig::fault` was set).
+    pub faults_injected: u64,
 }
 
 impl ShardReport {
@@ -454,6 +479,7 @@ struct ShardSpec {
     cross_every: u64,
     expected_rx: u64,
     trace: bool,
+    fault: Option<FaultSpec>,
     links: Links,
 }
 
@@ -514,6 +540,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
             // Ring topology: shard `id` ingests what shard `id - 1` sends.
             expected_rx: sent_of[(id + n - 1) % n],
             trace: cfg.trace,
+            fault: cfg.fault.clone().map(|mut f| {
+                f.seed ^= id as u64;
+                f
+            }),
             links,
         })
         .collect();
@@ -543,11 +573,17 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         cross_every,
         expected_rx,
         trace,
+        fault,
         mut links,
     } = spec;
     let mut sh = Shard::new(id, machine, paths, pages);
     if trace {
         sh.sys.machine().tracer().set_enabled(true);
+    }
+    if let Some(spec) = &fault {
+        // The plan is built inside the thread, like everything else
+        // `Rc`-shared across the engine.
+        sh.sys.arm_faults(std::rc::Rc::new(spec.arm()));
     }
 
     // Phase 1: warm every allocator this shard will touch.
@@ -603,6 +639,10 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         sim_elapsed,
         host_ns,
         events: sh.sys.machine().tracer().events(),
+        faults_injected: sh
+            .sys
+            .fault_plan()
+            .map_or(0, |p| p.total_injected()),
     }
 }
 

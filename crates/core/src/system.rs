@@ -34,9 +34,10 @@
 //!   materializing a global victim vector.
 
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 use fbuf_ipc::Rpc;
-use fbuf_sim::{Arena, CostCategory, EventKind, MachineConfig, Stats};
+use fbuf_sim::{Arena, CostCategory, EventKind, FaultPlan, FaultSite, MachineConfig, Stats};
 use fbuf_vm::{DomainId, FrameId, Machine, Prot};
 
 use crate::buffer::{Fbuf, FbufId, FbufState};
@@ -113,6 +114,9 @@ pub struct FbufSystem {
     /// have physical memory mapped to them"); FIFO exists for the
     /// ablation quantifying that choice.
     pub reuse_policy: ReusePolicy,
+    /// Armed fault-injection plan, if any. `None` in production: every
+    /// hook point is then a single `is_some()` branch, like `trace`.
+    fault: Option<Rc<FaultPlan>>,
 }
 
 /// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
@@ -168,6 +172,7 @@ impl FbufSystem {
             va_index: BTreeMap::new(),
             charge_clearing: true,
             reuse_policy: ReusePolicy::Lifo,
+            fault: None,
         };
         let kernel = fbuf_vm::KERNEL_DOMAIN;
         sys.machine
@@ -223,6 +228,35 @@ impl FbufSystem {
     /// Shared statistics handle.
     pub fn stats(&self) -> Stats {
         self.machine.stats()
+    }
+
+    /// Arms a fault-injection plan across the whole engine: the fbuf
+    /// layer's hook points ([`FaultSite::ChunkGrant`],
+    /// [`FaultSite::QuotaExhausted`], [`FaultSite::ReclaimRefusal`]) and
+    /// the machine's frame allocator ([`FaultSite::FrameAlloc`]) all
+    /// consult the same plan, so one seed replays one schedule.
+    pub fn arm_faults(&mut self, plan: Rc<FaultPlan>) {
+        self.machine.arm_faults(Rc::clone(&plan));
+        self.fault = Some(plan);
+    }
+
+    /// Disarms fault injection everywhere.
+    pub fn disarm_faults(&mut self) {
+        self.machine.disarm_faults();
+        self.fault = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Rc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    #[inline]
+    fn fault_fires(&self, site: FaultSite) -> bool {
+        match &self.fault {
+            Some(plan) => plan.fires(site),
+            None => false,
+        }
     }
 
     /// Declares an I/O data path over `domains` (traversal order; first is
@@ -299,7 +333,25 @@ impl FbufSystem {
                 };
                 if let Some(id) = parked {
                     self.park_unlink(id);
-                    let id = self.reuse_cached(id, dom, len)?;
+                    let id = match self.reuse_cached(id, dom, len) {
+                        Ok(id) => id,
+                        Err(e) => {
+                            // Re-materialization failed (memory pressure or
+                            // an injected fault). Put the buffer back where
+                            // it came from — still parked, still cached —
+                            // so the failed attempt leaks nothing. No
+                            // events were emitted for it, so the trace
+                            // stays balanced too.
+                            let pages = self
+                                .fbufs
+                                .get(id.0)
+                                .expect("parked fbuf exists")
+                                .pages;
+                            self.paths[path_id.0 as usize].park(pages, id);
+                            self.park_push_tail(id);
+                            return Err(e);
+                        }
+                    };
                     let tr = self.machine.tracer_ref();
                     tr.instant(EventKind::CacheHit, dom.0, Some(path_id.0), Some(id.0));
                     tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
@@ -379,7 +431,17 @@ impl FbufSystem {
         };
         let mut fresh = Vec::with_capacity(missing.len());
         for _ in &missing {
-            let frame = self.frame_with_reclaim()?;
+            let frame = match self.frame_with_reclaim() {
+                Ok(f) => f,
+                Err(e) => {
+                    // Partial failure must not strand the frames already
+                    // taken: the buffer stays wholly non-resident.
+                    for f in fresh {
+                        self.machine.release_frame(f);
+                    }
+                    return Err(e);
+                }
+            };
             if self.charge_clearing {
                 self.machine.zero_frame(frame);
             } else {
@@ -432,9 +494,12 @@ impl FbufSystem {
             match allocator.carve(pages, page_size)? {
                 Some(va) => break va,
                 None => {
-                    if allocator.at_quota() {
+                    if allocator.at_quota() || self.fault_fires(FaultSite::QuotaExhausted) {
                         self.machine.stats_ref().inc_chunk_quota_denials();
                         return Err(FbufError::QuotaExceeded { path });
+                    }
+                    if self.fault_fires(FaultSite::ChunkGrant) {
+                        return Err(FbufError::RegionExhausted);
                     }
                     // Ask the kernel for another chunk.
                     self.machine
@@ -450,7 +515,22 @@ impl FbufSystem {
         };
         let mut frames = Vec::with_capacity(pages as usize);
         for _ in 0..pages {
-            let frame = self.frame_with_reclaim()?;
+            let frame = match self.frame_with_reclaim() {
+                Ok(f) => f,
+                Err(e) => {
+                    // Release what was taken and hand the carved window
+                    // back to the local allocator: a failed build leaks
+                    // neither frames nor address space.
+                    for f in frames {
+                        self.machine.release_frame(f);
+                    }
+                    self.allocators
+                        .get_mut(&(dom.0, path))
+                        .expect("inserted above")
+                        .release(va, pages);
+                    return Err(e);
+                }
+            };
             if self.charge_clearing {
                 self.machine.zero_frame(frame);
             } else {
@@ -799,6 +879,13 @@ impl FbufSystem {
         let mut reclaimed = 0;
         while reclaimed < want {
             let Some(id) = self.park_head else { break };
+            if self.fault_fires(FaultSite::ReclaimRefusal) {
+                // The coldest parked buffer is (simulated as) pinned —
+                // e.g. wired down for in-progress DMA. The daemon gives
+                // up rather than skip ahead, exactly like a real pageout
+                // pass blocked on a wired page.
+                break;
+            }
             self.park_unlink(id);
             let FbufSystem { fbufs, machine, .. } = self;
             let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
@@ -922,12 +1009,16 @@ impl FbufSystem {
         {
             return;
         }
-        let keys: Vec<(u32, Option<PathId>)> = self
+        let mut keys: Vec<(u32, Option<PathId>)> = self
             .allocators
             .keys()
             .filter(|(d, _)| *d == dom.0)
             .copied()
             .collect();
+        // HashMap iteration order is seeded per-process; sort so the order
+        // chunks return to the region allocator — and therefore every
+        // future grant — is identical across runs of the same seed.
+        keys.sort();
         for k in keys {
             let mut alloc = self.allocators.remove(&k).expect("key just listed");
             for chunk in alloc.take_chunks() {

@@ -1,0 +1,338 @@
+//! Seeded lockstep campaigns, shrinking, and the replayable corpus.
+//!
+//! A *case* is a seed: it determines the command stream
+//! ([`crate::cmd::generate`]), the fault plan ([`crate::cmd::fault_spec`])
+//! and therefore — because both the system and the model are
+//! deterministic — the entire execution. A campaign runs many cases; a
+//! diverging case is shrunk with [`fbuf_sim::minimize`] to a 1-minimal
+//! failing subsequence and recorded as a corpus file that regression
+//! tests replay forever.
+//!
+//! # Corpus format
+//!
+//! Commands are never serialized: a corpus file stores the *seed*, the
+//! original stream length, and (after shrinking) the indices kept:
+//!
+//! ```text
+//! # fbuf-fuzz corpus case
+//! seed = 0x1f2e3d4c
+//! cmds = 200
+//! keep = 3 17 42
+//! ```
+//!
+//! Replay regenerates the stream from the seed and selects the kept
+//! indices. The fault plan is always derived from `(seed, cmds)` — the
+//! *original* length, not the kept count — so a shrunk case replays the
+//! very same injected faults its full-length parent saw.
+
+use fbuf_sim::fault::SITE_COUNT;
+use fbuf_sim::rng::splitmix64;
+use fbuf_sim::{minimize, FaultSite};
+
+use crate::cmd::{self, Cmd};
+use crate::lockstep::Harness;
+use crate::oracle::Sabotage;
+
+/// A completed (non-diverging) case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseOutcome {
+    /// Commands executed.
+    pub commands: usize,
+    /// Faults injected, per site.
+    pub injected: [u64; SITE_COUNT],
+}
+
+/// A diverging case.
+#[derive(Debug, Clone)]
+pub struct CaseFailure {
+    /// Index of the first diverging command (`== len` means the
+    /// end-of-case audit failed).
+    pub fail_index: usize,
+    /// The divergence, as reported by the differ.
+    pub message: String,
+}
+
+/// Runs one explicit command list under the fault plan of
+/// `(seed, base_n)`. `base_n` is the length of the case's *original*
+/// stream: shrinking shortens the list but must not change the plan.
+pub fn run_list(
+    seed: u64,
+    base_n: usize,
+    cmds: &[Cmd],
+    sabotage: Option<Sabotage>,
+) -> Result<CaseOutcome, CaseFailure> {
+    let spec = cmd::fault_spec(seed, base_n);
+    let mut h = Harness::new(&spec, sabotage);
+    match h.run(cmds) {
+        Ok(()) => Ok(CaseOutcome {
+            commands: cmds.len(),
+            injected: h.injected(),
+        }),
+        Err((fail_index, message)) => Err(CaseFailure {
+            fail_index,
+            message,
+        }),
+    }
+}
+
+/// Generates and runs the full stream of one case seed.
+pub fn run_case(
+    seed: u64,
+    n: usize,
+    sabotage: Option<Sabotage>,
+) -> Result<CaseOutcome, CaseFailure> {
+    run_list(seed, n, &cmd::generate(seed, n), sabotage)
+}
+
+/// Shrinks a diverging case to the indices of a 1-minimal failing
+/// subsequence (each index names a command in the regenerated stream).
+pub fn shrink(
+    seed: u64,
+    n: usize,
+    failure: &CaseFailure,
+    sabotage: Option<Sabotage>,
+) -> Vec<usize> {
+    let full = cmd::generate(seed, n);
+    let upto = failure.fail_index.min(full.len().saturating_sub(1));
+    let prefix: Vec<(usize, Cmd)> = full
+        .iter()
+        .copied()
+        .enumerate()
+        .take(upto + 1)
+        .collect();
+    let fails = |items: &[(usize, Cmd)]| {
+        let list: Vec<Cmd> = items.iter().map(|&(_, c)| c).collect();
+        run_list(seed, n, &list, sabotage).is_err()
+    };
+    match minimize(&prefix, fails) {
+        Some(min) => min.into_iter().map(|(i, _)| i).collect(),
+        // A non-reproducing failure (impossible for a deterministic
+        // divergence) degrades to the unshrunk prefix.
+        None => prefix.into_iter().map(|(i, _)| i).collect(),
+    }
+}
+
+/// Renders a corpus file for a (possibly shrunk) case.
+pub fn corpus_entry(seed: u64, n: usize, keep: Option<&[usize]>, note: &str) -> String {
+    let mut out = String::from("# fbuf-fuzz corpus case\n");
+    if !note.is_empty() {
+        for line in note.lines() {
+            out.push_str(&format!("# {line}\n"));
+        }
+    }
+    out.push_str(&format!("seed = {seed:#x}\ncmds = {n}\n"));
+    if let Some(keep) = keep {
+        let list: Vec<String> = keep.iter().map(|i| i.to_string()).collect();
+        out.push_str(&format!("keep = {}\n", list.join(" ")));
+    }
+    out
+}
+
+/// A parsed corpus file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusCase {
+    /// Case seed.
+    pub seed: u64,
+    /// Original stream length.
+    pub cmds: usize,
+    /// Kept indices; `None` replays the full stream.
+    pub keep: Option<Vec<usize>>,
+}
+
+/// Parses the corpus format (see the [module docs](self)).
+pub fn parse_corpus(text: &str) -> Result<CorpusCase, String> {
+    let mut seed = None;
+    let mut cmds = None;
+    let mut keep = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+        let value = value.trim();
+        match key.trim() {
+            "seed" => {
+                let v = value.strip_prefix("0x").unwrap_or(value);
+                let radix = if v.len() < value.len() { 16 } else { 10 };
+                seed = Some(
+                    u64::from_str_radix(v, radix)
+                        .map_err(|e| format!("line {}: bad seed: {e}", ln + 1))?,
+                );
+            }
+            "cmds" => {
+                cmds = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|e| format!("line {}: bad cmds: {e}", ln + 1))?,
+                );
+            }
+            "keep" => {
+                let mut list = Vec::new();
+                for tok in value.split_whitespace() {
+                    list.push(
+                        tok.parse::<usize>()
+                            .map_err(|e| format!("line {}: bad keep index: {e}", ln + 1))?,
+                    );
+                }
+                keep = Some(list);
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", ln + 1)),
+        }
+    }
+    Ok(CorpusCase {
+        seed: seed.ok_or("missing `seed`")?,
+        cmds: cmds.ok_or("missing `cmds`")?,
+        keep,
+    })
+}
+
+/// Replays a corpus case; `Ok` means the (once-failing, now-fixed, or
+/// regression-pinning) case stays in lockstep.
+pub fn replay(case: &CorpusCase, sabotage: Option<Sabotage>) -> Result<CaseOutcome, CaseFailure> {
+    let full = cmd::generate(case.seed, case.cmds);
+    let list: Vec<Cmd> = match &case.keep {
+        Some(keep) => keep
+            .iter()
+            .filter_map(|&i| full.get(i).copied())
+            .collect(),
+        None => full,
+    };
+    run_list(case.seed, case.cmds, &list, sabotage)
+}
+
+/// Summary of a multi-case campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Commands executed across all cases.
+    pub commands: usize,
+    /// Faults injected across all cases, per site.
+    pub injected: [u64; SITE_COUNT],
+    /// Diverging cases: `(case seed, failure)`.
+    pub failures: Vec<(u64, CaseFailure)>,
+}
+
+impl CampaignReport {
+    /// One line per fault site, for the bin's output.
+    pub fn injected_lines(&self) -> Vec<String> {
+        FaultSite::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{:>16}: {}", s.name(), self.injected[i]))
+            .collect()
+    }
+}
+
+/// Runs `cases` seeded cases of `n` commands each. Case seeds derive
+/// from `seed0` by SplitMix64, so a campaign is reproducible from one
+/// number and any case can be re-run in isolation by its own seed.
+pub fn campaign(
+    seed0: u64,
+    cases: usize,
+    n: usize,
+    sabotage: Option<Sabotage>,
+) -> CampaignReport {
+    let mut state = seed0;
+    let mut report = CampaignReport {
+        cases,
+        commands: 0,
+        injected: [0; SITE_COUNT],
+        failures: Vec::new(),
+    };
+    for _ in 0..cases {
+        let seed = splitmix64(&mut state);
+        match run_case(seed, n, sabotage) {
+            Ok(out) => {
+                report.commands += out.commands;
+                for i in 0..SITE_COUNT {
+                    report.injected[i] += out.injected[i];
+                }
+            }
+            Err(fail) => {
+                report.commands += fail.fail_index;
+                report.failures.push((seed, fail));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_divergence_free() {
+        let report = campaign(0x5eed_cafe, 6, 120, None);
+        assert!(
+            report.failures.is_empty(),
+            "divergences: {:?}",
+            report.failures
+        );
+        assert_eq!(report.commands, 6 * 120);
+    }
+
+    #[test]
+    fn corpus_round_trip() {
+        let text = corpus_entry(0xabc, 200, Some(&[3, 17, 42]), "planted case\nsecond line");
+        let case = parse_corpus(&text).unwrap();
+        assert_eq!(
+            case,
+            CorpusCase {
+                seed: 0xabc,
+                cmds: 200,
+                keep: Some(vec![3, 17, 42]),
+            }
+        );
+        let text = corpus_entry(12, 50, None, "");
+        assert_eq!(
+            parse_corpus(&text).unwrap(),
+            CorpusCase {
+                seed: 12,
+                cmds: 50,
+                keep: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_corpus("cmds = 10").is_err(), "missing seed");
+        assert!(parse_corpus("seed = xyz\ncmds = 10").is_err());
+        assert!(parse_corpus("seed = 1\ncmds = 10\nbogus = 3").is_err());
+    }
+
+    #[test]
+    fn planted_divergence_is_caught_and_shrinks_small() {
+        // The sabotaged model swaps LIFO reuse for FIFO; some seed in a
+        // short scan must diverge, and the minimal witness is a handful
+        // of commands (two allocs, two frees, one realloc — plus
+        // whatever the selectors need).
+        let sab = Some(Sabotage::FifoReuse);
+        let mut caught = None;
+        for s in 0..16u64 {
+            if let Err(fail) = run_case(s, 250, sab) {
+                caught = Some((s, fail));
+                break;
+            }
+        }
+        let (seed, fail) = caught.expect("sabotage never diverged in 16 seeds");
+        let keep = shrink(seed, 250, &fail, sab);
+        assert!(
+            keep.len() <= 10,
+            "shrunk witness has {} commands: {keep:?}",
+            keep.len()
+        );
+        // The shrunk keep-list must still fail, and must replay from a
+        // corpus entry.
+        let entry = corpus_entry(seed, 250, Some(&keep), "planted");
+        let case = parse_corpus(&entry).unwrap();
+        assert!(replay(&case, sab).is_err(), "shrunk case no longer fails");
+        // ... and the same case is clean once the sabotage is removed.
+        assert!(replay(&case, None).is_ok(), "case fails without sabotage");
+    }
+}

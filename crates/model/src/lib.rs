@@ -1,0 +1,39 @@
+//! Executable oracle and lockstep fuzzer for the fbuf lifecycle.
+//!
+//! The real facility (`fbuf::FbufSystem` over `fbuf_vm::Machine`) is
+//! optimized: intrusive park lists, generational slabs, batched VM range
+//! operations, per-path caches. This crate holds its deliberately
+//! *unoptimized* twin and the machinery to prove the two agree:
+//!
+//! * [`oracle`] — a pure reference model of ownership, protection,
+//!   park/cache state, quotas, and chunk accounting, written with plain
+//!   `Vec`s and `BTreeMap`s and sharing no code with the real system.
+//!   Injected fault decisions reach it through a replay [`Feed`], so the
+//!   model also verifies *which questions* the system asked its fault
+//!   plan, not just what state resulted.
+//! * [`cmd`] — a state-independent command language plus seeded stream
+//!   and fault-plan generators (pure functions of a case seed).
+//! * [`lockstep`] — the [`Harness`] that drives both implementations
+//!   command by command, diffing every observable field, counter, free
+//!   list, and ring occupancy after each step, and running the trace
+//!   replay auditor at the end of every case.
+//! * [`fuzz`] — campaigns over many case seeds, ddmin-style shrinking of
+//!   diverging cases to 1-minimal witnesses, and the seed+keep-list
+//!   corpus format replayed forever by regression tests.
+//!
+//! The deliberate-bug switch ([`Sabotage`]) plants a known model
+//! divergence (FIFO instead of LIFO reuse) so the whole detection and
+//! shrinking pipeline is itself under test.
+
+#![deny(missing_docs)]
+#![deny(overflowing_literals)]
+
+pub mod cmd;
+pub mod fuzz;
+pub mod lockstep;
+pub mod oracle;
+
+pub use cmd::Cmd;
+pub use fuzz::{campaign, replay, run_case, run_list, shrink, CampaignReport, CorpusCase};
+pub use lockstep::Harness;
+pub use oracle::{Counters, Feed, MErr, Oracle, OracleConfig, Sabotage};

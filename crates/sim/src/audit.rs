@@ -20,7 +20,10 @@
 //!    machinery leaked a writable mapping.
 //! 2. **Cache hits are preceded by frees** — a `CacheHit` on a path
 //!    requires a previously parked buffer, i.e. some fbuf on that path
-//!    saw its final `Free` earlier in the stream.
+//!    saw its final `Free` earlier in the stream. A `Reclaim` does not
+//!    consume the parked slot: the pageout daemon discards contents,
+//!    but the buffer stays on the free list and may legally cache-hit
+//!    again after re-materialization.
 //! 3. **Alloc/free balance** — every `Free` must come from a current
 //!    holder; a domain cannot free twice or free a buffer it never
 //!    held.
@@ -236,14 +239,11 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
                 }
             }
             EventKind::Reclaim => {
-                // A reclaimed parked buffer leaves the free list without
-                // producing a CacheHit.
-                if let Some(st) = fbufs.get(&id) {
-                    if let Some(p) = st.path {
-                        let slot = parked.entry(p).or_insert(0);
-                        *slot = slot.saturating_sub(1);
-                    }
-                }
+                // The pageout daemon discards a parked buffer's *contents*,
+                // but the buffer itself stays on its path's free list: a
+                // later allocation legally cache-hits it and
+                // re-materializes the frames. So a Reclaim does not
+                // consume the parked slot.
             }
             _ => {}
         }
@@ -388,8 +388,10 @@ mod tests {
     }
 
     #[test]
-    fn reclaim_consumes_a_parked_slot() {
-        // park → reclaim → a subsequent CacheHit has nothing to serve.
+    fn reclaim_leaves_the_buffer_parked() {
+        // park → reclaim → a later CacheHit is legal: reclaim discards
+        // contents but the buffer stays on the free list (the system
+        // re-materializes frames on reuse).
         let events = vec![
             ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
             ev(1, EventKind::Free, 1, None, Some(7), Some(3)),
@@ -397,7 +399,6 @@ mod tests {
             ev(3, EventKind::CacheHit, 1, None, Some(7), Some(3)),
         ];
         let r = audit(&events);
-        assert_eq!(r.violations.len(), 1);
-        assert_eq!(r.violations[0].rule, "cache-hit-without-free");
+        assert!(r.is_clean(), "violations: {:?}", r.violations);
     }
 }

@@ -50,6 +50,10 @@
 //!   `Alloc`/`Transfer` spans and surfaced in every bench report.
 //! * [`audit`] — a replay auditor checking fbuf lifecycle invariants over
 //!   a recorded event stream.
+//! * [`fault`] — seeded, replayable fault injection ([`FaultPlan`]):
+//!   chunk-grant denial, quota exhaustion, frame-allocation failure,
+//!   reclaim refusal, ring backpressure, and scheduled domain crashes,
+//!   zero-cost at every hook point while no plan is armed.
 //!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
@@ -59,6 +63,7 @@ pub mod bench;
 pub mod check;
 pub mod config;
 pub mod costs;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod rng;
@@ -69,9 +74,10 @@ pub mod trace;
 
 pub use arena::Arena;
 pub use audit::{audit, audit_tracer, AuditReport, Violation};
-pub use check::Checker;
+pub use check::{minimize, shortest_failing_prefix, Checker};
 pub use config::MachineConfig;
 pub use costs::CostModel;
+pub use fault::{FaultDecision, FaultPlan, FaultSite, FaultSpec};
 pub use hist::Histogram;
 pub use json::{Json, ToJson};
 pub use rng::Rng;

@@ -25,6 +25,33 @@
 //! assert_eq!(rx.pop(), Some(2));
 //! assert_eq!(rx.pop(), None);
 //! ```
+//!
+//! Endpoint misuse is a *compile* error, not a runtime race. A producer
+//! cannot be cloned into a second sender:
+//!
+//! ```compile_fail
+//! let (tx, _rx) = fbuf_sim::spsc::ring::<u64>(4);
+//! let second_sender = tx.clone(); // no Clone: single-producer only
+//! ```
+//!
+//! nor can a consumer:
+//!
+//! ```compile_fail
+//! let (_tx, rx) = fbuf_sim::spsc::ring::<u64>(4);
+//! let second_receiver = rx.clone(); // no Clone: single-consumer only
+//! ```
+//!
+//! and moving an endpoint into a thread consumes it — the original
+//! binding is gone:
+//!
+//! ```compile_fail
+//! let (mut tx, _rx) = fbuf_sim::spsc::ring::<u64>(4);
+//! std::thread::spawn(move || {
+//!     let mut tx = tx;
+//!     let _ = tx.push(1);
+//! });
+//! tx.push(2); // use after move
+//! ```
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;

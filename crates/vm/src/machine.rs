@@ -5,7 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use fbuf_sim::{
-    Arena, Clock, CostCategory, CostModel, EventKind, MachineConfig, Ns, Stats, Tracer,
+    Arena, Clock, CostCategory, CostModel, EventKind, FaultPlan, FaultSite, MachineConfig, Ns,
+    Stats, Tracer,
 };
 
 use crate::phys::{FrameId, PhysMem};
@@ -97,6 +98,9 @@ pub struct Machine {
     /// Per-(domain, region start, page index) private post-COW frames.
     cow_private: std::collections::HashMap<(u32, u64, u64), FrameId>,
     null_template: Vec<u8>,
+    /// Armed fault-injection plan, if any (`None` in production: the hook
+    /// in [`Machine::alloc_frame`] is then a single branch, like `trace`).
+    fault: Option<Rc<FaultPlan>>,
 }
 
 impl Machine {
@@ -126,6 +130,7 @@ impl Machine {
             region_objects: std::collections::HashMap::new(),
             cow_private: std::collections::HashMap::new(),
             null_template: Vec::new(),
+            fault: None,
         };
         let kernel = m.create_domain();
         debug_assert!(kernel.is_kernel());
@@ -744,8 +749,29 @@ impl Machine {
     // Physical frames (for layers that manage frames explicitly)
     // ------------------------------------------------------------------
 
+    /// Arms a fault-injection plan: [`Machine::alloc_frame`] starts
+    /// consulting it at [`FaultSite::FrameAlloc`].
+    pub fn arm_faults(&mut self, plan: Rc<FaultPlan>) {
+        self.fault = Some(plan);
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm_faults(&mut self) {
+        self.fault = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Rc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
     /// Allocates a frame; the caller owns one reference.
     pub fn alloc_frame(&mut self) -> VmResult<FrameId> {
+        if let Some(plan) = &self.fault {
+            if plan.fires(FaultSite::FrameAlloc) {
+                return Err(Fault::OutOfMemory);
+            }
+        }
         self.phys.alloc()
     }
 

@@ -6,6 +6,7 @@
 
 pub use fbuf;
 pub use fbuf_ipc as ipc;
+pub use fbuf_model as model;
 pub use fbuf_net as net;
 pub use fbuf_sim as sim;
 pub use fbuf_vm as vm;

@@ -1,0 +1,89 @@
+//! Tier-1 fuzzer gates: corpus replay, a small always-on campaign, and
+//! the planted-divergence self-test.
+//!
+//! Every `.case` file under `tests/corpus/` is a seed+keep-list record
+//! (see `fbuf_model::fuzz` for the format) that once exercised a
+//! hard-won execution — it replays here forever. The campaign test runs
+//! a bounded number of fresh seeded cases on every `cargo test`; long
+//! campaigns live in `fbuf-fuzz` behind `FBUF_FUZZ_CASES`. The planted
+//! divergence proves the whole detection-and-shrinking pipeline still
+//! has teeth: a deliberately wrong model transition must be caught and
+//! shrunk to a handful of commands.
+
+use std::path::PathBuf;
+
+use fbufs::model::fuzz::{self, CorpusCase};
+use fbufs::model::oracle::Sabotage;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn every_corpus_case_replays_clean() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "the corpus ships with seed cases");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = fuzz::parse_corpus(&text)
+            .unwrap_or_else(|e| panic!("{}: malformed: {e}", path.display()));
+        let out = fuzz::replay(&case, None).unwrap_or_else(|fail| {
+            panic!(
+                "{}: diverged at command {}: {}",
+                path.display(),
+                fail.fail_index,
+                fail.message
+            )
+        });
+        assert!(out.commands > 0, "{}: empty case", path.display());
+    }
+}
+
+#[test]
+fn smoke_campaign_stays_divergence_free() {
+    // Small but real: every command type, every fault site reachable.
+    let report = fuzz::campaign(0x7e57_0c0d_e001, 8, 150, None);
+    assert!(
+        report.failures.is_empty(),
+        "divergences: {:?}",
+        report.failures
+    );
+    assert_eq!(report.commands, 8 * 150);
+}
+
+#[test]
+fn planted_model_bug_is_caught_and_shrunk_to_a_short_witness() {
+    let sab = Some(Sabotage::FifoReuse);
+    let mut caught = None;
+    for seed in 0..16u64 {
+        if let Err(fail) = fuzz::run_case(seed, 250, sab) {
+            caught = Some((seed, fail));
+            break;
+        }
+    }
+    let (seed, fail) = caught.expect("the sabotaged model must diverge");
+    let keep = fuzz::shrink(seed, 250, &fail, sab);
+    assert!(
+        keep.len() <= 10,
+        "minimal witness should be a handful of commands, got {}: {keep:?}",
+        keep.len()
+    );
+    let case = CorpusCase {
+        seed,
+        cmds: 250,
+        keep: Some(keep),
+    };
+    assert!(
+        fuzz::replay(&case, sab).is_err(),
+        "shrunk witness must still diverge under the sabotage"
+    );
+    assert!(
+        fuzz::replay(&case, None).is_ok(),
+        "the same witness is clean on the honest model"
+    );
+}
