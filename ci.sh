@@ -9,6 +9,16 @@ export CARGO_NET_OFFLINE=true
 cargo build --release --workspace
 cargo test -q --workspace
 
+# Doctests: every crate-level example and API doctest must run (the
+# workspace test run above covers unit/integration tests; `--doc` is a
+# separate compile mode).
+cargo test -q --doc --workspace
+
+# Documentation gate: rustdoc must build clean with warnings denied
+# (broken intra-doc links, missing docs on public items, bad code fences
+# all fail the build).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 # Lint when the toolchain ships clippy; skip silently otherwise.
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --workspace --all-targets -- -D warnings
@@ -31,6 +41,15 @@ FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=4 FBUF_STRESS_THREADS=1,2 \
     FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-stress
 cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-reports
+
+# Queueing smoke: an offered-load sweep through the event-loop engine
+# must conserve transfers at every point (completed + aborted == offered),
+# show zero queueing delay in the drained burst-1 regime, build real
+# delay under load, and refuse work explicitly once a burst exceeds the
+# bounded inbox depth (fbuf-queue exits nonzero on any violation).
+FBUF_QUEUE_TRANSFERS=128 FBUF_QUEUE_BURSTS=1,4,16 FBUF_QUEUE_DEPTH=8 \
+    FBUF_BENCH_DIR=target/bench-reports \
+    cargo run --release -q -p fbuf-bench --bin fbuf-queue
 
 # Lockstep-fuzzer smoke: a bounded fixed-seed campaign against the
 # reference model must finish with zero divergences (long campaigns run

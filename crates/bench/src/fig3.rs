@@ -50,7 +50,7 @@ pub fn fbuf_throughput(cached: bool, send: SendMode, size: u64, iters: usize) ->
             }
             off += page;
         }
-        s.rpc_mut().call(a, b);
+        s.hop(a, b);
         s.send(id, a, b, send).expect("send");
         let mut off = 0;
         loop {

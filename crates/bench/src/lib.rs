@@ -13,6 +13,15 @@
 //! | [`cpuload`] | §4 prose: receive-side CPU load at 16/32 KB PDUs |
 //! | [`remap`] | §2.2.1: DASH-style remap, ping-pong vs streaming |
 //! | [`ablations`] | design-choice ablations (optimization stack, LIFO, VCI cache, notices, bus contention) |
+//!
+//! Standalone binaries live in `src/bin/`: `repro` (paper-style text
+//! tables), `fbuf-trace` (traced loopback + audit + Chrome export),
+//! `fbuf-stress` (wall-clock multi-shard stress), `fbuf-queue`
+//! (offered-load sweep through the event-loop engine, queueing-delay
+//! percentiles per burst size), and `fbuf-fuzz` (lockstep campaigns).
+//!
+//! Design notes: `DESIGN.md` §5 (the per-table/per-figure experiment
+//! index) and `EXPERIMENTS.md` (paper-vs-measured, command matrix).
 
 pub mod ablations;
 pub mod cpuload;

@@ -67,7 +67,7 @@ pub fn crossing(cached: bool, send: SendMode, size: u64, iters: usize) -> Observ
             s.write_fbuf(a, id, off, &[7u8]).expect("write");
             off += page;
         }
-        s.rpc_mut().call(a, b);
+        s.hop(a, b);
         s.send(id, a, b, send).expect("send");
         s.free(id, b).expect("free b");
         s.free(id, a).expect("free a");

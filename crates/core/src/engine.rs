@@ -1,0 +1,509 @@
+//! The event-driven transfer engine: hops as scheduled events.
+//!
+//! Historically every cross-domain hop was a synchronous descent — the
+//! driver called [`Rpc::call`](fbuf_ipc::Rpc::call) inline and kept
+//! recursing until the transfer bottomed out. This module reworks
+//! [`FbufSystem`] around the [`fbuf_ipc::actor::EventLoop`]: each hop is
+//! **posted** to the destination domain's bounded inbox, **dequeued** in
+//! deterministic `(time, id)` order, **handled** (the hop's charges run
+//! inside the handler), and **completed** either by posting the next leg
+//! or an explicit [`HopMsg::Complete`] event back to the originator.
+//!
+//! Two modes coexist (see [`TransferMode`]), mirroring the PR-3 precedent
+//! of keeping per-page and batched VM ops side by side:
+//!
+//! * [`TransferMode::DirectCall`] — the original inline descent, kept as
+//!   the exactness baseline;
+//! * [`TransferMode::EventLoop`] (the default) — every
+//!   [`FbufSystem::hop`] becomes enqueue → dequeue → handler →
+//!   completion.
+//!
+//! **Counter-exactness is the design invariant**: on drained (sequential)
+//! workloads the two modes charge byte-identical simulated time and
+//! counters, because the loop itself never touches the clock — all cost
+//! stays in the handler, which performs exactly the charges the inline
+//! descent performed. `tests/counter_exactness.rs` pins this over the
+//! loopback, Osiris, DAG-aggregate, and integrated-aggregate workloads.
+//!
+//! What the event loop adds over the descent is everything the descent
+//! could not express: multiple transfers genuinely in flight
+//! ([`run_offered_load`] posts bursts before pumping), per-hop queueing
+//! delay measured into a [`Histogram`], and bounded inboxes whose
+//! overflow is the explicit [`SendOutcome::Overload`] outcome instead of
+//! unbounded recursion. See `DESIGN.md` §12.
+
+use fbuf_ipc::{Envelope, EventLoop, SendOutcome};
+use fbuf_sim::{Histogram, MachineConfig, Ns};
+use fbuf_vm::DomainId;
+
+use crate::buffer::FbufId;
+use crate::error::FbufResult;
+use crate::system::{AllocMode, FbufSystem, SendMode};
+
+/// Which execution model drives cross-domain hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// The original synchronous descent: [`FbufSystem::hop`] charges the
+    /// RPC inline. Kept as the counter-exactness baseline.
+    DirectCall,
+    /// Hops are events: posted to the destination's inbox, dequeued by
+    /// the per-shard event loop, charged in the handler. The default.
+    EventLoop,
+}
+
+/// Event payloads flowing through the transfer engine's loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HopMsg {
+    /// A bare control-transfer hop — the event form of
+    /// [`Rpc::call`](fbuf_ipc::Rpc::call). The handler charges the RPC
+    /// and captures the piggybacked deallocation notices for the caller
+    /// of [`FbufSystem::hop`].
+    Call,
+    /// One leg of a full transfer driven by [`run_offered_load`]: the
+    /// handler charges the RPC, moves `fbuf` to the envelope's
+    /// destination, and posts the next leg (or frees + completes at the
+    /// last one). `route` is the whole domain chain; `leg` indexes the
+    /// hop being serviced (leg *i* moves the buffer from `route[i]` to
+    /// `route[i + 1]`).
+    Transfer {
+        /// The buffer in flight.
+        fbuf: FbufId,
+        /// The full domain chain, originator first.
+        route: Vec<DomainId>,
+        /// Index of this hop within `route`.
+        leg: usize,
+    },
+    /// Explicit completion, posted back to the originator after the final
+    /// leg's frees. Charges nothing; counted on dequeue.
+    Complete {
+        /// The completed buffer's raw id (the buffer is already freed, so
+        /// this is a token, not a live handle).
+        fbuf: u64,
+    },
+}
+
+impl FbufSystem {
+    /// The current hop execution model.
+    pub fn transfer_mode(&self) -> TransferMode {
+        self.transfer_mode
+    }
+
+    /// Switches the hop execution model. Takes effect on the next
+    /// [`FbufSystem::hop`]; pending events keep draining through the
+    /// loop.
+    pub fn set_transfer_mode(&mut self, mode: TransferMode) {
+        self.transfer_mode = mode;
+    }
+
+    /// Sets the bounded per-domain inbox depth (see
+    /// [`fbuf_ipc::actor::EventLoop::set_inbox_depth`]).
+    pub fn set_inbox_depth(&mut self, depth: usize) {
+        if let Some(e) = self.engine.as_mut() {
+            e.set_inbox_depth(depth);
+        }
+    }
+
+    /// Performs one cross-domain hop from `from` to `to` and returns the
+    /// deallocation notices the reply carries back.
+    ///
+    /// This is the drop-in replacement for the old inline
+    /// `rpc_mut().call(from, to)` at every hop site. Under
+    /// [`TransferMode::DirectCall`] it *is* that call. Under
+    /// [`TransferMode::EventLoop`] the hop is posted as a [`HopMsg::Call`]
+    /// event and the loop is pumped to completion — same charges, same
+    /// counters, plus an Enqueue/Dequeue audit trail and a (zero, when
+    /// drained) queueing-delay sample.
+    ///
+    /// Calls arriving while the loop is already pumping (i.e. from inside
+    /// a handler) charge inline: they are being serviced *as* an event
+    /// already.
+    pub fn hop(&mut self, from: DomainId, to: DomainId) -> Vec<u64> {
+        if self.transfer_mode == TransferMode::DirectCall || self.engine.is_none() {
+            return self.rpc_mut().call(from, to);
+        }
+        // Never trip the inbox bound on a sequential hop: drain any
+        // backlog first, so the post below always queues and the
+        // overload counter stays exact vs. the direct path.
+        let full = {
+            let e = self.engine.as_ref().expect("engine present");
+            e.inbox_len(to) >= e.inbox_depth()
+        };
+        if full {
+            self.pump();
+        }
+        let outcome = self
+            .engine
+            .as_mut()
+            .expect("engine present")
+            .post(from, to, HopMsg::Call);
+        debug_assert!(
+            matches!(outcome, SendOutcome::Queued(_)),
+            "a drained inbox accepts one hop"
+        );
+        self.pump();
+        std::mem::take(&mut self.hop_notices)
+    }
+
+    /// Posts one full multi-leg transfer (first leg only; later legs are
+    /// posted by the handler as each hop completes). Returns the outcome
+    /// of the first post — [`SendOutcome::Overload`] means the transfer
+    /// never started and the caller still owns `fbuf`.
+    pub fn submit_transfer(&mut self, fbuf: FbufId, route: &[DomainId]) -> SendOutcome {
+        assert!(route.len() >= 2, "a transfer needs at least one hop");
+        let msg = HopMsg::Transfer {
+            fbuf,
+            route: route.to_vec(),
+            leg: 0,
+        };
+        self.engine
+            .as_mut()
+            .expect("engine present")
+            .post(route[0], route[1], msg)
+    }
+
+    /// Drains the event loop to empty, servicing every pending hop; no-op
+    /// under [`TransferMode::DirectCall`] or when re-entered from a
+    /// handler. Returns the number of events processed.
+    pub fn pump(&mut self) -> usize {
+        let Some(mut evl) = self.engine.take() else {
+            return 0;
+        };
+        let n = evl.run(self, &mut handle_hop);
+        self.engine = Some(evl);
+        n
+    }
+
+    /// Events currently pending across all inboxes.
+    pub fn engine_pending(&self) -> usize {
+        self.engine.as_ref().map_or(0, EventLoop::pending)
+    }
+
+    /// Posts refused with [`SendOutcome::Overload`] so far.
+    pub fn engine_overloads(&self) -> u64 {
+        self.engine.as_ref().map_or(0, EventLoop::overloads)
+    }
+
+    /// Per-hop queueing-delay histogram (simulated ns from enqueue to
+    /// dequeue).
+    pub fn queue_delay(&self) -> Histogram {
+        self.engine
+            .as_ref()
+            .map(|e| e.queue_delay().clone())
+            .unwrap_or_default()
+    }
+
+    /// Transfers completed through the event loop (a
+    /// [`HopMsg::Complete`] event was dequeued).
+    pub fn transfers_completed(&self) -> u64 {
+        self.xfer_completed
+    }
+
+    /// Transfers aborted mid-route because a leg hit
+    /// [`SendOutcome::Overload`] (the buffer was freed back at every
+    /// holder).
+    pub fn transfers_aborted(&self) -> u64 {
+        self.xfer_aborted
+    }
+
+    /// Resets the engine's measurement state (queue-delay histogram,
+    /// overload/enqueue/dequeue and completion counters) between sweep
+    /// points; pending events are untouched.
+    pub fn reset_engine_metrics(&mut self) {
+        if let Some(e) = self.engine.as_mut() {
+            e.reset_metrics();
+        }
+        self.xfer_completed = 0;
+        self.xfer_aborted = 0;
+    }
+}
+
+/// The per-event handler: all simulated cost charged by a hop lives here,
+/// which is what keeps the loop counter-exact with the inline descent.
+fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<HopMsg>) {
+    match env.msg {
+        HopMsg::Call => {
+            let drained = sys.rpc_mut().call(env.from, env.to);
+            sys.hop_notices.extend(drained);
+        }
+        HopMsg::Transfer { fbuf, route, leg } => {
+            sys.rpc_mut().call(env.from, env.to);
+            if let Err(e) = sys.send(fbuf, env.from, env.to, SendMode::Volatile) {
+                sys.engine_error.get_or_insert(e);
+                sys.xfer_aborted += 1;
+                return;
+            }
+            if leg + 2 < route.len() {
+                let (nf, nt) = (route[leg + 1], route[leg + 2]);
+                let msg = HopMsg::Transfer {
+                    fbuf,
+                    route: route.clone(),
+                    leg: leg + 1,
+                };
+                if evl.post(nf, nt, msg).is_overload() {
+                    // The next inbox refused the leg: abort the transfer,
+                    // releasing every reference taken so far, receiver
+                    // back to originator.
+                    sys.xfer_aborted += 1;
+                    for d in route[..=leg + 1].iter().rev() {
+                        let _ = sys.free(fbuf, *d);
+                    }
+                }
+            } else {
+                // Final leg: every holder releases, receiver first (the
+                // originator's free parks the buffer on the path cache),
+                // then completion is itself an event back to the source.
+                let origin = route[0];
+                for d in route.iter().rev() {
+                    let _ = sys.free(fbuf, *d);
+                }
+                let from = *route.last().expect("route non-empty");
+                // Admission control bounds in-flight transfers to the
+                // inbox depth, so the originator's inbox always has room
+                // for completions; if a caller engineers one anyway, the
+                // completion is counted inline rather than lost.
+                if evl
+                    .post(from, origin, HopMsg::Complete { fbuf: fbuf.0 })
+                    .is_overload()
+                {
+                    sys.xfer_completed += 1;
+                }
+            }
+        }
+        HopMsg::Complete { .. } => {
+            sys.xfer_completed += 1;
+        }
+    }
+}
+
+/// Configuration for the offered-load queueing workload.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Total transfers to offer.
+    pub transfers: u64,
+    /// Transfers posted before each drain — the offered load. `1` is the
+    /// drained sequential regime (zero queueing delay); larger bursts
+    /// build real backlog and, past the inbox depth, overload.
+    pub burst: usize,
+    /// Hops per transfer (route has `hops + 1` domains, originator
+    /// included).
+    pub hops: usize,
+    /// Pages per fbuf.
+    pub pages: u64,
+    /// Per-domain inbox bound.
+    pub inbox_depth: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            transfers: 256,
+            burst: 8,
+            hops: 2,
+            pages: 1,
+            inbox_depth: fbuf_ipc::DEFAULT_INBOX_DEPTH,
+        }
+    }
+}
+
+/// What one offered-load run measured.
+#[derive(Debug, Clone)]
+pub struct QueueReport {
+    /// Transfers offered (alloc + first-leg post attempted).
+    pub offered: u64,
+    /// Transfers whose [`HopMsg::Complete`] event was serviced.
+    pub completed: u64,
+    /// Transfers refused or aborted by a full inbox.
+    pub aborted: u64,
+    /// Individual posts refused ([`SendOutcome::Overload`]), counting
+    /// first legs and mid-route legs alike.
+    pub overloads: u64,
+    /// Per-hop queueing delay (simulated ns from enqueue to dequeue).
+    pub queue_delay: Histogram,
+    /// Simulated time the run took.
+    pub elapsed: Ns,
+    /// Payload bytes successfully delivered end to end.
+    pub bytes_delivered: u64,
+}
+
+/// Runs the offered-load queueing workload on a fresh system: allocates
+/// cached fbufs at the originator, posts `burst` transfers at a time
+/// through an `hops`-leg route, then drains the loop — measuring per-hop
+/// queueing delay and overload behaviour as a function of offered load.
+///
+/// With `burst = 1` this is exactly the drained sequential regime the
+/// counter-exactness tests pin; with `burst > inbox_depth` the bounded
+/// inboxes start refusing work and the explicit [`SendOutcome::Overload`]
+/// path (counted in `Stats::overload_drops`) takes over from queueing.
+pub fn run_offered_load(cfg: &QueueConfig) -> FbufResult<QueueReport> {
+    let mut sys = FbufSystem::new(MachineConfig::decstation_5000_200());
+    sys.set_transfer_mode(TransferMode::EventLoop);
+    sys.set_inbox_depth(cfg.inbox_depth);
+
+    let mut route = vec![fbuf_vm::KERNEL_DOMAIN];
+    for _ in 0..cfg.hops {
+        route.push(sys.create_domain());
+    }
+    let origin = route[0];
+    let path = sys.create_path(route.clone())?;
+    let len = cfg.pages * sys.machine().page_size();
+
+    let t0 = sys.machine().now();
+    let mut offered = 0u64;
+    let mut refused_at_post = 0u64;
+    while offered < cfg.transfers {
+        let n = (cfg.transfers - offered).min(cfg.burst as u64);
+        for _ in 0..n {
+            let fbuf = sys.alloc(origin, AllocMode::Cached(path), len)?;
+            offered += 1;
+            if sys.submit_transfer(fbuf, &route).is_overload() {
+                // Never started: the originator still owns the buffer.
+                sys.free(fbuf, origin)?;
+                refused_at_post += 1;
+            }
+        }
+        sys.pump();
+    }
+    sys.pump();
+    if let Some(e) = sys.engine_error.take() {
+        return Err(e);
+    }
+
+    let completed = sys.transfers_completed();
+    Ok(QueueReport {
+        offered,
+        completed,
+        aborted: refused_at_post + sys.transfers_aborted(),
+        overloads: sys.engine_overloads(),
+        queue_delay: sys.queue_delay(),
+        elapsed: sys.machine().now() - t0,
+        bytes_delivered: completed * len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf_vm::KERNEL_DOMAIN;
+
+    fn fresh() -> (FbufSystem, DomainId, DomainId) {
+        let mut sys = FbufSystem::new(MachineConfig::decstation_5000_200());
+        let a = sys.create_domain();
+        let b = sys.create_domain();
+        (sys, a, b)
+    }
+
+    #[test]
+    fn hop_charges_identically_in_both_modes() {
+        let (mut direct, da, db) = fresh();
+        direct.set_transfer_mode(TransferMode::DirectCall);
+        let (mut event, ea, eb) = fresh();
+        assert_eq!(event.transfer_mode(), TransferMode::EventLoop);
+
+        for _ in 0..10 {
+            direct.hop(da, db);
+            direct.hop(db, KERNEL_DOMAIN);
+            event.hop(ea, eb);
+            event.hop(eb, KERNEL_DOMAIN);
+        }
+        assert_eq!(direct.machine().now(), event.machine().now());
+        assert_eq!(
+            direct.stats().snapshot(),
+            event.stats().snapshot(),
+            "the event loop performs exactly the charges the descent did"
+        );
+        // The loop measured each hop, all with zero queueing (drained).
+        let h = event.queue_delay();
+        assert_eq!(h.count(), 20);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn hop_returns_piggybacked_notices_through_the_loop() {
+        let (mut sys, a, b) = fresh();
+        let path = sys.create_path(vec![a, b]).unwrap();
+        let buf = sys.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        sys.send(buf, a, b, SendMode::Volatile).unwrap();
+        sys.free(buf, b).unwrap(); // queues a notice for owner `a`
+        let drained = sys.hop(a, b);
+        assert_eq!(drained, vec![buf.0], "the reply carried the notice");
+        assert!(sys.hop(a, b).is_empty(), "drained only once");
+    }
+
+    #[test]
+    fn offered_load_completes_everything_when_admitted() {
+        let cfg = QueueConfig {
+            transfers: 64,
+            burst: 4,
+            hops: 2,
+            ..QueueConfig::default()
+        };
+        let r = run_offered_load(&cfg).unwrap();
+        assert_eq!(r.offered, 64);
+        assert_eq!(r.completed, 64);
+        assert_eq!(r.aborted, 0);
+        assert_eq!(r.overloads, 0);
+        // 2 transfer legs + 1 completion event per transfer.
+        assert_eq!(r.queue_delay.count(), 64 * 3);
+        assert!(r.elapsed > Ns::ZERO);
+        assert_eq!(r.bytes_delivered, 64 * 4096);
+    }
+
+    #[test]
+    fn queueing_delay_grows_with_offered_load() {
+        let base = QueueConfig {
+            transfers: 64,
+            hops: 2,
+            ..QueueConfig::default()
+        };
+        let drained = run_offered_load(&QueueConfig { burst: 1, ..base.clone() }).unwrap();
+        let loaded = run_offered_load(&QueueConfig { burst: 16, ..base }).unwrap();
+        assert_eq!(
+            drained.queue_delay.max(),
+            0,
+            "burst=1 is the drained sequential regime"
+        );
+        assert!(
+            loaded.queue_delay.max() > 0,
+            "a burst builds backlog, so later events wait"
+        );
+        assert!(loaded.queue_delay.p99() >= loaded.queue_delay.p50());
+    }
+
+    #[test]
+    fn overload_bounds_admission_past_inbox_depth() {
+        let cfg = QueueConfig {
+            transfers: 64,
+            burst: 16,
+            hops: 1,
+            inbox_depth: 4,
+            ..QueueConfig::default()
+        };
+        let r = run_offered_load(&cfg).unwrap();
+        assert!(r.overloads > 0, "posts beyond the depth are refused");
+        assert!(r.aborted > 0);
+        assert_eq!(
+            r.completed + r.aborted,
+            r.offered,
+            "every transfer either completes or aborts — none lost"
+        );
+        // Refused transfers were freed back to the path cache, not leaked.
+        assert!(r.completed >= 4 * (64 / 16), "each burst admits the depth");
+    }
+
+    #[test]
+    fn submit_and_pump_drive_one_transfer_end_to_end() {
+        let (mut sys, a, _) = fresh();
+        let route = vec![KERNEL_DOMAIN, a];
+        let path = sys.create_path(route.clone()).unwrap();
+        let buf = sys
+            .alloc(KERNEL_DOMAIN, AllocMode::Cached(path), 4096)
+            .unwrap();
+        assert!(!sys.submit_transfer(buf, &route).is_overload());
+        assert_eq!(sys.engine_pending(), 1);
+        let serviced = sys.pump();
+        assert_eq!(serviced, 2, "one transfer leg plus its completion");
+        assert_eq!(sys.transfers_completed(), 1);
+        assert_eq!(sys.engine_pending(), 0);
+        assert_eq!(sys.stats().fbuf_transfers(), 1);
+    }
+}

@@ -27,6 +27,15 @@
 //!
 //! [`FbufSystem`] is the facade over the whole mechanism; it owns the
 //! simulated [`fbuf_vm::Machine`] and the [`fbuf_ipc::Rpc`] layer.
+//! Cross-domain hops route through the per-shard event-loop engine by
+//! default ([`engine`], [`TransferMode`]): domains are actors with
+//! bounded inboxes, transfers are events with explicit completion or
+//! overload, and the scheduler is counter-exact with direct calls.
+//!
+//! Design notes: `DESIGN.md` §1 (what the paper builds), §4 (system
+//! inventory), §9 (hot-path engineering: arenas, batched range ops),
+//! §10 (sharding model), and §12 (the event-loop engine and the fbuf
+//! lifecycle state machine).
 //!
 //! # Examples
 //!
@@ -56,6 +65,7 @@
 //! ```
 
 pub mod buffer;
+pub mod engine;
 pub mod error;
 pub mod path;
 pub mod region;
@@ -63,6 +73,7 @@ pub mod shard;
 pub mod system;
 
 pub use buffer::{Fbuf, FbufId, FbufState};
+pub use engine::{run_offered_load, HopMsg, QueueConfig, QueueReport, TransferMode};
 pub use error::{FbufError, FbufResult};
 pub use path::{DataPath, PathId};
 pub use region::ChunkAllocator;

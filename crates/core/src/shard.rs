@@ -176,10 +176,10 @@ impl Shard {
         let id = s
             .alloc(t.originator, AllocMode::Cached(t.path), self.len)
             .expect("cached alloc");
-        s.rpc_mut().call(t.originator, t.netserver);
+        s.hop(t.originator, t.netserver);
         s.send(id, t.originator, t.netserver, SendMode::Volatile)
             .expect("send down");
-        s.rpc_mut().call(t.netserver, t.receiver);
+        s.hop(t.netserver, t.receiver);
         s.send(id, t.netserver, t.receiver, SendMode::Volatile)
             .expect("send up");
         s.free(id, t.receiver).expect("free receiver");
@@ -291,10 +291,10 @@ impl Shard {
             .expect("cached ingress alloc");
         s.write_fbuf(t.originator, id, 0, &msg.payload)
             .expect("materialize payload");
-        s.rpc_mut().call(t.originator, t.netserver);
+        s.hop(t.originator, t.netserver);
         s.send(id, t.originator, t.netserver, SendMode::Volatile)
             .expect("send down");
-        s.rpc_mut().call(t.netserver, t.receiver);
+        s.hop(t.netserver, t.receiver);
         s.send(id, t.netserver, t.receiver, SendMode::Volatile)
             .expect("send up");
         let stamp = s

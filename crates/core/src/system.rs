@@ -117,6 +117,21 @@ pub struct FbufSystem {
     /// Armed fault-injection plan, if any. `None` in production: every
     /// hook point is then a single `is_some()` branch, like `trace`.
     fault: Option<Rc<FaultPlan>>,
+    /// Hop execution model (see [`crate::engine::TransferMode`]).
+    pub(crate) transfer_mode: crate::engine::TransferMode,
+    /// The per-shard event loop. Held in an `Option` so
+    /// [`FbufSystem::pump`](crate::engine) can take it out while the
+    /// handler borrows `self`; `None` only during a pump.
+    pub(crate) engine: Option<fbuf_ipc::EventLoop<crate::engine::HopMsg>>,
+    /// Notices drained by the most recent event-loop hop, handed back to
+    /// the [`FbufSystem::hop`](crate::engine) caller.
+    pub(crate) hop_notices: Vec<u64>,
+    /// Transfers whose explicit completion event was serviced.
+    pub(crate) xfer_completed: u64,
+    /// Transfers aborted mid-route by an inbox overload.
+    pub(crate) xfer_aborted: u64,
+    /// First error a hop handler hit (handlers cannot propagate).
+    pub(crate) engine_error: Option<FbufError>,
 }
 
 /// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
@@ -152,6 +167,8 @@ impl FbufSystem {
             machine.tracer(),
             cfg.costs.clone(),
         );
+        let (machine_clock, machine_stats, machine_tracer) =
+            (machine.clock(), machine.stats(), machine.tracer());
         let mut sys = FbufSystem {
             machine,
             rpc,
@@ -173,6 +190,16 @@ impl FbufSystem {
             charge_clearing: true,
             reuse_policy: ReusePolicy::Lifo,
             fault: None,
+            transfer_mode: crate::engine::TransferMode::EventLoop,
+            engine: Some(fbuf_ipc::EventLoop::new(
+                machine_clock,
+                machine_stats,
+                machine_tracer,
+            )),
+            hop_notices: Vec::new(),
+            xfer_completed: 0,
+            xfer_aborted: 0,
+            engine_error: None,
         };
         let kernel = fbuf_vm::KERNEL_DOMAIN;
         sys.machine

@@ -1,0 +1,414 @@
+//! Domains as actors, transfers as events: the per-shard event loop.
+//!
+//! The recursive engine modelled every cross-domain transfer as a
+//! synchronous depth-first descent — `rpc.call(a, b)` followed inline by
+//! the next hop's `rpc.call(b, c)` — so exactly one message could be in
+//! flight per engine and queueing, backpressure, and overload could not
+//! even be expressed. This module replaces the call stack with an
+//! explicit scheduler:
+//!
+//! * every protection domain is an **actor** with a bounded FIFO
+//!   **inbox**;
+//! * a hop is **posted** as an event ([`EventLoop::post`]): it lands in
+//!   the destination actor's inbox and a wake token enters the
+//!   [`EventHeap`], stamped with the simulated now;
+//! * the loop ([`EventLoop::step`] / [`EventLoop::run`]) pops tokens in
+//!   deterministic `(time, id)` order, dequeues the matching envelope,
+//!   records its **queueing delay** (dequeue instant minus enqueue
+//!   instant) into a [`Histogram`], and hands it to the caller's
+//!   handler, which performs the hop's charges and may post follow-up
+//!   events (the next leg, a completion, …);
+//! * a post to a **full inbox** is refused with the explicit
+//!   [`SendOutcome::Overload`] — counted in `Stats::overload_drops`,
+//!   traced as [`EventKind::Overload`] — instead of growing without
+//!   bound or recursing.
+//!
+//! Determinism: the heap orders by `(simulated time, insertion id)` with
+//! FIFO tie-break (see [`fbuf_sim::event`]), posts stamp the shared
+//! monotone [`Clock`], and nothing consults the wall clock, so a seeded
+//! workload replays its event schedule bit-identically.
+//!
+//! The loop itself never charges the clock: all simulated cost stays in
+//! the handler (RPC latency, VM work, protocol processing). That is what
+//! makes the engine *counter-exact* with the recursive descent — driving
+//! the same hop sequence through [`EventLoop::run`] performs the same
+//! charges in the same order, pinned by `tests/counter_exactness.rs`.
+
+use std::collections::VecDeque;
+
+use fbuf_sim::{Clock, EventHeap, EventId, EventKind, Histogram, Ns, Stats, Tracer};
+use fbuf_vm::DomainId;
+
+/// Default bound on each actor's inbox. Deep enough that a drained
+/// pipeline never trips it, shallow enough that a runaway producer hits
+/// [`SendOutcome::Overload`] long before memory does.
+pub const DEFAULT_INBOX_DEPTH: usize = 64;
+
+/// One event sitting in (or dequeued from) an actor's inbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The posting domain.
+    pub from: DomainId,
+    /// The destination actor.
+    pub to: DomainId,
+    /// Simulated instant the event was enqueued (queueing delay is
+    /// measured from here).
+    pub enqueued_at: Ns,
+    /// The scheduler id assigned at post time.
+    pub id: EventId,
+    /// The event payload.
+    pub msg: M,
+}
+
+/// What happened to a posted event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The event entered the destination's inbox and will be processed.
+    Queued(EventId),
+    /// The destination's bounded inbox was full: the event was dropped,
+    /// counted (`Stats::overload_drops`), and traced. The caller decides
+    /// what the drop means (abort the transfer, retry later, shed load).
+    Overload,
+}
+
+impl SendOutcome {
+    /// True when the post was refused.
+    pub fn is_overload(&self) -> bool {
+        matches!(self, SendOutcome::Overload)
+    }
+}
+
+/// The per-shard event loop. See the [module docs](self).
+///
+/// `M` is the event payload; the loop is generic so the transfer engine
+/// (`fbuf::engine`), the workload drivers, and the tests can each speak
+/// their own message language over the same scheduling core.
+///
+/// # Examples
+///
+/// ```
+/// use fbuf_ipc::actor::EventLoop;
+/// use fbuf_sim::{Clock, Stats, Tracer};
+/// use fbuf_vm::DomainId;
+///
+/// let clock = Clock::new();
+/// let mut evl: EventLoop<&str> = EventLoop::new(
+///     clock.clone(),
+///     Stats::new(),
+///     Tracer::new(clock),
+/// );
+/// let (a, b) = (DomainId(1), DomainId(2));
+/// evl.post(a, b, "ping");
+/// let mut seen = Vec::new();
+/// evl.run(&mut seen, &mut |evl, seen: &mut Vec<String>, env| {
+///     seen.push(format!("{} -> {}: {}", env.from.0, env.to.0, env.msg));
+///     if env.msg == "ping" {
+///         evl.post(env.to, env.from, "pong");
+///     }
+/// });
+/// assert_eq!(seen, vec!["1 -> 2: ping", "2 -> 1: pong"]);
+/// ```
+#[derive(Debug)]
+pub struct EventLoop<M> {
+    /// Global order of pending events: wake tokens naming the actor
+    /// whose inbox front is due.
+    heap: EventHeap<DomainId>,
+    /// Per-domain bounded FIFO inboxes, indexed by `DomainId.0`.
+    inboxes: Vec<VecDeque<Envelope<M>>>,
+    depth: usize,
+    clock: Clock,
+    stats: Stats,
+    tracer: Tracer,
+    queue_delay: Histogram,
+    overloads: u64,
+    enqueued: u64,
+    dequeued: u64,
+}
+
+impl<M> EventLoop<M> {
+    /// An empty loop over the engine's shared clock/stats/tracer
+    /// handles, with the [default inbox depth](DEFAULT_INBOX_DEPTH).
+    pub fn new(clock: Clock, stats: Stats, tracer: Tracer) -> EventLoop<M> {
+        EventLoop {
+            heap: EventHeap::new(),
+            inboxes: Vec::new(),
+            depth: DEFAULT_INBOX_DEPTH,
+            clock,
+            stats,
+            tracer,
+            queue_delay: Histogram::new(),
+            overloads: 0,
+            enqueued: 0,
+            dequeued: 0,
+        }
+    }
+
+    /// Sets the per-actor inbox bound (applies to subsequent posts;
+    /// clamped to at least 1 so a drained loop can always make
+    /// progress).
+    pub fn set_inbox_depth(&mut self, depth: usize) {
+        self.depth = depth.max(1);
+    }
+
+    /// The current per-actor inbox bound.
+    pub fn inbox_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Posts an event from `from` to `to`'s inbox, stamped with the
+    /// simulated now. Full inbox → [`SendOutcome::Overload`]: dropped,
+    /// counted, traced — never queued, never recursed into.
+    pub fn post(&mut self, from: DomainId, to: DomainId, msg: M) -> SendOutcome {
+        let slot = to.0 as usize;
+        if self.inboxes.len() <= slot {
+            self.inboxes.resize_with(slot + 1, VecDeque::new);
+        }
+        if self.inboxes[slot].len() >= self.depth {
+            self.overloads += 1;
+            self.stats.inc_overload_drops();
+            self.tracer
+                .instant_peer(EventKind::Overload, from.0, to.0, None, None);
+            return SendOutcome::Overload;
+        }
+        let now = self.clock.now();
+        let id = self.heap.push(now, to);
+        self.inboxes[slot].push_back(Envelope {
+            from,
+            to,
+            enqueued_at: now,
+            id,
+            msg,
+        });
+        self.enqueued += 1;
+        self.tracer
+            .instant_peer(EventKind::Enqueue, from.0, to.0, None, None);
+        SendOutcome::Queued(id)
+    }
+
+    /// Processes the earliest pending event: dequeues it, records its
+    /// queueing delay, and hands it to `handler` (which may post
+    /// follow-ups through the `&mut EventLoop` it receives). Returns
+    /// `false` when nothing was pending.
+    pub fn step<C>(
+        &mut self,
+        ctx: &mut C,
+        handler: &mut impl FnMut(&mut EventLoop<M>, &mut C, Envelope<M>),
+    ) -> bool {
+        let Some(token) = self.heap.pop() else {
+            return false;
+        };
+        let dom = token.payload;
+        let env = self.inboxes[dom.0 as usize]
+            .pop_front()
+            .expect("a wake token always has a matching inbox entry");
+        debug_assert_eq!(env.id, token.id, "tokens and envelopes stay FIFO-aligned");
+        let delay = self.clock.now() - env.enqueued_at;
+        self.queue_delay.record(delay.as_ns());
+        self.dequeued += 1;
+        // Dequeue span: `dur` is the queueing delay (enqueue → dequeue).
+        self.tracer.span_peer(
+            env.enqueued_at,
+            EventKind::Dequeue,
+            env.to.0,
+            Some(env.from.0),
+            None,
+            None,
+        );
+        handler(self, ctx, env);
+        true
+    }
+
+    /// Runs [`EventLoop::step`] until the loop drains; returns how many
+    /// events were processed.
+    pub fn run<C>(
+        &mut self,
+        ctx: &mut C,
+        handler: &mut impl FnMut(&mut EventLoop<M>, &mut C, Envelope<M>),
+    ) -> usize {
+        let mut n = 0;
+        while self.step(ctx, handler) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Events currently pending across all inboxes.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Events currently pending in one actor's inbox.
+    pub fn inbox_len(&self, dom: DomainId) -> usize {
+        self.inboxes
+            .get(dom.0 as usize)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Posts refused with [`SendOutcome::Overload`] so far.
+    pub fn overloads(&self) -> u64 {
+        self.overloads
+    }
+
+    /// Events successfully enqueued so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Events dequeued and handled so far.
+    pub fn dequeued(&self) -> u64 {
+        self.dequeued
+    }
+
+    /// Per-hop queueing-delay histogram (simulated ns between enqueue
+    /// and dequeue), over the loop's whole lifetime.
+    pub fn queue_delay(&self) -> &Histogram {
+        &self.queue_delay
+    }
+
+    /// Resets the queueing-delay histogram and the overload/enqueue/
+    /// dequeue counters (pending events are untouched) — used by bench
+    /// sweeps that measure each offered-load point separately.
+    pub fn reset_metrics(&mut self) {
+        self.queue_delay = Histogram::new();
+        self.overloads = 0;
+        self.enqueued = 0;
+        self.dequeued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbuf_sim::{audit_tracer, CostCategory};
+
+    fn evl<M>() -> (EventLoop<M>, Clock, Stats, Tracer) {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let tracer = Tracer::new(clock.clone());
+        let e = EventLoop::new(clock.clone(), stats.clone(), tracer.clone());
+        (e, clock, stats, tracer)
+    }
+
+    #[test]
+    fn events_process_in_post_order_at_equal_time() {
+        let (mut e, _, _, _) = evl();
+        for i in 0..5u32 {
+            e.post(DomainId(0), DomainId(1), i);
+        }
+        let mut order = Vec::new();
+        e.run(&mut order, &mut |_, order: &mut Vec<u32>, env| {
+            order.push(env.msg)
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handler_posts_drive_multi_hop_chains() {
+        // A three-leg chain: 0 → 1 → 2 → 3, each leg charging the clock,
+        // so each dequeue sees the time the previous leg's charge left.
+        let (mut e, clock, _, _) = evl();
+        e.post(DomainId(0), DomainId(1), 0u32);
+        let mut legs = Vec::new();
+        let c = clock.clone();
+        e.run(&mut legs, &mut move |evl, legs: &mut Vec<(u32, Ns)>, env| {
+            legs.push((env.to.0, c.now() - env.enqueued_at));
+            c.charge(CostCategory::Ipc, Ns(100));
+            if env.to.0 < 3 {
+                evl.post(env.to, DomainId(env.to.0 + 1), env.msg + 1);
+            }
+        });
+        // Each leg was enqueued right after the previous handler's
+        // charge, so its queueing delay is zero — a drained pipeline
+        // queues nothing.
+        assert_eq!(
+            legs,
+            vec![
+                (1, Ns::ZERO),
+                (2, Ns::ZERO),
+                (3, Ns::ZERO),
+            ]
+        );
+        assert_eq!(clock.now(), Ns(300));
+    }
+
+    #[test]
+    fn full_inbox_overloads_explicitly() {
+        let (mut e, _, stats, _) = evl();
+        e.set_inbox_depth(2);
+        assert!(matches!(
+            e.post(DomainId(0), DomainId(1), ()),
+            SendOutcome::Queued(_)
+        ));
+        assert!(matches!(
+            e.post(DomainId(0), DomainId(1), ()),
+            SendOutcome::Queued(_)
+        ));
+        assert!(e.post(DomainId(0), DomainId(1), ()).is_overload());
+        assert_eq!(e.overloads(), 1);
+        assert_eq!(stats.overload_drops(), 1);
+        assert_eq!(e.inbox_len(DomainId(1)), 2, "the drop never queued");
+        // Draining frees the slot again.
+        e.run(&mut (), &mut |_, _, _| {});
+        assert!(matches!(
+            e.post(DomainId(0), DomainId(1), ()),
+            SendOutcome::Queued(_)
+        ));
+    }
+
+    #[test]
+    fn queue_delay_measures_backlog_service_time() {
+        // Two events posted back-to-back; the handler charges 1 µs per
+        // event, so the second waits exactly one service time.
+        let (mut e, clock, _, _) = evl();
+        e.post(DomainId(0), DomainId(1), ());
+        e.post(DomainId(0), DomainId(1), ());
+        let c = clock.clone();
+        e.run(&mut (), &mut move |_, _, _| {
+            c.charge(CostCategory::Ipc, Ns(1_000));
+        });
+        let h = e.queue_delay();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0, "first event is served immediately");
+        assert_eq!(h.max(), 1_000, "second waited one service time");
+    }
+
+    #[test]
+    fn trace_records_enqueue_dequeue_overload_and_audits_clean() {
+        let (mut e, _, _, tracer) = evl();
+        tracer.set_enabled(true);
+        e.set_inbox_depth(1);
+        e.post(DomainId(0), DomainId(1), ());
+        e.post(DomainId(0), DomainId(1), ()); // overload
+        e.run(&mut (), &mut |_, _, _| {});
+        assert_eq!(tracer.count_of(EventKind::Enqueue), 1);
+        assert_eq!(tracer.count_of(EventKind::Overload), 1);
+        assert_eq!(tracer.count_of(EventKind::Dequeue), 1);
+        audit_tracer(&tracer).assert_clean();
+    }
+
+    #[test]
+    fn loop_itself_is_free_in_simulated_time() {
+        // Posting and dequeuing charge nothing; only handlers move the
+        // clock. (The engine is bookkeeping, not simulated work.)
+        let (mut e, clock, _, _) = evl();
+        for _ in 0..100 {
+            e.post(DomainId(0), DomainId(1), ());
+        }
+        e.run(&mut (), &mut |_, _, _| {});
+        assert_eq!(clock.now(), Ns::ZERO);
+    }
+
+    #[test]
+    fn reset_metrics_clears_measurements_only() {
+        let (mut e, _, _, _) = evl();
+        e.set_inbox_depth(1);
+        e.post(DomainId(0), DomainId(1), ());
+        e.post(DomainId(0), DomainId(1), ());
+        e.run(&mut (), &mut |_, _, _| {});
+        e.reset_metrics();
+        assert_eq!(e.overloads(), 0);
+        assert_eq!(e.enqueued(), 0);
+        assert_eq!(e.dequeued(), 0);
+        assert!(e.queue_delay().is_empty());
+    }
+}

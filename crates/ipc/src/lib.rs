@@ -13,11 +13,21 @@
 //!   this list. When too many freed references have accumulated, an explicit
 //!   message must be sent" (paper §3.3; [`NoticeBoard`]).
 //!
-//! The model is synchronous (call charges the full round trip), matching a
-//! single-CPU DecStation where caller and callee cannot overlap.
+//! Two execution models share those charging primitives:
+//!
+//! * [`Rpc::call`] alone models the original **synchronous** descent — the
+//!   caller charges the full round trip inline, matching a single-CPU
+//!   DecStation where caller and callee cannot overlap;
+//! * [`actor::EventLoop`] schedules hops as **events** against bounded
+//!   per-domain inboxes, with [`Rpc::call`] invoked from the event handler
+//!   so each hop charges identically — plus explicit queueing delay,
+//!   backpressure, and [`actor::SendOutcome::Overload`] that the recursive
+//!   model cannot express. See `DESIGN.md` §12.
 
+pub mod actor;
 pub mod notice;
 pub mod rpc;
 
+pub use actor::{Envelope, EventLoop, SendOutcome, DEFAULT_INBOX_DEPTH};
 pub use notice::NoticeBoard;
 pub use rpc::{Payload, Rpc};

@@ -85,6 +85,18 @@ pub enum Cmd {
     },
     /// Create a fresh domain and add it to the roster (bounded).
     Respawn,
+    /// Drive one bare cross-domain hop through the event-loop engine
+    /// (`FbufSystem::hop`: post → dequeue → handler → completion). The
+    /// oracle's mirror transition is the identity — RPC charging is not
+    /// part of the diffed state — so what this fuzzes is that routing
+    /// hops through the scheduler perturbs *nothing* the model tracks,
+    /// drains the loop completely, and never trips the overload path.
+    Hop {
+        /// Sender selector (resolved against the roster).
+        from_sel: u8,
+        /// Receiver selector (resolved against the roster).
+        to_sel: u8,
+    },
 }
 
 /// Draws `n` commands from `seed`. The stream is a pure function of the
@@ -137,7 +149,11 @@ fn draw(rng: &mut Rng) -> Cmd {
             want: rng.range(1, 9) as u8,
         },
         870..=929 => Cmd::CrossSend,
-        930..=984 => Cmd::CrossPoll,
+        930..=964 => Cmd::CrossPoll,
+        965..=984 => Cmd::Hop {
+            from_sel: sel(rng),
+            to_sel: sel(rng),
+        },
         985..=994 => Cmd::Terminate { dom_sel: sel(rng) },
         _ => Cmd::Respawn,
     }
@@ -182,7 +198,7 @@ mod tests {
     #[test]
     fn every_variant_appears_in_a_long_stream() {
         let cmds = generate(7, 4000);
-        let mut seen = [false; 11];
+        let mut seen = [false; 12];
         for c in &cmds {
             let i = match c {
                 Cmd::Alloc { cached: true, .. } => 0,
@@ -196,6 +212,7 @@ mod tests {
                 Cmd::CrossSend => 8,
                 Cmd::CrossPoll => 9,
                 Cmd::Terminate { .. } | Cmd::Respawn => 10,
+                Cmd::Hop { .. } => 11,
             };
             seen[i] = true;
         }

@@ -24,6 +24,10 @@
 //! The deliberate-bug switch ([`Sabotage`]) plants a known model
 //! divergence (FIFO instead of LIFO reuse) so the whole detection and
 //! shrinking pipeline is itself under test.
+//!
+//! Design notes: `DESIGN.md` §11 (the lockstep architecture, the feed,
+//! shrinking, and the corpus format) and §12 (the `Hop` command that
+//! routes fuzzed hops through the event-loop engine).
 
 #![deny(missing_docs)]
 #![deny(overflowing_literals)]

@@ -226,7 +226,38 @@ impl Harness {
                 None => Ok(()),
             },
             Cmd::Respawn => self.do_respawn(),
+            Cmd::Hop { from_sel, to_sel } => self.do_hop(from_sel, to_sel),
         }
+    }
+
+    /// Drives one bare hop through the event-loop engine. The oracle
+    /// transition is the identity (RPC charging is outside the diffed
+    /// state), so this command checks that scheduling a hop as an event
+    /// — enqueue, dequeue, handler, completion — leaves every model-
+    /// tracked observable untouched, drains the loop, and never takes
+    /// the overload path on a sequential post.
+    fn do_hop(&mut self, from_sel: u8, to_sel: u8) -> Result<(), String> {
+        let Some(from) = self.pick(from_sel) else {
+            return Ok(());
+        };
+        let Some(to) = self.pick(to_sel) else {
+            return Ok(());
+        };
+        if from == to {
+            return Ok(());
+        }
+        self.sys.hop(from, to);
+        self.sync();
+        if self.sys.engine_pending() != 0 {
+            return Err(format!(
+                "hop left {} event(s) pending — the loop must drain to completion",
+                self.sys.engine_pending()
+            ));
+        }
+        if self.sys.stats().overload_drops() != 0 {
+            return Err("a sequential hop tripped the overload path".to_string());
+        }
+        self.feed.finish()
     }
 
     fn do_alloc(

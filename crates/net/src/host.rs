@@ -211,7 +211,7 @@ impl Host {
         if from == to {
             return Ok(());
         }
-        self.fbs.rpc_mut().call(from, to);
+        self.fbs.hop(from, to);
         if self.setup.domains() >= 3 {
             // Cache/TLB pollution of the third domain (paper §4).
             let penalty = self.fbs.machine().costs().crossing_cache_penalty;

@@ -22,6 +22,14 @@
 //!   cached fbufs for the 16 most recent paths, per-cell DMA ceilings, bus
 //!   contention) and the two-host end-to-end harness with sliding-window
 //!   flow control (Figures 5 and 6, and the §4 CPU-load experiment).
+//!
+//! Every cross-domain hop in this stack goes through
+//! `fbuf::FbufSystem::hop`, i.e. the event-loop transfer engine —
+//! counter-exact with the synchronous descent, pinned per workload by
+//! `tests/counter_exactness.rs`.
+//!
+//! Design notes: `DESIGN.md` §4 (system inventory), §5 (which harness
+//! regenerates which figure), and §12 (the event-loop engine).
 
 pub mod host;
 pub mod ip;

@@ -241,7 +241,7 @@ impl LoopbackStack {
             self.refs.adopt(to, msg);
             return Ok(());
         }
-        self.fbs.rpc_mut().call(from, to);
+        self.fbs.hop(from, to);
         // Uncached transfers follow the base mechanism of §3.1: the
         // receive step updates the physical page tables eagerly in every
         // receiving domain ("VM map manipulations are necessary for each

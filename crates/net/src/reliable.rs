@@ -166,7 +166,7 @@ impl ReliableChannel {
             let mut attempt = 0;
             loop {
                 self.stats.transmissions += 1;
-                fbs.rpc_mut().call(self.sender, self.receiver);
+                fbs.hop(self.sender, self.receiver);
                 if self.wire_drops() {
                     self.stats.drops += 1;
                     attempt += 1;

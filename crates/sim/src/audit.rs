@@ -29,6 +29,10 @@
 //!    held.
 //! 4. **No transfer after final free** — a `Transfer` of an fbuf with
 //!    no live holders is a use-after-free.
+//! 5. **Inbox balance** — every `Dequeue` by a domain actor must match
+//!    an earlier `Enqueue` targeting it; a dequeue with nothing pending
+//!    means the event-loop engine invented work. `Overload` events never
+//!    entered the inbox, so they leave the balance untouched.
 //!
 //! The auditor is truncation-aware: a ring that overflowed has lost its
 //! prefix, so events referring to fbufs whose `Alloc` was evicted are
@@ -116,8 +120,42 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
     // Buffers parked on each path's free list (final-freed, reusable).
     let mut parked: HashMap<u64, u64> = HashMap::new();
     let mut tracked = 0usize;
+    // Rule 5 state: per-destination-actor count of inbox events that
+    // were enqueued but not yet dequeued.
+    let mut inbox_pending: HashMap<u32, u64> = HashMap::new();
 
     for e in events {
+        // The actor-engine events carry no per-fbuf state (a hop may
+        // bundle several fbufs); check the inbox balance before the
+        // fbuf guard below.
+        match e.kind {
+            EventKind::Enqueue => {
+                if let Some(dest) = e.peer {
+                    *inbox_pending.entry(dest).or_insert(0) += 1;
+                }
+                continue;
+            }
+            EventKind::Dequeue => {
+                let pending = inbox_pending.entry(e.dom).or_insert(0);
+                if *pending == 0 {
+                    report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "dequeue-without-enqueue",
+                        detail: format!(
+                            "actor {} dequeued an inbox event but nothing was \
+                             pending (no prior Enqueue targeting it)",
+                            e.dom
+                        ),
+                    });
+                } else {
+                    *pending -= 1;
+                }
+                continue;
+            }
+            // An Overload never entered the inbox: no balance change.
+            EventKind::Overload => continue,
+            _ => {}
+        }
         let id = match e.fbuf {
             Some(id) => id,
             None => continue, // IpcCall/Hop/PduTx… carry no fbuf state
@@ -400,5 +438,32 @@ mod tests {
         ];
         let r = audit(&events);
         assert!(r.is_clean(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn balanced_enqueue_dequeue_passes_and_overload_is_neutral() {
+        let events = vec![
+            ev(0, EventKind::Enqueue, 1, Some(2), None, None),
+            ev(1, EventKind::Overload, 1, Some(2), None, None),
+            ev(2, EventKind::Dequeue, 2, Some(1), None, None),
+        ];
+        let r = audit(&events);
+        assert!(r.is_clean(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn dequeue_without_enqueue_is_flagged() {
+        // The overload never entered the inbox, so the second dequeue
+        // has nothing pending.
+        let events = vec![
+            ev(0, EventKind::Enqueue, 1, Some(2), None, None),
+            ev(1, EventKind::Dequeue, 2, Some(1), None, None),
+            ev(2, EventKind::Overload, 1, Some(2), None, None),
+            ev(3, EventKind::Dequeue, 2, Some(1), None, None),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "dequeue-without-enqueue");
+        assert_eq!(r.violations[0].seq, 3);
     }
 }

@@ -31,7 +31,7 @@
 //!   `proptest`).
 //! * [`json`] — a minimal JSON value/writer/parser (replaces `serde` for
 //!   the bench reports).
-//! * [`bench`] — a bench runner that reports the simulator's **calibrated
+//! * [`mod@bench`] — a bench runner that reports the simulator's **calibrated
 //!   simulated time**, plus host wall-clock engine throughput under each
 //!   report's `host` block (replaces `criterion`).
 //! * [`Arena`] — a generational slab arena backing the hot-path id tables
@@ -48,12 +48,20 @@
 //!   [`trace::merge_rings`] folds per-shard rings into one stream.
 //! * [`hist`] — log-bucketed latency [`Histogram`]s (p50/p90/p99) fed by
 //!   `Alloc`/`Transfer` spans and surfaced in every bench report.
-//! * [`audit`] — a replay auditor checking fbuf lifecycle invariants over
+//! * [`mod@audit`] — a replay auditor checking fbuf lifecycle invariants over
 //!   a recorded event stream.
 //! * [`fault`] — seeded, replayable fault injection ([`FaultPlan`]):
 //!   chunk-grant denial, quota exhaustion, frame-allocation failure,
 //!   reclaim refusal, ring backpressure, and scheduled domain crashes,
 //!   zero-cost at every hook point while no plan is armed.
+//! * [`event`] — a deterministic binary [`EventHeap`] ordered by
+//!   `(time, admission id)`, the scheduling substrate under the
+//!   event-loop transfer engine (`fbuf_ipc::EventLoop`).
+//!
+//! Design notes: `DESIGN.md` §6 (how the cost constants were
+//! calibrated/reconstructed), §8 (tracing, histograms, and the replay
+//! auditor), §11 (fault injection), and §12 (heap ordering guarantees
+//! and the audited fbuf lifecycle state machine).
 //!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
@@ -63,6 +71,7 @@ pub mod bench;
 pub mod check;
 pub mod config;
 pub mod costs;
+pub mod event;
 pub mod fault;
 pub mod hist;
 pub mod json;
@@ -77,6 +86,7 @@ pub use audit::{audit, audit_tracer, AuditReport, Violation};
 pub use check::{minimize, shortest_failing_prefix, Checker};
 pub use config::MachineConfig;
 pub use costs::CostModel;
+pub use event::{EventHeap, EventId, Scheduled};
 pub use fault::{FaultDecision, FaultPlan, FaultSite, FaultSpec};
 pub use hist::Histogram;
 pub use json::{Json, ToJson};

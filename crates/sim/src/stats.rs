@@ -157,6 +157,10 @@ stats_impl! {
     driver_cached_rx: inc_driver_cached_rx,
     /// PDUs received into the uncached fallback pool by the Osiris driver.
     driver_uncached_rx: inc_driver_uncached_rx,
+    /// Transfers dropped because a domain actor's bounded inbox was full
+    /// (the event-loop engine's explicit `Overload` outcome; always zero
+    /// under the recursive/direct engine and under drained pipelines).
+    overload_drops: inc_overload_drops,
 }
 
 /// Shared operation counters.

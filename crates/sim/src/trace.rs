@@ -20,7 +20,7 @@
 //! small trace window without unbounded memory. [`Tracer::chrome_trace`]
 //! exports the ring in Chrome `trace_event` JSON (load it in
 //! `about://tracing` or Perfetto); [`Tracer::events`] hands the raw ring
-//! to the replay auditor in [`crate::audit`].
+//! to the replay auditor in [`mod@crate::audit`].
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -78,6 +78,15 @@ pub enum EventKind {
     UnmapRange,
     /// A batched `protect_range` changed `pages` pages' protection.
     ProtectRange,
+    /// A transfer event was enqueued into a domain actor's inbox
+    /// (`dom` = poster, `peer` = destination actor).
+    Enqueue,
+    /// A domain actor dequeued an inbox event for processing (`dom` =
+    /// the actor, `peer` = original poster; `dur` = queueing delay).
+    Dequeue,
+    /// An enqueue was refused because the destination actor's bounded
+    /// inbox was full — the transfer was dropped, not recursed into.
+    Overload,
 }
 
 impl EventKind {
@@ -102,6 +111,9 @@ impl EventKind {
             EventKind::MapRange => "MapRange",
             EventKind::UnmapRange => "UnmapRange",
             EventKind::ProtectRange => "ProtectRange",
+            EventKind::Enqueue => "Enqueue",
+            EventKind::Dequeue => "Dequeue",
+            EventKind::Overload => "Overload",
         }
     }
 }

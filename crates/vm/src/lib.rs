@@ -21,6 +21,10 @@
 //! mechanisms over this substrate — bounded copy, DASH-style page remapping,
 //! and Mach-style lazy copy-on-write — which Table 1 and Figure 3 compare
 //! against fbufs.
+//!
+//! Design notes: `DESIGN.md` §2 (the hardware the paper ran on and what
+//! this substrate substitutes for each piece) and §4 (the full system
+//! inventory, module by module).
 
 pub mod facility;
 pub mod machine;

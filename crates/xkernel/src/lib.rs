@@ -21,8 +21,12 @@
 //! [`generator`] implements the §5.2 application interface: retrieving
 //! application-defined data units from an aggregate with copies only at
 //! fragment boundaries. [`proxy`] moves messages across domains, charging
-//! IPC and using the configured transfer regime. [`refs::MsgRefs`] gives
-//! messages x-kernel reference-counting semantics per domain.
+//! IPC and using the configured transfer regime — its hops route through
+//! the event-loop transfer engine (`fbuf::engine`). [`refs::MsgRefs`]
+//! gives messages x-kernel reference-counting semantics per domain.
+//!
+//! Design notes: `DESIGN.md` §4 (aggregate machinery in the system
+//! inventory) and §12 (how proxy hops are scheduled).
 
 pub mod generator;
 pub mod graph;

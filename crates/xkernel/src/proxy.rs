@@ -25,7 +25,7 @@ pub fn deliver(
     to: DomainId,
     mode: SendMode,
 ) -> FbufResult<()> {
-    fbs.rpc_mut().call(from, to);
+    fbs.hop(from, to);
     for id in msg.distinct_fbufs() {
         fbs.send(id, from, to, mode)?;
     }
@@ -45,7 +45,7 @@ pub fn deliver_integrated(
     mode: SendMode,
     limits: TraverseLimits,
 ) -> FbufResult<()> {
-    fbs.rpc_mut().call(from, to);
+    fbs.hop(from, to);
     for id in integrated::reachable_fbufs(fbs, from, msg, limits)? {
         fbs.send(id, from, to, mode)?;
     }

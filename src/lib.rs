@@ -1,8 +1,17 @@
 //! Umbrella crate for the fbufs reproduction.
 //!
 //! Re-exports the workspace crates so examples and integration tests can
-//! use one coherent namespace. See `README.md` for a tour and `DESIGN.md`
-//! for the system inventory.
+//! use one coherent namespace.
+//!
+//! Where to read more:
+//!
+//! * `README.md` — tour, build/repro commands, report schema;
+//! * `DESIGN.md` — the system inventory (§4), experiment index (§5),
+//!   calibration (§6), observability (§8), hot paths (§9), sharding
+//!   (§10), fault injection and the lockstep model (§11), and the
+//!   event-loop transfer engine (§12);
+//! * `EXPERIMENTS.md` — paper-vs-measured results and the command
+//!   matrix for regenerating every artifact.
 
 pub use fbuf;
 pub use fbuf_ipc as ipc;

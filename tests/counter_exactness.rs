@@ -7,9 +7,13 @@
 //! list and the path with **zero** page table updates and **zero**
 //! security page clears; every allocation is a cache hit.
 
-use fbufs::net::{LoopbackConfig, LoopbackStack};
+use fbufs::fbuf::{AllocMode, FbufSystem, SendMode, TransferMode};
+use fbufs::net::{DomainSetup, EndToEnd, EndToEndConfig, LoopbackConfig, LoopbackStack};
 use fbufs::sim::{audit_tracer, EventKind, MachineConfig};
 use fbufs::vm::{Machine, Prot};
+use fbufs::xkernel::integrated::{self, DagBuilder, TraverseLimits};
+use fbufs::xkernel::proxy::deliver_integrated;
+use fbufs::xkernel::{deliver, Msg, MsgRefs};
 
 fn machine() -> MachineConfig {
     let mut cfg = MachineConfig::decstation_5000_200();
@@ -155,6 +159,169 @@ fn batched_range_ops_charge_identically_to_per_page_loops() {
     // The workload is non-trivial: it really exercised the counters.
     assert!(s_page.pte_updates >= 20);
     assert!(s_page.tlb_flushes >= 8);
+}
+
+// ---------------------------------------------------------------------
+// Event-loop engine exactness: replacing the synchronous depth-first
+// descent with enqueue → dequeue → handler → completion must not move a
+// single simulated nanosecond or counter on any existing workload. Each
+// test below runs the same workload under TransferMode::DirectCall (the
+// old inline descent) and TransferMode::EventLoop (hops as scheduled
+// events) and requires byte-identical (clock, full counter snapshot).
+// ---------------------------------------------------------------------
+
+#[test]
+fn event_loop_is_counter_exact_on_cached_loopback() {
+    let run = |mode: TransferMode| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+        s.fbs.set_transfer_mode(mode);
+        for _ in 0..6 {
+            s.send_message(16 << 10, false).unwrap();
+        }
+        (s.fbs.machine().now(), s.fbs.stats().snapshot(), s)
+    };
+    let (t_d, s_d, _) = run(TransferMode::DirectCall);
+    let (t_e, s_e, sys) = run(TransferMode::EventLoop);
+    assert_eq!(t_d, t_e, "simulated clock must match exactly");
+    assert_eq!(s_d, s_e, "counter snapshot must match exactly");
+    // The event engine really ran: every hop was measured, all with zero
+    // queueing delay (sequential workloads drain between hops).
+    let h = sys.fbs.queue_delay();
+    assert!(h.count() > 0, "hops flowed through the loop");
+    assert_eq!(h.max(), 0, "a drained pipeline queues nothing");
+    assert_eq!(s_e.overload_drops, 0);
+}
+
+#[test]
+fn event_loop_is_counter_exact_on_uncached_loopback() {
+    let run = |mode: TransferMode| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, false));
+        s.fbs.set_transfer_mode(mode);
+        for _ in 0..4 {
+            s.send_message(16 << 10, false).unwrap();
+        }
+        (s.fbs.machine().now(), s.fbs.stats().snapshot())
+    };
+    assert_eq!(run(TransferMode::DirectCall), run(TransferMode::EventLoop));
+}
+
+#[test]
+fn event_loop_is_counter_exact_on_osiris_end_to_end() {
+    let run = |mode: TransferMode| {
+        let mut cfg = machine();
+        cfg.phys_mem = 16 << 20;
+        let mut e = EndToEnd::new(cfg, EndToEndConfig::fig5(DomainSetup::User));
+        e.tx.fbs.set_transfer_mode(mode);
+        e.rx.fbs.set_transfer_mode(mode);
+        for _ in 0..3 {
+            e.send_message(50_000, 1, true).unwrap();
+        }
+        (
+            e.tx.fbs.machine().now(),
+            e.rx.fbs.machine().now(),
+            e.tx.fbs.stats().snapshot(),
+            e.rx.fbs.stats().snapshot(),
+        )
+    };
+    assert_eq!(run(TransferMode::DirectCall), run(TransferMode::EventLoop));
+}
+
+#[test]
+fn event_loop_is_counter_exact_on_proxy_graph_chain() {
+    // The x-kernel proxy path: multi-fbuf messages forwarded down a
+    // three-domain protocol chain, secured at the boundary, then freed.
+    let run = |mode: TransferMode| {
+        let mut fbs = FbufSystem::new(machine());
+        fbs.set_transfer_mode(mode);
+        let producer = fbs.create_domain();
+        let middle = fbs.create_domain();
+        let consumer = fbs.create_domain();
+        let path = fbs.create_path(vec![producer, middle, consumer]).unwrap();
+        let mut refs = MsgRefs::new();
+        for round in 0..4u8 {
+            let a = fbs
+                .alloc(producer, AllocMode::Cached(path), 4096)
+                .unwrap();
+            let b = fbs.alloc(producer, AllocMode::Uncached, 8192).unwrap();
+            fbs.write_fbuf(producer, a, 0, &[round; 16]).unwrap();
+            fbs.write_fbuf(producer, b, 0, &[round; 16]).unwrap();
+            let msg = Msg::from_fbuf(a, 0, 4096).concat(&Msg::from_fbuf(b, 0, 8192));
+            refs.adopt(producer, &msg);
+            deliver(&mut fbs, &mut refs, &msg, producer, middle, SendMode::Volatile).unwrap();
+            deliver(&mut fbs, &mut refs, &msg, middle, consumer, SendMode::Secure).unwrap();
+            refs.release(&mut fbs, consumer, &msg).unwrap();
+            refs.release(&mut fbs, middle, &msg).unwrap();
+            refs.release(&mut fbs, producer, &msg).unwrap();
+        }
+        (fbs.machine().now(), fbs.stats().snapshot())
+    };
+    assert_eq!(run(TransferMode::DirectCall), run(TransferMode::EventLoop));
+}
+
+#[test]
+fn event_loop_is_counter_exact_on_integrated_aggregates() {
+    // The integrated-aggregate path: one RPC carries only a root pointer;
+    // the kernel walks the DAG and transfers every reachable fbuf.
+    let run = |mode: TransferMode| {
+        let mut fbs = FbufSystem::new(machine());
+        fbs.set_transfer_mode(mode);
+        integrated::install_null_template(&mut fbs);
+        let a = fbs.create_domain();
+        let b = fbs.create_domain();
+        for _ in 0..3 {
+            let data = fbs.alloc(a, AllocMode::Uncached, 8192).unwrap();
+            fbs.write_fbuf(a, data, 0, b"hello ").unwrap();
+            fbs.write_fbuf(a, data, 4096, b"world").unwrap();
+            let va = fbs.fbuf(data).unwrap().va;
+            let mut builder = DagBuilder::new(&mut fbs, a, AllocMode::Uncached, 8).unwrap();
+            let l1 = builder.leaf(&mut fbs, va, 6).unwrap();
+            let l2 = builder.leaf(&mut fbs, va + 4096, 5).unwrap();
+            let root = builder.concat(&mut fbs, l1, l2).unwrap();
+            let msg = integrated::IntegratedMsg { root };
+            deliver_integrated(&mut fbs, msg, a, b, SendMode::Volatile, TraverseLimits::default())
+                .unwrap();
+            let got = integrated::gather(&mut fbs, b, msg, TraverseLimits::default()).unwrap();
+            assert_eq!(got, b"hello world");
+        }
+        (fbs.machine().now(), fbs.stats().snapshot())
+    };
+    assert_eq!(run(TransferMode::DirectCall), run(TransferMode::EventLoop));
+}
+
+#[test]
+fn overload_is_explicit_counted_and_audited() {
+    // A full bounded inbox yields the explicit Overload outcome — never
+    // silent growth, never recursion. The drop is counted in the stats
+    // and traced, and the trace still audits clean (rule 5: an Overload
+    // leaves inbox balance untouched).
+    let mut fbs = FbufSystem::new(machine());
+    let tracer = fbs.machine().tracer();
+    tracer.set_enabled(true);
+    fbs.set_inbox_depth(1);
+    let a = fbs.create_domain();
+    let route = vec![fbufs::vm::KERNEL_DOMAIN, a];
+    let path = fbs.create_path(route.clone()).unwrap();
+
+    let b1 = fbs
+        .alloc(fbufs::vm::KERNEL_DOMAIN, AllocMode::Cached(path), 4096)
+        .unwrap();
+    let b2 = fbs
+        .alloc(fbufs::vm::KERNEL_DOMAIN, AllocMode::Cached(path), 4096)
+        .unwrap();
+    assert!(!fbs.submit_transfer(b1, &route).is_overload());
+    assert!(
+        fbs.submit_transfer(b2, &route).is_overload(),
+        "depth-1 inbox refuses the second transfer"
+    );
+    assert_eq!(fbs.stats().overload_drops(), 1);
+    assert_eq!(fbs.engine_overloads(), 1);
+    assert_eq!(tracer.count_of(EventKind::Overload), 1);
+
+    fbs.pump();
+    assert_eq!(fbs.transfers_completed(), 1);
+    // The refused transfer never started: its buffer is still ours.
+    fbs.free(b2, fbufs::vm::KERNEL_DOMAIN).unwrap();
+    audit_tracer(&tracer).assert_clean();
 }
 
 #[test]
