@@ -31,12 +31,21 @@ FBUF_TRACE_MSGS=4 FBUF_TRACE_SIZE=8192 FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-trace
 test -s target/bench-reports/TRACE_loopback.json
 
+# Ledger smoke: a small fleet run must render the per-tenant table and
+# conserve — summed tenant bytes/transfers/IPC calls must reproduce the
+# fleet's whole-life counters exactly (fbuf-ledger exits nonzero
+# otherwise). The artifact feeds the --check pass below.
+FBUF_LEDGER_SHARDS=2 FBUF_LEDGER_CYCLES=2000 FBUF_BENCH_DIR=target/bench-reports \
+    cargo run --release -q -p fbuf-bench --bin fbuf-ledger
+test -s target/bench-reports/LEDGER_fleet.json
+
 # Stress smoke test, single- and multi-shard: a small fixed op budget
 # must hold the §3.2.2 steady-state invariants *per shard* (fbuf-stress
 # exits nonzero otherwise), drive cross-shard payloads over the SPSC
 # rings at 2 threads, and write a report with a well-formed scaling
 # curve; --check then re-parses every BENCH_*.json in the report
-# directory for host + repro blocks and scaling-curve sanity.
+# directory for host + repro + telemetry blocks and scaling-curve
+# sanity, and every LEDGER_*.json for schema and conservation.
 FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=4 FBUF_STRESS_THREADS=1,2 \
     FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-stress
@@ -44,10 +53,12 @@ cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-r
 
 # Queueing smoke: an offered-load sweep through the event-loop engine
 # must conserve transfers at every point (completed + aborted == offered),
-# show zero queueing delay in the drained burst-1 regime, build real
+# show zero queueing delay in the drained burst-1 regime (enforced twice:
+# the built-in invariant plus the explicit SLO gate below), build real
 # delay under load, and refuse work explicitly once a burst exceeds the
 # bounded inbox depth (fbuf-queue exits nonzero on any violation).
 FBUF_QUEUE_TRANSFERS=128 FBUF_QUEUE_BURSTS=1,4,16 FBUF_QUEUE_DEPTH=8 \
+    FBUF_QUEUE_SLO_P99_NS=0 \
     FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-queue
 

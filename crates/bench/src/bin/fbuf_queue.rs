@@ -32,6 +32,10 @@
 //! * `FBUF_QUEUE_DEPTH`     — bounded inbox depth (default 64; sweep
 //!   points past it show explicit overload);
 //! * `FBUF_QUEUE_PAGES`     — pages per fbuf (default 1);
+//! * `FBUF_QUEUE_SLO_P99_NS` — p99 per-hop queueing-delay SLO for the
+//!   drained (burst 1) regime, in simulated ns; the run fails if the
+//!   drained p99 exceeds it (a regression tripwire: queueing leaking
+//!   into the sequential path shows up here first);
 //! * `FBUF_BENCH_DIR`       — report directory (default
 //!   `target/bench-reports`).
 
@@ -144,6 +148,45 @@ fn main() -> ExitCode {
     }
     let host_ns = host_t0.elapsed().as_nanos().max(1) as u64;
 
+    // Where the heaviest point's transfer time went, per causal span.
+    if let Some((burst, r)) = points.last() {
+        println!(
+            "span stages at burst {burst}: {} spans, queueing p50/p99 {}/{} ns, service p50/p99 {}/{} ns",
+            r.spans.spans,
+            r.spans.queueing.p50(),
+            r.spans.queueing.p99(),
+            r.spans.service.p50(),
+            r.spans.service.p99(),
+        );
+    }
+
+    // Optional SLO gate on the drained regime's tail: with one transfer
+    // in flight, per-hop queueing delay must stay within the threshold.
+    if let Ok(raw) = std::env::var("FBUF_QUEUE_SLO_P99_NS") {
+        match raw.trim().parse::<u64>() {
+            Ok(slo) => {
+                let Some((_, drained)) = points.iter().find(|(b, _)| *b == 1) else {
+                    eprintln!(
+                        "fbuf-queue FAILED: FBUF_QUEUE_SLO_P99_NS set, but the sweep has no burst-1 (drained) point"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                let p99 = drained.queue_delay.p99();
+                if p99 > slo {
+                    eprintln!(
+                        "fbuf-queue FAILED: drained p99 queueing delay {p99} ns exceeds the SLO of {slo} ns"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("SLO: drained p99 queueing delay {p99} ns <= {slo} ns");
+            }
+            Err(_) => {
+                eprintln!("fbuf-queue FAILED: FBUF_QUEUE_SLO_P99_NS={raw} is not a number");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     // Queueing delay must actually respond to offered load: the largest
     // burst waits strictly longer at the tail than the drained regime.
     if bursts.len() > 1 {
@@ -179,6 +222,11 @@ fn main() -> ExitCode {
         });
     }
     runner.host_throughput("transfers_completed", total_completed, host_ns, None);
+    // The highest-load point's telemetry (inbox depths, pending events,
+    // overload drops over simulated time) is the interesting one.
+    if let Some((_, r)) = points.last() {
+        runner.telemetry(fbuf_sim::metrics::DEFAULT_CADENCE_NS, &r.telemetry);
+    }
     let sweep: Vec<Json> = points
         .iter()
         .map(|(burst, r)| {
@@ -198,6 +246,18 @@ fn main() -> ExitCode {
         })
         .collect();
     runner.artifact("sweep", Json::Arr(sweep));
+    // Where each point's transfer time went, stage by stage (spans
+    // reconstructed from the engine's causal trace — DESIGN.md §13).
+    let stages: Vec<Json> = points
+        .iter()
+        .map(|(burst, r)| {
+            Json::obj(vec![
+                ("burst", (*burst as u64).to_json()),
+                ("decomposition", r.spans.to_json()),
+            ])
+        })
+        .collect();
+    runner.artifact("span_stages", Json::Arr(stages));
 
     match runner.finish() {
         Ok(path) => {

@@ -39,16 +39,21 @@
 //!
 //! Check mode: `fbuf-stress --check <dir>` validates every `BENCH_*.json`
 //! in `<dir>` with the in-repo parser and fails unless each carries a
-//! `host` block **and** a `repro` header (seed, thread count, workload
-//! params); any `host.scaling` block must be well-formed (strictly
+//! `host` block, a `repro` header (seed, thread count, workload params),
+//! **and** a `telemetry` block (positive cadence, well-formed time-ordered
+//! series); any `host.scaling` block must be well-formed (strictly
 //! increasing thread counts, positive ops/sec, efficiency in (0, 1.05]),
-//! and the stress report itself must carry a non-empty one.
+//! and the stress report itself must carry a non-empty one. `LEDGER_*.json`
+//! artifacts (written by `fbuf-ledger`) are validated too: tables present
+//! and the embedded conservation check clean.
 
 use std::process::ExitCode;
 
-use fbuf::shard::{fleet_snapshot, run_fleet, FleetConfig, ShardReport};
+use fbuf::shard::{
+    fleet_ledger, fleet_snapshot, fleet_telemetry, run_fleet, FleetConfig, ShardReport,
+};
 use fbuf_sim::bench::{BenchRunner, ScalingPoint, Unit};
-use fbuf_sim::{Json, MachineConfig, Ns, ToJson};
+use fbuf_sim::{metrics, Json, MachineConfig, Ns, ToJson};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -127,6 +132,11 @@ fn run_at(threads: usize, machine: &MachineConfig, paths: usize, pages: u64, cyc
         cross_every,
         channel_capacity: 16,
         trace: false,
+        // Telemetry rides along: sampling is cadence-gated on simulated
+        // time and never touches the counters the steady-state
+        // invariant asserts (it does cost a little host time, uniformly
+        // across thread counts).
+        metrics: true,
         fault: None,
     };
     let reports = run_fleet(&cfg);
@@ -206,6 +216,77 @@ fn check_scaling(name: &str, doc: &Json, required: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the `telemetry` block every report must carry: a positive
+/// sampling cadence and a (possibly empty) series array whose entries
+/// each name a gauge and hold `[t, v]` points with non-decreasing
+/// timestamps.
+fn check_telemetry(name: &str, doc: &Json) -> Result<(), String> {
+    let tel = doc
+        .get("telemetry")
+        .ok_or(format!("{name}: missing `telemetry` block"))?;
+    let cadence = tel
+        .get("cadence_ns")
+        .and_then(|v| v.as_f64())
+        .ok_or(format!("{name}: `telemetry.cadence_ns` is not a number"))?;
+    if cadence <= 0.0 {
+        return Err(format!("{name}: telemetry cadence {cadence} (want > 0)"));
+    }
+    let series = tel
+        .get("series")
+        .and_then(|s| s.as_arr().map(<[Json]>::to_vec))
+        .ok_or(format!("{name}: `telemetry.series` is not an array"))?;
+    for s in &series {
+        let sname = s
+            .get("name")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .ok_or(format!("{name}: a telemetry series lacks a name"))?;
+        let points = s
+            .get("points")
+            .and_then(|p| p.as_arr().map(<[Json]>::to_vec))
+            .ok_or(format!("{name}: series {sname} lacks points"))?;
+        let mut prev = f64::NEG_INFINITY;
+        for (i, p) in points.iter().enumerate() {
+            let t = p
+                .as_arr()
+                .and_then(|pair| pair.first())
+                .and_then(|v| v.as_f64())
+                .ok_or(format!("{name}: series {sname} point {i} lacks a timestamp"))?;
+            if t < prev {
+                return Err(format!(
+                    "{name}: series {sname} timestamps go backwards at point {i}"
+                ));
+            }
+            prev = t;
+        }
+    }
+    Ok(())
+}
+
+/// Validates one `LEDGER_*.json` artifact: it must parse, carry the
+/// domain/path tables with totals, and declare conservation against the
+/// counters it embeds (an empty `conservation.violations` array).
+fn check_ledger(name: &str, doc: &Json) -> Result<(), String> {
+    let ledger = doc.get("ledger").ok_or(format!("{name}: missing `ledger`"))?;
+    for key in ["domains", "paths", "totals"] {
+        if ledger.get(key).is_none() {
+            return Err(format!("{name}: `ledger.{key}` missing"));
+        }
+    }
+    doc.get("counters")
+        .ok_or(format!("{name}: missing `counters` snapshot"))?;
+    let violations = doc
+        .get("conservation")
+        .and_then(|c| c.get("violations"))
+        .and_then(|v| v.as_arr().map(<[Json]>::len))
+        .ok_or(format!("{name}: missing `conservation.violations`"))?;
+    if violations > 0 {
+        return Err(format!(
+            "{name}: ledger does not conserve its counters ({violations} violation(s))"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates the `repro` header every report must carry: a numeric seed,
 /// a thread count of at least 1, and a params object.
 fn check_repro(name: &str, doc: &Json) -> Result<(), String> {
@@ -236,7 +317,9 @@ fn check_reports(dir: &str) -> Result<usize, String> {
     for entry in entries {
         let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
         let name = entry.file_name().to_string_lossy().into_owned();
-        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+        let is_bench = name.starts_with("BENCH_") && name.ends_with(".json");
+        let is_ledger = name.starts_with("LEDGER_") && name.ends_with(".json");
+        if !is_bench && !is_ledger {
             continue;
         }
         let path = entry.path();
@@ -244,12 +327,18 @@ fn check_reports(dir: &str) -> Result<usize, String> {
             .map_err(|e| format!("read {}: {e}", path.display()))?;
         let doc = Json::parse(&text)
             .map_err(|e| format!("{name}: JSON parse failed: {e:?}"))?;
+        if name.starts_with("LEDGER_") {
+            check_ledger(&name, &doc)?;
+            checked += 1;
+            continue;
+        }
         let host = doc.get("host").ok_or(format!("{name}: missing `host` block"))?;
         host.get("timebase")
             .and_then(|t| t.as_str())
             .filter(|&t| t == "wall_clock_ns")
             .ok_or(format!("{name}: `host.timebase` is not wall_clock_ns"))?;
         check_repro(&name, &doc)?;
+        check_telemetry(&name, &doc)?;
         check_scaling(&name, &doc, name == "BENCH_stress.json")?;
         checked += 1;
     }
@@ -266,7 +355,7 @@ fn main() -> ExitCode {
         return match check_reports(dir) {
             Ok(n) => {
                 println!(
-                    "fbuf-stress --check: {n} report(s) in {dir} parse, carry host + repro blocks, scaling curves well-formed"
+                    "fbuf-stress --check: {n} report(s) in {dir} parse, carry host + repro + telemetry blocks, scaling curves well-formed, ledgers conserved"
                 );
                 ExitCode::SUCCESS
             }
@@ -380,6 +469,8 @@ fn main() -> ExitCode {
     // One coherent fleet snapshot: the counter merge of the largest run.
     let widest = runs.last().expect("at least one run");
     runner.counters(&fleet_snapshot(&widest.reports));
+    runner.telemetry(metrics::DEFAULT_CADENCE_NS, &fleet_telemetry(&widest.reports));
+    runner.artifact("ledger", fleet_ledger(&widest.reports).to_json());
     let per_run: Vec<Json> = runs
         .iter()
         .map(|run| {

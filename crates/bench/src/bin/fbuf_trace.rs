@@ -66,10 +66,21 @@ fn main() -> ExitCode {
     // are keyed the same way (None = uncached / pathless).
     let events = tracer.events();
     println!(
-        "\n{:<10} {:>9} {:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
-        "path", "transfers", "hits", "misses", "alloc_p50", "alloc_p99", "xfer_p50", "xfer_p99"
+        "\n{:<10} {:>9} {:>6} {:>8} {:>6} {:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "path", "transfers", "hits", "misses", "enq", "deq", "ovl", "alloc_p50", "alloc_p99",
+        "xfer_p50", "xfer_p99"
     );
-    for key in tracer.latency_paths() {
+    // Rows: every path with a latency histogram, plus any key that only
+    // appears on queue events (hop events are pathless, so the queue
+    // audit trail lands on the "-" row).
+    let mut keys = tracer.latency_paths();
+    for e in &events {
+        if !keys.contains(&e.path) {
+            keys.push(e.path);
+        }
+    }
+    keys.sort_unstable();
+    for key in keys {
         let count = |kind: EventKind| {
             events
                 .iter()
@@ -82,16 +93,26 @@ fn main() -> ExitCode {
                 .map_or_else(|| "-".to_string(), |h| format!("{:.1}us", pick(&h) as f64 / 1_000.0))
         };
         println!(
-            "{:<10} {:>9} {:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "{:<10} {:>9} {:>6} {:>8} {:>6} {:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
             label,
             count(EventKind::Transfer),
             count(EventKind::CacheHit),
             count(EventKind::CacheMiss),
+            count(EventKind::Enqueue),
+            count(EventKind::Dequeue),
+            count(EventKind::Overload),
             fmt(tracer.alloc_latency(key), |h| h.p50()),
             fmt(tracer.alloc_latency(key), |h| h.p99()),
             fmt(tracer.transfer_latency(key), |h| h.p50()),
             fmt(tracer.transfer_latency(key), |h| h.p99()),
         );
+    }
+    let total_ovl = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Overload)
+        .count();
+    if total_ovl > 0 {
+        println!("overload drops in trace: {total_ovl} (see the ovl column for the per-path split)");
     }
     println!("\ncounter deltas over the measured section:\n{delta}");
 
@@ -104,9 +125,14 @@ fn main() -> ExitCode {
         }
         return ExitCode::FAILURE;
     }
+    // Non-fatal caveats: an overflowed ring truncates histograms and
+    // makes the lifecycle replay incomplete — say so loudly.
+    for w in &report.warnings {
+        println!("audit WARNING: {w}");
+    }
     println!(
-        "audit: clean ({} events, {} fbufs tracked, complete={})",
-        report.events, report.fbufs_tracked, report.complete
+        "audit: clean ({} events, {} fbufs tracked, complete={}, {} dropped)",
+        report.events, report.fbufs_tracked, report.complete, report.dropped
     );
 
     // Export, then prove the artifact parses with the in-repo parser and
@@ -145,6 +171,10 @@ fn main() -> ExitCode {
             eprintln!("fbuf-trace: trace is missing required event kind {required}");
             return ExitCode::FAILURE;
         }
+    }
+    if parsed.get("dropped_events").and_then(Json::as_f64).is_none() {
+        eprintln!("fbuf-trace: trace is missing the dropped_events counter");
+        return ExitCode::FAILURE;
     }
     println!("wrote {} ({} events)", path.display(), names.len());
     ExitCode::SUCCESS

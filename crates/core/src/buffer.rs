@@ -1,5 +1,6 @@
 //! The fbuf object itself.
 
+use fbuf_sim::Ns;
 use fbuf_vm::{DomainId, FrameId};
 
 use crate::path::PathId;
@@ -58,6 +59,10 @@ pub struct Fbuf {
     /// Whether the fbuf is currently linked into the system's parked
     /// (reclaimable) list.
     pub park_linked: bool,
+    /// Simulated instant this incarnation was handed out by the
+    /// allocator (re-stamped on every cache reuse); the ledger's
+    /// buffer-hold time is measured from here to the last release.
+    pub born: Ns,
 }
 
 impl Fbuf {
@@ -108,6 +113,7 @@ mod tests {
             park_prev: None,
             park_next: None,
             park_linked: false,
+            born: Ns(0),
         }
     }
 

@@ -72,6 +72,12 @@ pub enum HopMsg {
         route: Vec<DomainId>,
         /// Index of this hop within `route`.
         leg: usize,
+        /// The transfer's causal span, minted by
+        /// [`FbufSystem::submit_transfer`] and carried on every leg (the
+        /// event loop also stamps it into each envelope, so every
+        /// Enqueue/Dequeue/HopService record the transfer produces is
+        /// tagged with it).
+        span: u64,
     },
     /// Explicit completion, posted back to the originator after the final
     /// leg's frees. Charges nothing; counted on dequeue.
@@ -150,15 +156,27 @@ impl FbufSystem {
     /// never started and the caller still owns `fbuf`.
     pub fn submit_transfer(&mut self, fbuf: FbufId, route: &[DomainId]) -> SendOutcome {
         assert!(route.len() >= 2, "a transfer needs at least one hop");
+        let span = self.mint_span();
+        let path = self.fbuf_path_raw(fbuf);
+        let tracer = self.machine().tracer();
+        tracer.span_start(span, route[0].0, path, Some(fbuf.0));
         let msg = HopMsg::Transfer {
             fbuf,
             route: route.to_vec(),
             leg: 0,
+            span,
         };
-        self.engine
+        // The ambient span makes the first leg's Enqueue (and an
+        // Overload refusal) attributable to this transfer; the envelope
+        // then carries it hop to hop.
+        let prev = tracer.set_current_span(Some(span));
+        let outcome = self
+            .engine
             .as_mut()
             .expect("engine present")
-            .post(route[0], route[1], msg)
+            .post_on(route[0], route[1], path, msg);
+        tracer.set_current_span(prev);
+        outcome
     }
 
     /// Drains the event loop to empty, servicing every pending hop; no-op
@@ -225,7 +243,21 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
             let drained = sys.rpc_mut().call(env.from, env.to);
             sys.hop_notices.extend(drained);
         }
-        HopMsg::Transfer { fbuf, route, leg } => {
+        HopMsg::Transfer {
+            fbuf,
+            route,
+            leg,
+            span,
+        } => {
+            // The loop restored the envelope's span around this handler,
+            // so it must agree with the one the message carries.
+            debug_assert_eq!(
+                sys.machine().tracer_ref().current_span().or(Some(span)),
+                Some(span),
+                "envelope span and message span diverged"
+            );
+            let t0 = sys.machine().now();
+            let path = sys.fbuf_path_raw(fbuf);
             sys.rpc_mut().call(env.from, env.to);
             if let Err(e) = sys.send(fbuf, env.from, env.to, SendMode::Volatile) {
                 sys.engine_error.get_or_insert(e);
@@ -238,8 +270,9 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
                     fbuf,
                     route: route.clone(),
                     leg: leg + 1,
+                    span,
                 };
-                if evl.post(nf, nt, msg).is_overload() {
+                if evl.post_on(nf, nt, path, msg).is_overload() {
                     // The next inbox refused the leg: abort the transfer,
                     // releasing every reference taken so far, receiver
                     // back to originator.
@@ -262,12 +295,18 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
                 // for completions; if a caller engineers one anyway, the
                 // completion is counted inline rather than lost.
                 if evl
-                    .post(from, origin, HopMsg::Complete { fbuf: fbuf.0 })
+                    .post_on(from, origin, path, HopMsg::Complete { fbuf: fbuf.0 })
                     .is_overload()
                 {
                     sys.xfer_completed += 1;
                 }
             }
+            // Everything this hop charged between t0 and now is its
+            // service stage in the span's critical-path decomposition.
+            sys.machine()
+                .tracer_ref()
+                .span(t0, fbuf_sim::EventKind::HopService, env.to.0, path, Some(fbuf.0));
+            sys.sample_metrics();
         }
         HopMsg::Complete { .. } => {
             sys.xfer_completed += 1;
@@ -323,6 +362,13 @@ pub struct QueueReport {
     pub elapsed: Ns,
     /// Payload bytes successfully delivered end to end.
     pub bytes_delivered: u64,
+    /// Telemetry series sampled over the run (the engine's gauges on
+    /// the default cadence).
+    pub telemetry: Vec<fbuf_sim::metrics::SeriesSnapshot>,
+    /// Critical-path decomposition of the run's transfer spans:
+    /// queueing vs. service time per hop (ring-crossing is empty on a
+    /// single-shard run).
+    pub spans: fbuf_sim::spans::StageDecomposition,
 }
 
 /// Runs the offered-load queueing workload on a fresh system: allocates
@@ -338,6 +384,10 @@ pub fn run_offered_load(cfg: &QueueConfig) -> FbufResult<QueueReport> {
     let mut sys = FbufSystem::new(MachineConfig::decstation_5000_200());
     sys.set_transfer_mode(TransferMode::EventLoop);
     sys.set_inbox_depth(cfg.inbox_depth);
+    // Telemetry and span tracing ride along: neither ever charges the
+    // simulated clock, so the measured times are unchanged.
+    sys.machine().metrics_ref().set_enabled(true);
+    sys.machine().tracer().set_enabled(true);
 
     let mut route = vec![fbuf_vm::KERNEL_DOMAIN];
     for _ in 0..cfg.hops {
@@ -377,6 +427,8 @@ pub fn run_offered_load(cfg: &QueueConfig) -> FbufResult<QueueReport> {
         queue_delay: sys.queue_delay(),
         elapsed: sys.machine().now() - t0,
         bytes_delivered: completed * len,
+        telemetry: sys.machine().metrics_ref().series(),
+        spans: fbuf_sim::spans::decompose(&sys.machine().tracer().events()),
     })
 }
 

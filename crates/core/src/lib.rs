@@ -34,8 +34,9 @@
 //!
 //! Design notes: `DESIGN.md` §1 (what the paper builds), §4 (system
 //! inventory), §9 (hot-path engineering: arenas, batched range ops),
-//! §10 (sharding model), and §12 (the event-loop engine and the fbuf
-//! lifecycle state machine).
+//! §10 (sharding model), §12 (the event-loop engine and the fbuf
+//! lifecycle state machine), and §13 (observability: transfer spans,
+//! telemetry, and the per-tenant [`ledger`]).
 //!
 //! # Examples
 //!
@@ -67,6 +68,7 @@
 pub mod buffer;
 pub mod engine;
 pub mod error;
+pub mod ledger;
 pub mod path;
 pub mod region;
 pub mod shard;
@@ -75,10 +77,11 @@ pub mod system;
 pub use buffer::{Fbuf, FbufId, FbufState};
 pub use engine::{run_offered_load, HopMsg, QueueConfig, QueueReport, TransferMode};
 pub use error::{FbufError, FbufResult};
+pub use ledger::{Ledger, TenantRow};
 pub use path::{DataPath, PathId};
 pub use region::ChunkAllocator;
 pub use shard::{
-    fleet_snapshot, fleet_trace, run_fleet, shard_of_path, CrossShardMsg, FleetConfig, Links,
-    Shard, ShardReport,
+    fleet_ledger, fleet_snapshot, fleet_telemetry, fleet_trace, run_fleet, shard_of_path,
+    CrossShardMsg, FleetConfig, Links, Shard, ShardReport,
 };
 pub use system::{AllocMode, FbufSystem, ReusePolicy, SendMode};

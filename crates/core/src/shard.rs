@@ -31,10 +31,12 @@ use std::collections::VecDeque;
 use std::sync::Barrier;
 use std::time::Instant;
 
+use fbuf_sim::metrics::{self, SeriesSnapshot};
 use fbuf_sim::spsc::{self, Consumer, Producer};
 use fbuf_sim::{trace, FaultSite, FaultSpec, MachineConfig, Ns, StatsSnapshot, TraceEvent};
 use fbuf_vm::DomainId;
 
+use crate::ledger::Ledger;
 use crate::{AllocMode, FbufId, FbufSystem, PathId, SendMode};
 
 /// Which shard owns a data path: paths are partitioned round-robin by
@@ -57,6 +59,14 @@ impl CrossShardMsg {
     /// Packs a token from a shard id and a per-shard sequence number.
     pub fn token_for(shard: usize, seq: u64) -> u64 {
         ((shard as u64) << 48) | (seq & 0xffff_ffff_ffff)
+    }
+
+    /// The span id a cross-shard token acts as. Tokens reuse the
+    /// shard-id high bits that span salts live in, so the top bit is
+    /// set to keep token-derived spans disjoint from every minted span
+    /// (salts are masked to 16 bits and never reach bit 63).
+    pub fn span_of_token(token: u64) -> u64 {
+        token | (1 << 63)
     }
 }
 
@@ -125,6 +135,10 @@ impl Shard {
     pub fn new(id: usize, cfg: MachineConfig, paths: usize, pages: u64) -> Shard {
         let len = pages.max(1) * cfg.page_size;
         let mut sys = FbufSystem::new(cfg);
+        // Distinct non-zero salts keep span ids fleet-unique after the
+        // rings are merged (and distinct from raw cross-shard tokens,
+        // whose high bits carry the shard id itself).
+        sys.set_span_salt(id as u64 + 1);
         let triple = |sys: &mut FbufSystem| {
             let originator = sys.create_domain();
             let netserver = sys.create_domain();
@@ -217,6 +231,13 @@ impl Shard {
         let t = self.egress;
         let token = CrossShardMsg::token_for(self.id, self.next_seq);
         self.next_seq += 1;
+        // The token doubles as the transfer's root span: the receiving
+        // shard links its child span to it, which is the only causal
+        // edge that survives the thread boundary (plain data, no Rc).
+        let span = CrossShardMsg::span_of_token(token);
+        let tracer = self.sys.machine().tracer();
+        tracer.span_start(span, t.originator.0, Some(t.path.0), None);
+        let prev = tracer.set_current_span(Some(span));
         let id = self
             .sys
             .alloc(t.originator, AllocMode::Cached(t.path), self.len)
@@ -248,6 +269,7 @@ impl Shard {
                 std::thread::yield_now();
             }
         }
+        tracer.set_current_span(prev);
         self.pending.push_back((token, id));
         self.sent += 1;
     }
@@ -260,8 +282,13 @@ impl Shard {
     /// messages and notices were processed.
     pub fn poll(&mut self, links: &mut Links) -> usize {
         let mut progressed = 0;
-        while let Some(msg) = links.data_rx.as_mut().and_then(Consumer::pop) {
-            self.ingest(msg, links);
+        while let Some((msg, occupancy)) = links.data_rx.as_mut().and_then(|rx| {
+            // Occupancy *behind* this message: how much backlog the ring
+            // still holds while we service it (a telemetry gauge and the
+            // `pages` field of the RingCross span record).
+            rx.pop().map(|msg| (msg, rx.len() as u64))
+        }) {
+            self.ingest(msg, links, occupancy);
             progressed += 1;
         }
         while let Some(token) = links.notice_rx.as_mut().and_then(Consumer::pop) {
@@ -283,8 +310,16 @@ impl Shard {
         self.pending.len()
     }
 
-    fn ingest(&mut self, msg: CrossShardMsg, links: &mut Links) {
+    fn ingest(&mut self, msg: CrossShardMsg, links: &mut Links, occupancy: u64) {
         let t = self.ingress;
+        // The receiver half of the cross-shard span tree: a child span
+        // minted here, linked to the sender's token-derived root, with
+        // the whole materialization (the ring-crossing stage) timed.
+        let child = self.sys.mint_span();
+        let tracer = self.sys.machine().tracer();
+        tracer.span_link(child, CrossShardMsg::span_of_token(msg.token), t.originator.0);
+        let prev = tracer.set_current_span(Some(child));
+        let t0 = self.sys.machine().now();
         let s = &mut self.sys;
         let id = s
             .alloc(t.originator, AllocMode::Cached(t.path), self.len)
@@ -309,6 +344,11 @@ impl Shard {
         s.free(id, t.netserver).expect("free netserver");
         s.free(id, t.originator).expect("free originator");
         self.received += 1;
+        // Everything charged since t0 is this transfer's ring-crossing
+        // stage (the sender's clock is independent, so receiver-side
+        // ingest cost is the honest cross-shard measure — DESIGN §13).
+        tracer.ring_cross(t0, t.originator.0, occupancy);
+        tracer.set_current_span(prev);
         let tx = links
             .notice_tx
             .as_mut()
@@ -328,6 +368,27 @@ impl Shard {
             // The sender drains notices every cycle; just wait for room.
             std::thread::yield_now();
         }
+    }
+
+    /// Takes a due telemetry sample: the system gauges plus this
+    /// shard's SPSC ring-occupancy gauges (`ring.out`/`ring.in` are the
+    /// data rings to the next and from the previous shard). One `Cell`
+    /// read when the sampler is disabled or not yet due.
+    pub fn sample_telemetry(&self, links: &Links) {
+        let now = self.sys.machine().now();
+        let m = self.sys.machine().metrics_ref();
+        if !m.due(now) {
+            return;
+        }
+        m.advance(now);
+        self.sys.sample_gauges_at(now);
+        if let Some(tx) = &links.data_tx {
+            m.sample(now, "ring.out", tx.len() as u64);
+        }
+        if let Some(rx) = &links.data_rx {
+            m.sample(now, "ring.in", rx.len() as u64);
+        }
+        m.sample(now, "egress_in_flight", self.pending.len() as u64);
     }
 
     /// Zeroes the measured-window activity counters (after warm-up).
@@ -360,6 +421,10 @@ pub struct FleetConfig {
     pub channel_capacity: usize,
     /// Enable each shard's tracer over the measured window.
     pub trace: bool,
+    /// Enable each shard's telemetry sampler ([`fbuf_sim::Metrics`])
+    /// over the measured window; the shard loop owns the cadence and
+    /// adds SPSC ring-occupancy gauges on top of the system gauges.
+    pub metrics: bool,
     /// Fault-injection spec, armed per shard (the per-shard seed is the
     /// spec seed xor the shard id, so shards draw distinct schedules).
     /// Under the fleet's expect-everything workload only backpressure
@@ -382,6 +447,7 @@ impl FleetConfig {
             cross_every: 64,
             channel_capacity: 16,
             trace: false,
+            metrics: false,
             fault: None,
         }
     }
@@ -409,12 +475,24 @@ pub struct ShardReport {
     pub fbuf_ops: u64,
     /// Counter delta over the measured window.
     pub delta: StatsSnapshot,
+    /// Whole-life counter snapshot (warm-up included) — what the
+    /// always-on ledger conserves against.
+    pub life: StatsSnapshot,
     /// Simulated time the measured window covered.
     pub sim_elapsed: Ns,
     /// Host wall-clock of the measured window (barrier-aligned start).
     pub host_ns: u64,
     /// The shard's trace ring (empty unless `FleetConfig::trace`).
     pub events: Vec<TraceEvent>,
+    /// Trace events the ring dropped because it wrapped (zero unless
+    /// tracing was on and the window outran the ring).
+    pub events_dropped: u64,
+    /// The shard's per-tenant accounting ledger over its whole life
+    /// (always on; fold fleet-wide with [`fleet_ledger`]).
+    pub ledger: Ledger,
+    /// The shard's telemetry series (empty unless
+    /// `FleetConfig::metrics`; fold fleet-wide with [`fleet_telemetry`]).
+    pub telemetry: Vec<SeriesSnapshot>,
     /// Faults injected into this shard over its whole life (zero unless
     /// `FleetConfig::fault` was set).
     pub faults_injected: u64,
@@ -468,6 +546,31 @@ pub fn fleet_trace(reports: &[ShardReport]) -> Vec<TraceEvent> {
     trace::merge_rings(&rings)
 }
 
+/// Folds every shard's ledger into one fleet ledger with fleet-unique
+/// tenant ids, using the same domain-offset scheme as [`fleet_trace`]
+/// (shard *i*'s paths are likewise offset by the sum of earlier shards'
+/// path-table lengths).
+pub fn fleet_ledger(reports: &[ShardReport]) -> Ledger {
+    let mut fleet = Ledger::new();
+    let (mut dom_base, mut path_base) = (0u32, 0u64);
+    for r in reports {
+        fleet.merge_offset(&r.ledger, dom_base, path_base);
+        dom_base += r.domains;
+        path_base += r.ledger.paths.len() as u64;
+    }
+    fleet
+}
+
+/// Merges every shard's telemetry series into one namespace-prefixed
+/// fleet set (`s0.live_fbufs`, `s1.live_fbufs`, …).
+pub fn fleet_telemetry(reports: &[ShardReport]) -> Vec<SeriesSnapshot> {
+    let shards: Vec<(u32, Vec<SeriesSnapshot>)> = reports
+        .iter()
+        .map(|r| (r.shard as u32, r.telemetry.clone()))
+        .collect();
+    metrics::merge_shards(&shards)
+}
+
 /// Everything one worker thread needs, bundled so it can be moved into
 /// the thread in one piece.
 struct ShardSpec {
@@ -479,6 +582,7 @@ struct ShardSpec {
     cross_every: u64,
     expected_rx: u64,
     trace: bool,
+    metrics: bool,
     fault: Option<FaultSpec>,
     links: Links,
 }
@@ -540,6 +644,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
             // Ring topology: shard `id` ingests what shard `id - 1` sends.
             expected_rx: sent_of[(id + n - 1) % n],
             trace: cfg.trace,
+            metrics: cfg.metrics,
             fault: cfg.fault.clone().map(|mut f| {
                 f.seed ^= id as u64;
                 f
@@ -573,12 +678,16 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         cross_every,
         expected_rx,
         trace,
+        metrics,
         fault,
         mut links,
     } = spec;
     let mut sh = Shard::new(id, machine, paths, pages);
     if trace {
         sh.sys.machine().tracer().set_enabled(true);
+    }
+    if metrics {
+        sh.sys.machine().metrics_ref().set_enabled(true);
     }
     if let Some(spec) = &fault {
         // The plan is built inside the thread, like everything else
@@ -617,6 +726,7 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         if cross_every > 0 && (i + 1) % cross_every == 0 {
             sh.egress(&mut links);
         }
+        sh.sample_telemetry(&links);
     }
     while sh.received < expected_rx || sh.in_flight() > 0 {
         if sh.poll(&mut links) == 0 {
@@ -636,9 +746,13 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         received: sh.received,
         fbuf_ops: sh.cycles * 6 + sh.sent * 2 + sh.received * 6,
         delta,
+        life: sh.sys.stats().snapshot(),
         sim_elapsed,
         host_ns,
         events: sh.sys.machine().tracer().events(),
+        events_dropped: sh.sys.machine().tracer().dropped(),
+        ledger: sh.sys.ledger_snapshot(),
+        telemetry: sh.sys.machine().metrics_ref().series(),
         faults_injected: sh
             .sys
             .fault_plan()

@@ -37,11 +37,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use fbuf_ipc::Rpc;
-use fbuf_sim::{Arena, CostCategory, EventKind, FaultPlan, FaultSite, MachineConfig, Stats};
+use fbuf_sim::{Arena, CostCategory, EventKind, FaultPlan, FaultSite, MachineConfig, Ns, Stats};
 use fbuf_vm::{DomainId, FrameId, Machine, Prot};
 
 use crate::buffer::{Fbuf, FbufId, FbufState};
 use crate::error::{FbufError, FbufResult};
+use crate::ledger::Ledger;
 use crate::path::{DataPath, PathId};
 use crate::region::{ChunkAllocator, LocalAllocator};
 
@@ -132,6 +133,17 @@ pub struct FbufSystem {
     pub(crate) xfer_aborted: u64,
     /// First error a hop handler hit (handlers cannot propagate).
     pub(crate) engine_error: Option<FbufError>,
+    /// Per-tenant accounting accumulators (always on; plain adds that
+    /// never charge the clock or counters — see [`crate::ledger`]).
+    pub(crate) ledger: Ledger,
+    /// High bits of every span this system mints; the fleet sets one
+    /// salt per shard so transfer spans stay fleet-unique.
+    span_salt: u64,
+    /// Low bits of the next minted span.
+    span_counter: u64,
+    /// Parked (free-listed) fbufs right now — a telemetry gauge kept
+    /// O(1) instead of walking the intrusive parked list.
+    parked_count: u64,
 }
 
 /// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
@@ -145,6 +157,22 @@ pub enum ReusePolicy {
 
 /// Records `dom` as a holder of `id`, wiring the per-domain held index and
 /// the fbuf-side back-pointer in one step. No-op if already a holder.
+/// Credits one transfer of `len` bytes to the sending domain and, when
+/// the buffer is cached, to its path — the ledger-side twin of
+/// `inc_fbuf_transfers`/`add_bytes_transferred`, kept adjacent so the
+/// conservation invariant (ledger totals == fleet counters) holds by
+/// construction.
+fn account_transfer(ledger: &mut Ledger, from: DomainId, path: Option<PathId>, len: u64) {
+    let r = ledger.dom_mut(from.0);
+    r.transfers += 1;
+    r.bytes += len;
+    if let Some(p) = path {
+        let r = ledger.path_mut(p.0);
+        r.transfers += 1;
+        r.bytes += len;
+    }
+}
+
 fn add_holder(f: &mut Fbuf, held: &mut [Vec<FbufId>], id: FbufId, dom: DomainId) {
     if f.held_by(dom) {
         return;
@@ -200,6 +228,10 @@ impl FbufSystem {
             xfer_completed: 0,
             xfer_aborted: 0,
             engine_error: None,
+            ledger: Ledger::new(),
+            span_salt: 0,
+            span_counter: 0,
+            parked_count: 0,
         };
         let kernel = fbuf_vm::KERNEL_DOMAIN;
         sys.machine
@@ -255,6 +287,94 @@ impl FbufSystem {
     /// Shared statistics handle.
     pub fn stats(&self) -> Stats {
         self.machine.stats()
+    }
+
+    /// Sets the high bits of every span id this system mints. The fleet
+    /// gives each shard a distinct salt so one transfer's spans stay
+    /// unique after [`fleet_trace`](crate::fleet_trace) merges rings.
+    pub fn set_span_salt(&mut self, salt: u64) {
+        self.span_salt = salt & 0xffff;
+    }
+
+    /// Mints a fresh transfer span id: salt in the high 16 bits, a
+    /// per-system counter below. Host-only bookkeeping — never charges
+    /// the clock.
+    pub fn mint_span(&mut self) -> u64 {
+        self.span_counter += 1;
+        (self.span_salt << 48) | self.span_counter
+    }
+
+    /// The raw path id an fbuf was allocated on, if any — used to tag
+    /// span and telemetry records with the tenant path.
+    pub(crate) fn fbuf_path_raw(&self, id: FbufId) -> Option<u64> {
+        self.fbufs.get(id.0).and_then(|f| f.path.map(|p| p.0))
+    }
+
+    /// The per-tenant accounting ledger as of now: the inline
+    /// accumulators plus the engine's per-domain queueing delay and the
+    /// RPC layer's per-domain call counts (folded in at snapshot time so
+    /// they are never double-counted).
+    pub fn ledger_snapshot(&self) -> Ledger {
+        let mut l = self.ledger.clone();
+        if let Some(e) = &self.engine {
+            for (d, &ns) in e.queue_delay_by_dom().iter().enumerate() {
+                if ns > 0 {
+                    l.dom_mut(d as u32).queue_ns += ns;
+                }
+            }
+        }
+        for (d, &calls) in self.rpc.calls_by_dom().iter().enumerate() {
+            if calls > 0 {
+                l.dom_mut(d as u32).ipc_calls += calls;
+            }
+        }
+        l
+    }
+
+    /// Takes a telemetry sample if one is due at the simulated now
+    /// (no-op unless the machine's [`Metrics`](fbuf_sim::Metrics) are
+    /// enabled and a cadence period has elapsed — one `Cell` read when
+    /// disabled, and never any simulated cost).
+    pub fn sample_metrics(&self) {
+        let now = self.machine.now();
+        let m = self.machine.metrics_ref();
+        if !m.due(now) {
+            return;
+        }
+        m.advance(now);
+        self.sample_gauges_at(now);
+    }
+
+    /// Records every system gauge at `now`, unconditionally. Callers
+    /// that own the cadence (the shard loop, which adds ring-occupancy
+    /// gauges of its own) use this directly; everyone else goes through
+    /// [`FbufSystem::sample_metrics`].
+    pub fn sample_gauges_at(&self, now: Ns) {
+        let m = self.machine.metrics_ref();
+        m.sample(now, "live_fbufs", self.fbufs.len() as u64);
+        m.sample(now, "parked_fbufs", self.parked_count);
+        m.sample(
+            now,
+            "engine_pending",
+            self.engine.as_ref().map_or(0, fbuf_ipc::EventLoop::pending) as u64,
+        );
+        m.sample(now, "overload_drops", self.machine.stats_ref().overload_drops());
+        for (i, p) in self.paths.iter().enumerate() {
+            if p.live {
+                m.sample(now, &format!("path{i}.parked"), p.parked() as u64);
+            }
+        }
+        if let Some(e) = &self.engine {
+            for d in 0..self.registered.len() {
+                if self.registered[d] {
+                    m.sample(
+                        now,
+                        &format!("inbox{d}"),
+                        e.inbox_len(DomainId(d as u32)) as u64,
+                    );
+                }
+            }
+        }
     }
 
     /// Arms a fault-injection plan across the whole engine: the fbuf
@@ -379,16 +499,20 @@ impl FbufSystem {
                             return Err(e);
                         }
                     };
+                    self.account_alloc(dom, Some(path_id));
                     let tr = self.machine.tracer_ref();
                     tr.instant(EventKind::CacheHit, dom.0, Some(path_id.0), Some(id.0));
                     tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
+                    self.sample_metrics();
                     return Ok(id);
                 }
                 self.machine.stats_ref().inc_fbuf_cache_misses();
                 let id = self.build(dom, Some(path_id), pages, len)?;
+                self.account_alloc(dom, Some(path_id));
                 let tr = self.machine.tracer_ref();
                 tr.instant(EventKind::CacheMiss, dom.0, Some(path_id.0), Some(id.0));
                 tr.span(t0, EventKind::Alloc, dom.0, Some(path_id.0), Some(id.0));
+                self.sample_metrics();
                 Ok(id)
             }
             AllocMode::Uncached => {
@@ -396,11 +520,31 @@ impl FbufSystem {
                 self.machine
                     .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
                 let id = self.build(dom, None, pages, len)?;
+                self.account_alloc(dom, None);
                 self.machine
                     .tracer_ref()
                     .span(t0, EventKind::Alloc, dom.0, None, Some(id.0));
+                self.sample_metrics();
                 Ok(id)
             }
+        }
+    }
+
+    /// Credits a satisfied allocation to its tenants (the birth instant
+    /// for hold-time accounting is stamped by `reuse_cached`/`build`).
+    fn account_alloc(&mut self, dom: DomainId, path: Option<PathId>) {
+        self.ledger.dom_mut(dom.0).allocs += 1;
+        if let Some(p) = path {
+            self.ledger.path_mut(p.0).allocs += 1;
+        }
+    }
+
+    /// Charges an absorbed fault (quota denial or injected failure) to
+    /// the tenants whose request it refused.
+    fn account_fault(&mut self, dom: DomainId, path: Option<PathId>) {
+        self.ledger.dom_mut(dom.0).faults += 1;
+        if let Some(p) = path {
+            self.ledger.path_mut(p.0).faults += 1;
         }
     }
 
@@ -433,11 +577,13 @@ impl FbufSystem {
             // re-materialize before handing it out.
             self.rematerialize(id, dom)?;
         }
+        let now = self.machine.now();
         let FbufSystem { fbufs, held, .. } = self;
         let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
         debug_assert!(f.holders.is_empty());
         debug_assert_eq!(f.state, FbufState::Volatile);
         f.len = len;
+        f.born = now;
         add_holder(f, held, id, dom);
         Ok(id)
     }
@@ -523,9 +669,11 @@ impl FbufSystem {
                 None => {
                     if allocator.at_quota() || self.fault_fires(FaultSite::QuotaExhausted) {
                         self.machine.stats_ref().inc_chunk_quota_denials();
+                        self.account_fault(dom, path);
                         return Err(FbufError::QuotaExceeded { path });
                     }
                     if self.fault_fires(FaultSite::ChunkGrant) {
+                        self.account_fault(dom, path);
                         return Err(FbufError::RegionExhausted);
                     }
                     // Ask the kernel for another chunk.
@@ -583,6 +731,7 @@ impl FbufSystem {
             park_prev: None,
             park_next: None,
             park_linked: false,
+            born: self.machine.now(),
         });
         let id = FbufId(handle);
         self.fbufs.get_mut(handle).expect("just inserted").id = id;
@@ -613,6 +762,7 @@ impl FbufSystem {
             fbufs,
             machine,
             held,
+            ledger,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
@@ -623,6 +773,8 @@ impl FbufSystem {
             });
         }
         machine.stats_ref().inc_fbuf_transfers();
+        machine.stats_ref().add_bytes_transferred(f.len);
+        account_transfer(ledger, from, f.path, f.len);
         let path = f.path;
         let needs_secure = mode == SendMode::Secure
             && f.state != FbufState::Secured
@@ -693,6 +845,7 @@ impl FbufSystem {
             fbufs,
             machine,
             held,
+            ledger,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
@@ -703,6 +856,8 @@ impl FbufSystem {
             });
         }
         machine.stats_ref().inc_fbuf_transfers();
+        machine.stats_ref().add_bytes_transferred(f.len);
+        account_transfer(ledger, from, f.path, f.len);
         add_holder(f, held, id, to);
         machine.tracer_ref().instant_peer(
             EventKind::Transfer,
@@ -788,6 +943,7 @@ impl FbufSystem {
             machine,
             held,
             rpc,
+            ledger,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
@@ -799,7 +955,8 @@ impl FbufSystem {
         };
         f.holders.swap_remove(i);
         let pos = f.held_pos.swap_remove(i);
-        let (originator, now_empty, path) = (f.originator, f.holders.is_empty(), f.path);
+        let (originator, now_empty, path, born) =
+            (f.originator, f.holders.is_empty(), f.path, f.born);
         // Drop the entry from the per-domain held index in O(1); the
         // held_pos back-pointer of whichever fbuf swap_remove moved into
         // `pos` must be re-aimed.
@@ -826,8 +983,16 @@ impl FbufSystem {
             let _ = rpc.queue_dealloc_notice(originator, dom, id.0);
         }
         if now_empty {
+            // The buffer's whole incarnation ends here: charge its hold
+            // time (birth to last release) to the originating tenant.
+            let hold = (machine.now() - born).as_ns();
+            ledger.dom_mut(originator.0).hold_ns += hold;
+            if let Some(p) = path {
+                ledger.path_mut(p.0).hold_ns += hold;
+            }
             self.dealloc(id)?;
         }
+        self.sample_metrics();
         Ok(())
     }
 
@@ -911,6 +1076,11 @@ impl FbufSystem {
                 // e.g. wired down for in-progress DMA. The daemon gives
                 // up rather than skip ahead, exactly like a real pageout
                 // pass blocked on a wired page.
+                let (orig, pinned_path) = {
+                    let f = self.fbufs.get(id.0).expect("parked fbuf exists");
+                    (f.originator, f.path)
+                };
+                self.account_fault(orig, pinned_path);
                 break;
             }
             self.park_unlink(id);
@@ -946,6 +1116,7 @@ impl FbufSystem {
     /// Appends `id` at the hot end of the parked list.
     fn park_push_tail(&mut self, id: FbufId) {
         let old_tail = self.park_tail;
+        self.parked_count += 1;
         {
             let f = self.fbufs.get_mut(id.0).expect("parked fbuf exists");
             debug_assert!(!f.park_linked, "double park");
@@ -970,6 +1141,7 @@ impl FbufSystem {
             f.park_linked = false;
             (f.park_prev.take(), f.park_next.take())
         };
+        self.parked_count -= 1;
         match prev {
             Some(p) => self.fbufs.get_mut(p.0).expect("linked fbuf exists").park_next = next,
             None => self.park_head = next,

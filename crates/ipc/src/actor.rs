@@ -56,6 +56,15 @@ pub struct Envelope<M> {
     pub enqueued_at: Ns,
     /// The scheduler id assigned at post time.
     pub id: EventId,
+    /// The transfer span in scope when the event was posted (captured
+    /// from [`Tracer::current_span`]); restored as the ambient span
+    /// while the handler runs, so one transfer's events stay causally
+    /// linked across hops.
+    pub span: Option<u64>,
+    /// The fbuf path this event works on behalf of, when the poster
+    /// knows it ([`EventLoop::post_on`]) — threads per-path attribution
+    /// through `Enqueue`/`Dequeue`/`Overload` trace events.
+    pub path: Option<u64>,
     /// The event payload.
     pub msg: M,
 }
@@ -120,6 +129,10 @@ pub struct EventLoop<M> {
     stats: Stats,
     tracer: Tracer,
     queue_delay: Histogram,
+    /// Queueing delay (simulated ns) accumulated per destination
+    /// domain, indexed by `DomainId.0` — the ledger's "queueing delay
+    /// contributed" column.
+    delay_by_dom: Vec<u64>,
     overloads: u64,
     enqueued: u64,
     dequeued: u64,
@@ -137,6 +150,7 @@ impl<M> EventLoop<M> {
             stats,
             tracer,
             queue_delay: Histogram::new(),
+            delay_by_dom: Vec::new(),
             overloads: 0,
             enqueued: 0,
             dequeued: 0,
@@ -159,6 +173,20 @@ impl<M> EventLoop<M> {
     /// simulated now. Full inbox → [`SendOutcome::Overload`]: dropped,
     /// counted, traced — never queued, never recursed into.
     pub fn post(&mut self, from: DomainId, to: DomainId, msg: M) -> SendOutcome {
+        self.post_on(from, to, None, msg)
+    }
+
+    /// [`EventLoop::post`] with the fbuf path the event works on behalf
+    /// of, so `Enqueue`/`Dequeue`/`Overload` trace events attribute to
+    /// that path. The ambient transfer span (if any) is captured into
+    /// the envelope either way.
+    pub fn post_on(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        path: Option<u64>,
+        msg: M,
+    ) -> SendOutcome {
         let slot = to.0 as usize;
         if self.inboxes.len() <= slot {
             self.inboxes.resize_with(slot + 1, VecDeque::new);
@@ -167,7 +195,7 @@ impl<M> EventLoop<M> {
             self.overloads += 1;
             self.stats.inc_overload_drops();
             self.tracer
-                .instant_peer(EventKind::Overload, from.0, to.0, None, None);
+                .instant_peer(EventKind::Overload, from.0, to.0, path, None);
             return SendOutcome::Overload;
         }
         let now = self.clock.now();
@@ -177,11 +205,13 @@ impl<M> EventLoop<M> {
             to,
             enqueued_at: now,
             id,
+            span: self.tracer.current_span(),
+            path,
             msg,
         });
         self.enqueued += 1;
         self.tracer
-            .instant_peer(EventKind::Enqueue, from.0, to.0, None, None);
+            .instant_peer(EventKind::Enqueue, from.0, to.0, path, None);
         SendOutcome::Queued(id)
     }
 
@@ -204,17 +234,27 @@ impl<M> EventLoop<M> {
         debug_assert_eq!(env.id, token.id, "tokens and envelopes stay FIFO-aligned");
         let delay = self.clock.now() - env.enqueued_at;
         self.queue_delay.record(delay.as_ns());
+        let dslot = env.to.0 as usize;
+        if self.delay_by_dom.len() <= dslot {
+            self.delay_by_dom.resize(dslot + 1, 0);
+        }
+        self.delay_by_dom[dslot] += delay.as_ns();
         self.dequeued += 1;
+        // The envelope's transfer span becomes ambient for the Dequeue
+        // record and the whole handler, so every event the hop records
+        // (IPC descent, VM work, follow-up posts) stays on the tree.
+        let prev = self.tracer.set_current_span(env.span);
         // Dequeue span: `dur` is the queueing delay (enqueue → dequeue).
         self.tracer.span_peer(
             env.enqueued_at,
             EventKind::Dequeue,
             env.to.0,
             Some(env.from.0),
-            None,
+            env.path,
             None,
         );
         handler(self, ctx, env);
+        self.tracer.set_current_span(prev);
         true
     }
 
@@ -265,11 +305,19 @@ impl<M> EventLoop<M> {
         &self.queue_delay
     }
 
+    /// Queueing delay (simulated ns) accumulated by events handled *in*
+    /// each domain, indexed by `DomainId.0` — the per-tenant ledger's
+    /// "queueing delay contributed" column.
+    pub fn queue_delay_by_dom(&self) -> &[u64] {
+        &self.delay_by_dom
+    }
+
     /// Resets the queueing-delay histogram and the overload/enqueue/
     /// dequeue counters (pending events are untouched) — used by bench
     /// sweeps that measure each offered-load point separately.
     pub fn reset_metrics(&mut self) {
         self.queue_delay = Histogram::new();
+        self.delay_by_dom.clear();
         self.overloads = 0;
         self.enqueued = 0;
         self.dequeued = 0;
@@ -399,6 +447,63 @@ mod tests {
     }
 
     #[test]
+    fn posts_capture_the_ambient_span_and_steps_restore_it() {
+        let (mut e, _, _, tracer) = evl();
+        tracer.set_enabled(true);
+        tracer.set_current_span(Some(42));
+        e.post(DomainId(0), DomainId(1), ());
+        tracer.set_current_span(None);
+        let t = tracer.clone();
+        e.run(&mut (), &mut move |_, _, env: Envelope<()>| {
+            assert_eq!(env.span, Some(42));
+            assert_eq!(t.current_span(), Some(42), "handler runs in the span");
+        });
+        assert_eq!(
+            tracer.current_span(),
+            None,
+            "step restores the previous ambient span"
+        );
+        // The Dequeue record itself carries the envelope's span.
+        let deq = tracer
+            .events()
+            .into_iter()
+            .find(|ev| ev.kind == EventKind::Dequeue)
+            .unwrap();
+        assert_eq!(deq.span, Some(42));
+    }
+
+    #[test]
+    fn post_on_threads_the_path_through_enqueue_dequeue_and_overload() {
+        let (mut e, _, _, tracer) = evl();
+        tracer.set_enabled(true);
+        e.set_inbox_depth(1);
+        e.post_on(DomainId(0), DomainId(1), Some(7), ());
+        e.post_on(DomainId(0), DomainId(1), Some(7), ()); // overload
+        e.run(&mut (), &mut |_, _, _| {});
+        for kind in [EventKind::Enqueue, EventKind::Dequeue, EventKind::Overload] {
+            let ev = tracer
+                .events()
+                .into_iter()
+                .find(|ev| ev.kind == kind)
+                .unwrap();
+            assert_eq!(ev.path, Some(7), "{kind:?} attributes to the path");
+        }
+    }
+
+    #[test]
+    fn queue_delay_is_attributed_to_the_handling_domain() {
+        let (mut e, clock, _, _) = evl();
+        e.post(DomainId(0), DomainId(2), ());
+        e.post(DomainId(0), DomainId(2), ());
+        let c = clock.clone();
+        e.run(&mut (), &mut move |_, _, _| {
+            c.charge(CostCategory::Ipc, Ns(500));
+        });
+        assert_eq!(e.queue_delay_by_dom().get(2), Some(&500));
+        assert_eq!(e.queue_delay_by_dom().first(), Some(&0));
+    }
+
+    #[test]
     fn reset_metrics_clears_measurements_only() {
         let (mut e, _, _, _) = evl();
         e.set_inbox_depth(1);
@@ -410,5 +515,6 @@ mod tests {
         assert_eq!(e.enqueued(), 0);
         assert_eq!(e.dequeued(), 0);
         assert!(e.queue_delay().is_empty());
+        assert!(e.queue_delay_by_dom().is_empty());
     }
 }

@@ -36,6 +36,10 @@ pub struct Rpc {
     tracer: Tracer,
     costs: CostModel,
     notices: NoticeBoard,
+    /// IPC calls originated per domain, indexed by `DomainId.0` — the
+    /// per-tenant ledger's "ipc_calls" column (explicit notice messages
+    /// count against the holder that forced them).
+    calls_by_dom: Vec<u64>,
 }
 
 impl Rpc {
@@ -48,7 +52,16 @@ impl Rpc {
             tracer,
             costs,
             notices: NoticeBoard::new(),
+            calls_by_dom: Vec::new(),
         }
+    }
+
+    fn count_call_from(&mut self, from: DomainId) {
+        let slot = from.0 as usize;
+        if self.calls_by_dom.len() <= slot {
+            self.calls_by_dom.resize(slot + 1, 0);
+        }
+        self.calls_by_dom[slot] += 1;
     }
 
     /// Round-trip latency between two domains: crossing into or out of the
@@ -81,6 +94,7 @@ impl Rpc {
             self.latency(from, to) + self.costs.ipc_dispatch,
         );
         self.stats.inc_ipc_messages();
+        self.count_call_from(from);
         self.tracer
             .instant_peer(EventKind::IpcCall, from.0, to.0, None, None);
         let drained = self.notices.drain_all_for(from);
@@ -116,6 +130,7 @@ impl Rpc {
                 self.latency(holder, owner) + self.costs.ipc_dispatch,
             );
             self.stats.inc_ipc_messages();
+            self.count_call_from(holder);
             self.stats.inc_explicit_notice_messages();
             self.tracer
                 .instant_peer(EventKind::Notice, holder.0, owner.0, None, Some(token));
@@ -141,6 +156,12 @@ impl Rpc {
     /// before an explicit message is forced).
     pub fn set_notice_threshold(&mut self, threshold: usize) {
         self.notices.set_threshold(threshold);
+    }
+
+    /// IPC calls originated per domain, indexed by `DomainId.0` — feeds
+    /// the per-tenant accounting ledger.
+    pub fn calls_by_dom(&self) -> &[u64] {
+        &self.calls_by_dom
     }
 
     /// The shared clock (for callers that need to idle).
@@ -247,6 +268,25 @@ mod tests {
         assert_eq!(
             stats.piggybacked_notices(),
             1000 - r.pending_notices(owner, holder) as u64
+        );
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_originating_domain() {
+        let (mut r, _, stats) = rpc();
+        r.call(DomainId(1), DomainId(2));
+        r.call(DomainId(1), DomainId(2));
+        r.call(DomainId(2), DomainId(1));
+        // Forced explicit notice counts against the holder who sent it.
+        r.set_notice_threshold(1);
+        r.queue_dealloc_notice(DomainId(1), DomainId(3), 99).unwrap();
+        assert_eq!(r.calls_by_dom().get(1), Some(&2));
+        assert_eq!(r.calls_by_dom().get(2), Some(&1));
+        assert_eq!(r.calls_by_dom().get(3), Some(&1));
+        assert_eq!(
+            r.calls_by_dom().iter().sum::<u64>(),
+            stats.ipc_messages(),
+            "per-domain attribution conserves the fleet counter"
         );
     }
 

@@ -115,7 +115,21 @@ impl LoopbackStack {
     /// Sends one message through the stack; returns the elapsed simulated
     /// time. When `verify` is set the payload round-trip is checked
     /// byte-for-byte.
+    ///
+    /// Each message is one causal span: every event the stack records
+    /// while it is in flight (allocs, PDU tx/rx, transfers, hops) is
+    /// tagged with it, so a trace decomposes per message.
     pub fn send_message(&mut self, size: u64, verify: bool) -> FbufResult<Ns> {
+        let span = self.fbs.mint_span();
+        let tracer = self.fbs.machine().tracer();
+        tracer.span_start(span, self.originator.0, self.path.map(|p| p.0), None);
+        let prev = tracer.set_current_span(Some(span));
+        let out = self.send_message_in_span(size, verify);
+        tracer.set_current_span(prev);
+        out
+    }
+
+    fn send_message_in_span(&mut self, size: u64, verify: bool) -> FbufResult<Ns> {
         let t0 = self.fbs.machine().clock().now();
         let costs = self.fbs.machine().costs().clone();
 

@@ -166,18 +166,22 @@ impl EndToEnd {
 
     /// Builds the pair of hosts.
     pub fn new(machine: MachineConfig, cfg: EndToEndConfig) -> EndToEnd {
-        let tx = Host::new(
+        let mut tx = Host::new(
             machine.clone(),
             cfg.setup,
             AllocStrategy::Cached,
             cfg.send_mode,
         );
-        let rx = Host::new(
+        let mut rx = Host::new(
             machine,
             cfg.setup,
             AllocStrategy::Cached,
             SendMode::Volatile,
         );
+        // Disjoint span-id spaces: the RX machine's child spans must not
+        // collide with the TX machine's datagram spans they link to.
+        tx.fbs.set_span_salt(1);
+        rx.fbs.set_span_salt(2);
         let mut ports = PortTable::new();
         ports.bind(Self::SINK_PORT, ());
         EndToEnd {
@@ -205,7 +209,27 @@ impl EndToEnd {
 
     /// Sends one message of `size` bytes on `vci`; `verify` fills it with
     /// real bytes and records what arrives.
+    ///
+    /// Each datagram is one causal span on the TX machine; receive-side
+    /// processing runs in a per-machine child span linked to it, so a
+    /// merged trace decomposes per datagram across both machines.
     pub fn send_message(&mut self, size: u64, vci: u32, verify: bool) -> FbufResult<()> {
+        let span = self.tx.fbs.mint_span();
+        let tracer = self.tx.fbs.machine().tracer();
+        tracer.span_start(span, self.tx.app.0, None, None);
+        let prev = tracer.set_current_span(Some(span));
+        let out = self.send_message_in_span(size, vci, verify, span);
+        tracer.set_current_span(prev);
+        out
+    }
+
+    fn send_message_in_span(
+        &mut self,
+        size: u64,
+        vci: u32,
+        verify: bool,
+        span: u64,
+    ) -> FbufResult<()> {
         // Sliding window: block until an ack frees a slot.
         while self.acks.len() >= self.cfg.window {
             let done = self.acks.pop_front().expect("non-empty");
@@ -281,7 +305,7 @@ impl EndToEnd {
             let ready = self.tx.fbs.machine().clock().now();
             let arrive = ready.max(self.wire_free) + self.wire_time(pdu.wire_bytes());
             self.wire_free = arrive;
-            self.receive_pdu(pdu, arrive, verify)?;
+            self.receive_pdu(pdu, arrive, verify, span)?;
             let _ = n;
         }
 
@@ -294,8 +318,19 @@ impl EndToEnd {
         Ok(())
     }
 
-    /// Receive-side processing of one PDU arriving at `arrive`.
-    fn receive_pdu(&mut self, pdu: WirePdu, arrive: Ns, verify: bool) -> FbufResult<()> {
+    /// Receive-side processing of one PDU arriving at `arrive`, in a
+    /// child span of the TX datagram span `parent`.
+    fn receive_pdu(&mut self, pdu: WirePdu, arrive: Ns, verify: bool, parent: u64) -> FbufResult<()> {
+        let child = self.rx.fbs.mint_span();
+        let tracer = self.rx.fbs.machine().tracer();
+        tracer.span_link(child, parent, self.rx.kernel().0);
+        let prev = tracer.set_current_span(Some(child));
+        let out = self.receive_pdu_in_span(pdu, arrive, verify);
+        tracer.set_current_span(prev);
+        out
+    }
+
+    fn receive_pdu_in_span(&mut self, pdu: WirePdu, arrive: Ns, verify: bool) -> FbufResult<()> {
         let clock = self.rx.fbs.machine().clock();
         clock.wait_until(arrive);
         let costs = self.rx.fbs.machine().costs().clone();

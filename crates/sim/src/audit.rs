@@ -77,6 +77,13 @@ pub struct AuditReport {
     /// True when the stream had no truncation artifacts (nothing
     /// skipped): every rule was checked against complete history.
     pub complete: bool,
+    /// Events evicted from the source ring before the audit saw them
+    /// (only known when auditing via [`audit_tracer`]).
+    pub dropped: u64,
+    /// Non-fatal audit caveats — e.g. a ring overflow warning. A
+    /// truncated ring silently under-reports latency histograms and
+    /// hides early lifecycle events, so callers should surface these.
+    pub warnings: Vec<String>,
 }
 
 impl AuditReport {
@@ -291,11 +298,20 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
 }
 
 /// Convenience: audits a tracer's current ring. Truncated rings (any
-/// dropped events) are marked incomplete.
+/// dropped events) are marked incomplete and carry an explicit overflow
+/// warning — a saturated ring silently truncates latency histograms, so
+/// the loss is never left implicit.
 pub fn audit_tracer(tracer: &Tracer) -> AuditReport {
     let mut report = audit(&tracer.events());
-    if tracer.dropped() > 0 {
+    let dropped = tracer.dropped();
+    if dropped > 0 {
         report.complete = false;
+        report.dropped = dropped;
+        report.warnings.push(format!(
+            "trace ring overflowed: {dropped} oldest event(s) evicted — \
+             latency histograms and lifecycle checks cover a truncated window \
+             (raise the capacity via Tracer::set_capacity for full coverage)"
+        ));
     }
     report
 }
@@ -323,6 +339,7 @@ mod tests {
             fbuf,
             dur: None,
             pages: None,
+            span: None,
         }
     }
 
@@ -449,6 +466,29 @@ mod tests {
         ];
         let r = audit(&events);
         assert!(r.is_clean(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn overflowed_ring_audit_carries_an_explicit_warning() {
+        use crate::time::Clock;
+        let t = Tracer::new(Clock::new());
+        t.set_enabled(true);
+        t.set_capacity(2);
+        for i in 0..5u64 {
+            t.instant(EventKind::Notice, 0, None, Some(i));
+        }
+        let r = audit_tracer(&t);
+        assert!(!r.complete);
+        assert_eq!(r.dropped, 3);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("overflowed"));
+        // An untruncated ring warns about nothing.
+        let t2 = Tracer::new(Clock::new());
+        t2.set_enabled(true);
+        t2.instant(EventKind::Notice, 0, None, Some(1));
+        let r2 = audit_tracer(&t2);
+        assert_eq!(r2.dropped, 0);
+        assert!(r2.warnings.is_empty());
     }
 
     #[test]

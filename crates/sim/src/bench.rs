@@ -39,6 +39,7 @@ use std::path::PathBuf;
 
 use crate::hist::Histogram;
 use crate::json::{Json, ToJson};
+use crate::metrics::{self, SeriesSnapshot};
 use crate::stats::StatsSnapshot;
 
 /// The timebase of a scenario's samples. All units are *simulated*.
@@ -129,6 +130,11 @@ pub struct BenchRunner {
     artifacts: Vec<(String, Json)>,
     counters: Option<StatsSnapshot>,
     latency: Vec<(String, Histogram)>,
+    /// Telemetry gauge series sampled during the run, plus the cadence
+    /// they were sampled at (the `telemetry` block; present in every
+    /// report, empty when the target recorded no gauges).
+    telemetry_cadence_ns: u64,
+    telemetry: Vec<SeriesSnapshot>,
     host_throughput: Vec<HostThroughput>,
     host_scaling: Vec<ScalingPoint>,
     /// RNG seed the workload ran under (the `repro` header).
@@ -165,6 +171,8 @@ impl BenchRunner {
             artifacts: Vec::new(),
             counters: None,
             latency: Vec::new(),
+            telemetry_cadence_ns: metrics::DEFAULT_CADENCE_NS,
+            telemetry: Vec::new(),
             host_throughput: Vec::new(),
             host_scaling: Vec::new(),
             seed,
@@ -274,6 +282,15 @@ impl BenchRunner {
         if !hist.is_empty() {
             self.latency.push((label.to_string(), hist.clone()));
         }
+    }
+
+    /// Attaches sampled telemetry series (and the cadence they were
+    /// sampled at) to the report's `telemetry` block. Repeated calls
+    /// append, so a target with several workloads (or merged shards)
+    /// reports them all.
+    pub fn telemetry(&mut self, cadence_ns: u64, series: &[SeriesSnapshot]) {
+        self.telemetry_cadence_ns = cadence_ns;
+        self.telemetry.extend_from_slice(series);
     }
 
     /// The full report as a JSON value (the exact document `finish` writes).
@@ -411,6 +428,10 @@ impl BenchRunner {
                     .unwrap_or(Json::obj(vec![])),
             ),
             ("latency", Json::Arr(latency)),
+            (
+                "telemetry",
+                metrics::telemetry_json(self.telemetry_cadence_ns, &self.telemetry),
+            ),
             (
                 "artifacts",
                 Json::Obj(self.artifacts.iter().map(|(k, v)| (k.clone(), v.clone())).collect()),
@@ -576,6 +597,44 @@ mod tests {
         let doc = r.report();
         assert!(doc.get("counters").is_some(), "counters key is stable");
         assert_eq!(doc.get("latency").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn telemetry_block_always_present_and_carries_series() {
+        // Bare report: the block exists with the default cadence and no
+        // series, so `--check` can rely on the key unconditionally.
+        let mut r = BenchRunner::named("bare_telemetry", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        let doc = r.report();
+        let t = doc.get("telemetry").expect("telemetry key is stable");
+        assert_eq!(
+            t.get("cadence_ns").unwrap().as_f64(),
+            Some(metrics::DEFAULT_CADENCE_NS as f64)
+        );
+        assert_eq!(t.get("series").unwrap().as_arr().unwrap().len(), 0);
+
+        // Attached series come through with name, drop count, and
+        // [t, v] points in sampling order.
+        let m = metrics::Metrics::new();
+        m.set_enabled(true);
+        m.sample(crate::Ns(10), "inbox0", 3);
+        m.advance(crate::Ns(20_000));
+        m.sample(crate::Ns(20_000), "inbox0", 5);
+        let mut r = BenchRunner::named("with_telemetry", 1);
+        r.measure("x", Unit::SimUs, || 1.0);
+        r.telemetry(metrics::DEFAULT_CADENCE_NS, &m.series());
+        let doc = r.report();
+        let tele = doc.get("telemetry").unwrap();
+        let series = tele.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].get("name").unwrap().as_str(), Some("inbox0"));
+        let points = series[0].get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 2);
+        let ts: Vec<f64> = points
+            .iter()
+            .map(|p| p.as_arr().unwrap()[0].as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "points time-ordered");
     }
 
     #[test]

@@ -145,6 +145,30 @@ impl Histogram {
         self.max
     }
 
+    /// The bucket-quantization error bound on [`Histogram::percentile`]:
+    /// the inclusive `[lo, hi]` range of the bucket holding the rank-`p`
+    /// sample, clamped to the observed `[min, max]`. The true percentile
+    /// lies somewhere in this interval; `hi` is exactly what
+    /// [`Histogram::percentile`] reports. `(0, 0)` when empty.
+    pub fn percentile_bounds(&self, p: f64) -> (u64, u64) {
+        if self.is_empty() {
+            return (0, 0);
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = if b == 0 { 0 } else { bucket_hi(b - 1) + 1 };
+                return (
+                    lo.clamp(self.min, self.max),
+                    bucket_hi(b).clamp(self.min, self.max),
+                );
+            }
+        }
+        (self.max, self.max)
+    }
+
     /// Median (see [`Histogram::percentile`]).
     pub fn p50(&self) -> u64 {
         self.percentile(50.0)
@@ -210,10 +234,15 @@ impl Histogram {
 }
 
 impl ToJson for Histogram {
-    /// A percentile block: counts plus the p50/p90/p99 summary in
-    /// nanoseconds and microseconds (the latter for human eyes; the ns
-    /// fields are exact).
+    /// A percentile block: counts, the exact observed min/max, and the
+    /// p50/p90/p99 summary in nanoseconds and microseconds (the latter
+    /// for human eyes; the ns fields are exact). Each reported
+    /// percentile additionally carries its bucket-quantization error
+    /// bound (`*_lo_ns`/`*_hi_ns`, see [`Histogram::percentile_bounds`])
+    /// so a consumer knows how much the log bucketing may have rounded.
     fn to_json(&self) -> Json {
+        let (p50_lo, p50_hi) = self.percentile_bounds(50.0);
+        let (p99_lo, p99_hi) = self.percentile_bounds(99.0);
         Json::obj(vec![
             ("count", self.count().to_json()),
             ("min_ns", self.min().to_json()),
@@ -222,6 +251,10 @@ impl ToJson for Histogram {
             ("p50_ns", self.p50().to_json()),
             ("p90_ns", self.p90().to_json()),
             ("p99_ns", self.p99().to_json()),
+            ("p50_lo_ns", p50_lo.to_json()),
+            ("p50_hi_ns", p50_hi.to_json()),
+            ("p99_lo_ns", p99_lo.to_json()),
+            ("p99_hi_ns", p99_hi.to_json()),
             ("p50_us", (self.p50() as f64 / 1_000.0).to_json()),
             ("p99_us", (self.p99() as f64 / 1_000.0).to_json()),
         ])
@@ -309,11 +342,35 @@ mod tests {
     }
 
     #[test]
+    fn percentile_bounds_bracket_the_reported_value() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 9, 100, 1_000, 50_000, 50_001, 1_000_000] {
+            h.record(v);
+        }
+        for p in [50.0, 90.0, 99.0] {
+            let (lo, hi) = h.percentile_bounds(p);
+            assert!(lo <= hi, "bounds ordered at p{p}");
+            assert_eq!(hi, h.percentile(p), "hi is the reported value at p{p}");
+            assert!(lo >= h.min() && hi <= h.max());
+        }
+        // All-identical populations have zero quantization error.
+        let mut exact = Histogram::new();
+        for _ in 0..100 {
+            exact.record(7_500);
+        }
+        assert_eq!(exact.percentile_bounds(99.0), (7_500, 7_500));
+        assert_eq!(Histogram::new().percentile_bounds(50.0), (0, 0));
+    }
+
+    #[test]
     fn json_block_has_percentile_fields() {
         let mut h = Histogram::new();
         h.record(2_000);
         let j = h.to_json();
-        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "min_ns", "max_ns"] {
+        for key in [
+            "count", "p50_ns", "p90_ns", "p99_ns", "min_ns", "max_ns", "p50_lo_ns", "p50_hi_ns",
+            "p99_lo_ns", "p99_hi_ns",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("count").and_then(Json::as_f64), Some(1.0));

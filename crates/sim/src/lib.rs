@@ -57,11 +57,19 @@
 //! * [`event`] — a deterministic binary [`EventHeap`] ordered by
 //!   `(time, admission id)`, the scheduling substrate under the
 //!   event-loop transfer engine (`fbuf_ipc::EventLoop`).
+//! * [`spans`] — causal transfer spans: hop-tree reconstruction from
+//!   span-tagged trace events and critical-path decomposition
+//!   (queueing vs. service vs. ring-crossing, p50/p99 per stage).
+//! * [`metrics`] — time-series telemetry: gauges sampled on a
+//!   simulated-time cadence into fixed-capacity ring-buffer series,
+//!   fleet-merged and exported as the `telemetry` block of every bench
+//!   report.
 //!
 //! Design notes: `DESIGN.md` §6 (how the cost constants were
 //! calibrated/reconstructed), §8 (tracing, histograms, and the replay
-//! auditor), §11 (fault injection), and §12 (heap ordering guarantees
-//! and the audited fbuf lifecycle state machine).
+//! auditor), §11 (fault injection), §12 (heap ordering guarantees
+//! and the audited fbuf lifecycle state machine), and §13 (spans,
+//! telemetry cadence, and the per-tenant ledger).
 //!
 //! [Druschel & Peterson, SOSP '93]: https://dl.acm.org/doi/10.1145/168619.168634
 
@@ -75,7 +83,9 @@ pub mod event;
 pub mod fault;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod rng;
+pub mod spans;
 pub mod spsc;
 pub mod stats;
 pub mod time;
@@ -90,7 +100,9 @@ pub use event::{EventHeap, EventId, Scheduled};
 pub use fault::{FaultDecision, FaultPlan, FaultSite, FaultSpec};
 pub use hist::Histogram;
 pub use json::{Json, ToJson};
+pub use metrics::{Metrics, MetricPoint, SeriesSnapshot};
 pub use rng::Rng;
+pub use spans::{SpanNode, SpanTree, StageDecomposition};
 pub use stats::{Counter, Stats, StatsSnapshot};
 pub use time::{Clock, CostCategory, Ns};
 pub use trace::{EventKind, TraceEvent, Tracer};

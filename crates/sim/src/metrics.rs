@@ -1,0 +1,383 @@
+//! Time-series telemetry: gauges sampled on a simulated-time cadence.
+//!
+//! A [`Metrics`] handle is shared the same way as the
+//! [`Tracer`](crate::Tracer): the machine creates one, every layer
+//! borrows it, and it is **disabled by default** behind a single
+//! `Cell<bool>` read. Sampling never charges the clock, so enabling
+//! telemetry observes a run without moving a simulated nanosecond — the
+//! same zero-cost-by-default contract the tracer pins.
+//!
+//! Instrumented code polls [`Metrics::due`] at natural checkpoints
+//! (allocation, hop dispatch, ring polls); when the simulated clock has
+//! passed the next sample deadline, it records one gauge reading per
+//! series and calls [`Metrics::advance`]. Each named series is a
+//! **fixed-capacity ring**: when full, the oldest point is dropped and
+//! counted, so a long workload keeps a bounded recent window rather
+//! than growing without limit — exactly the trace-ring policy, applied
+//! to gauges.
+//!
+//! Per-shard series are folded fleet-wide by [`merge_shards`] (names
+//! prefixed `s<shard>.`, each shard's clock is independent) and
+//! exported into every `BENCH_*.json` as the `telemetry` block via
+//! [`telemetry_json`]. See `DESIGN.md` §13.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::json::{Json, ToJson};
+use crate::time::Ns;
+
+/// Default sampling cadence: one gauge reading per simulated 10 µs —
+/// fine enough to resolve per-message dynamics, coarse enough that a
+/// full figure sweep stays a few thousand points per series.
+pub const DEFAULT_CADENCE_NS: u64 = 10_000;
+
+/// Default points retained per series before the ring evicts.
+pub const DEFAULT_POINTS: usize = 4_096;
+
+/// Default cap on distinct series names (beyond it, new names are
+/// counted as dropped rather than allocated).
+pub const DEFAULT_MAX_SERIES: usize = 64;
+
+/// One gauge reading: simulated time and value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricPoint {
+    /// Simulated time of the sample.
+    pub at: Ns,
+    /// The gauge value.
+    pub value: u64,
+}
+
+/// An owned snapshot of one series, safe to move across threads (a
+/// shard hands these back in its report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// Series name (e.g. `live_fbufs`; fleet-merged names are prefixed
+    /// `s<shard>.`).
+    pub name: String,
+    /// Points evicted from the full ring.
+    pub dropped: u64,
+    /// Retained points, oldest first.
+    pub points: Vec<MetricPoint>,
+}
+
+#[derive(Debug)]
+struct SeriesRing {
+    name: String,
+    dropped: u64,
+    points: VecDeque<MetricPoint>,
+}
+
+#[derive(Debug)]
+struct MetricsInner {
+    cap: usize,
+    max_series: usize,
+    /// Series names refused because `max_series` was reached.
+    refused_names: u64,
+    series: Vec<SeriesRing>,
+}
+
+#[derive(Debug)]
+struct MetricsShared {
+    enabled: Cell<bool>,
+    cadence: Cell<u64>,
+    next: Cell<u64>,
+    inner: RefCell<MetricsInner>,
+}
+
+/// Shared telemetry handle. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use fbuf_sim::metrics::Metrics;
+/// use fbuf_sim::Ns;
+///
+/// let m = Metrics::new();
+/// assert!(!m.due(Ns(0)), "disabled: never due");
+/// m.set_enabled(true);
+/// if m.due(Ns(0)) {
+///     m.sample(Ns(0), "live_fbufs", 3);
+///     m.advance(Ns(0));
+/// }
+/// assert!(!m.due(Ns(5_000)), "cadence not yet elapsed");
+/// assert_eq!(m.series()[0].points.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    shared: Rc<MetricsShared>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// A disabled metric set with the default cadence and capacities.
+    pub fn new() -> Metrics {
+        Metrics {
+            shared: Rc::new(MetricsShared {
+                enabled: Cell::new(false),
+                cadence: Cell::new(DEFAULT_CADENCE_NS),
+                next: Cell::new(0),
+                inner: RefCell::new(MetricsInner {
+                    cap: DEFAULT_POINTS,
+                    max_series: DEFAULT_MAX_SERIES,
+                    refused_names: 0,
+                    series: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Turns sampling on or off. Recorded series are kept either way.
+    pub fn set_enabled(&self, on: bool) {
+        self.shared.enabled.set(on);
+    }
+
+    /// Whether gauges are currently sampled.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.enabled.get()
+    }
+
+    /// Sets the simulated-time sampling cadence (clamped to ≥ 1 ns).
+    pub fn set_cadence(&self, ns: u64) {
+        self.shared.cadence.set(ns.max(1));
+    }
+
+    /// The simulated-time sampling cadence in ns.
+    pub fn cadence(&self) -> u64 {
+        self.shared.cadence.get()
+    }
+
+    /// True when a sample is due at simulated time `now`: enabled and
+    /// at least one cadence past the previous sample. A disabled set is
+    /// never due — one `Cell` read, the whole disabled-path cost.
+    pub fn due(&self, now: Ns) -> bool {
+        self.shared.enabled.get() && now.0 >= self.shared.next.get()
+    }
+
+    /// Arms the next sample deadline one cadence after `now`. Call once
+    /// per due-sample batch.
+    pub fn advance(&self, now: Ns) {
+        self.shared.next.set(now.0.saturating_add(self.shared.cadence.get()));
+    }
+
+    /// Records one gauge reading into the named series (created on
+    /// first use, up to the series cap). No-op while disabled.
+    pub fn sample(&self, now: Ns, name: &str, value: u64) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        let mut inner = self.shared.inner.borrow_mut();
+        let cap = inner.cap;
+        match inner.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                if s.points.len() == cap {
+                    s.points.pop_front();
+                    s.dropped += 1;
+                }
+                s.points.push_back(MetricPoint { at: now, value });
+            }
+            None => {
+                if inner.series.len() >= inner.max_series {
+                    inner.refused_names += 1;
+                    return;
+                }
+                let mut points = VecDeque::new();
+                points.push_back(MetricPoint { at: now, value });
+                inner.series.push(SeriesRing {
+                    name: name.to_string(),
+                    dropped: 0,
+                    points,
+                });
+            }
+        }
+    }
+
+    /// Resizes every series ring (evicting oldest points if shrinking).
+    pub fn set_capacity(&self, cap: usize) {
+        let mut inner = self.shared.inner.borrow_mut();
+        inner.cap = cap.max(1);
+        let cap = inner.cap;
+        for s in &mut inner.series {
+            while s.points.len() > cap {
+                s.points.pop_front();
+                s.dropped += 1;
+            }
+        }
+    }
+
+    /// Series names refused because the series cap was reached.
+    pub fn refused_names(&self) -> u64 {
+        self.shared.inner.borrow().refused_names
+    }
+
+    /// Owned snapshots of every series, in first-seen order.
+    pub fn series(&self) -> Vec<SeriesSnapshot> {
+        self.shared
+            .inner
+            .borrow()
+            .series
+            .iter()
+            .map(|s| SeriesSnapshot {
+                name: s.name.clone(),
+                dropped: s.dropped,
+                points: s.points.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// Discards every series and re-arms the sample deadline at zero
+    /// (keeps enablement, cadence, and capacities).
+    pub fn clear(&self) {
+        let mut inner = self.shared.inner.borrow_mut();
+        inner.series.clear();
+        inner.refused_names = 0;
+        drop(inner);
+        self.shared.next.set(0);
+    }
+
+    /// This metric set rendered as a `telemetry` block.
+    pub fn to_json(&self) -> Json {
+        telemetry_json(self.cadence(), &self.series())
+    }
+}
+
+/// Folds per-shard series into one fleet-wide set: each shard's series
+/// keep their own (independent) simulated timeline and are namespaced
+/// `s<shard>.<name>`, preserving order.
+pub fn merge_shards(shards: &[(u32, Vec<SeriesSnapshot>)]) -> Vec<SeriesSnapshot> {
+    let mut out = Vec::new();
+    for (shard, series) in shards {
+        for s in series {
+            out.push(SeriesSnapshot {
+                name: format!("s{shard}.{}", s.name),
+                dropped: s.dropped,
+                points: s.points.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the stable `telemetry` block every `BENCH_*.json` carries:
+/// the sampling cadence and one `{name, dropped, points: [[ns, value],
+/// ...]}` object per series.
+pub fn telemetry_json(cadence_ns: u64, series: &[SeriesSnapshot]) -> Json {
+    let arr = series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|p| Json::Arr(vec![p.at.0.to_json(), p.value.to_json()]))
+                .collect();
+            Json::obj(vec![
+                ("name", s.name.as_str().to_json()),
+                ("dropped", s.dropped.to_json()),
+                ("points", Json::Arr(points)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("cadence_ns", cadence_ns.to_json()),
+        ("series", Json::Arr(arr)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing_and_are_never_due() {
+        let m = Metrics::new();
+        assert!(!m.due(Ns(u64::MAX / 2)));
+        m.sample(Ns(0), "x", 1);
+        assert!(m.series().is_empty());
+    }
+
+    #[test]
+    fn cadence_gates_sampling() {
+        let m = Metrics::new();
+        m.set_enabled(true);
+        m.set_cadence(1_000);
+        assert!(m.due(Ns(0)));
+        m.sample(Ns(0), "g", 1);
+        m.advance(Ns(0));
+        assert!(!m.due(Ns(999)));
+        assert!(m.due(Ns(1_000)));
+        m.sample(Ns(1_000), "g", 2);
+        m.advance(Ns(1_000));
+        let s = &m.series()[0];
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[1].value, 2);
+        assert_eq!(s.points[1].at, Ns(1_000));
+    }
+
+    #[test]
+    fn series_ring_evicts_oldest_and_counts_drops() {
+        let m = Metrics::new();
+        m.set_enabled(true);
+        m.set_capacity(2);
+        for i in 0..5u64 {
+            m.sample(Ns(i), "g", i);
+        }
+        let s = &m.series()[0];
+        assert_eq!(s.dropped, 3);
+        let vals: Vec<u64> = s.points.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![3, 4]);
+    }
+
+    #[test]
+    fn series_cap_refuses_new_names() {
+        let m = Metrics::new();
+        m.set_enabled(true);
+        {
+            let mut inner = m.shared.inner.borrow_mut();
+            inner.max_series = 1;
+        }
+        m.sample(Ns(0), "a", 1);
+        m.sample(Ns(0), "b", 2);
+        assert_eq!(m.series().len(), 1);
+        assert_eq!(m.refused_names(), 1);
+    }
+
+    #[test]
+    fn merge_prefixes_shard_names() {
+        let a = vec![SeriesSnapshot {
+            name: "g".into(),
+            dropped: 0,
+            points: vec![MetricPoint { at: Ns(1), value: 10 }],
+        }];
+        let b = vec![SeriesSnapshot {
+            name: "g".into(),
+            dropped: 2,
+            points: vec![],
+        }];
+        let merged = merge_shards(&[(0, a), (1, b)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "s0.g");
+        assert_eq!(merged[1].name, "s1.g");
+        assert_eq!(merged[1].dropped, 2);
+    }
+
+    #[test]
+    fn telemetry_block_round_trips_through_parser() {
+        let m = Metrics::new();
+        m.set_enabled(true);
+        m.sample(Ns(5), "live", 2);
+        let rendered = m.to_json().render();
+        let parsed = Json::parse(&rendered).expect("telemetry parses");
+        assert!(parsed.get("cadence_ns").and_then(Json::as_f64).is_some());
+        let series = parsed.get("series").and_then(Json::as_arr).expect("series");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].get("name").and_then(Json::as_str), Some("live"));
+        let pts = series[0].get("points").and_then(Json::as_arr).expect("points");
+        assert_eq!(pts.len(), 1);
+    }
+}

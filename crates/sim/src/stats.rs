@@ -161,6 +161,9 @@ stats_impl! {
     /// (the event-loop engine's explicit `Overload` outcome; always zero
     /// under the recursive/direct engine and under drained pipelines).
     overload_drops: inc_overload_drops,
+    /// Bytes carried across domain boundaries by fbuf transfers (the
+    /// fleet total the per-tenant ledger must conserve against).
+    bytes_transferred: inc_bytes_transferred,
 }
 
 /// Shared operation counters.
@@ -200,6 +203,12 @@ impl Stats {
     /// into an RPC reply).
     pub fn add_piggybacked_notices(&self, n: u64) {
         self.inner.borrow_mut().piggybacked_notices += n;
+    }
+
+    /// Bulk-increments `bytes_transferred` by `n` (the byte length of one
+    /// cross-domain transfer).
+    pub fn add_bytes_transferred(&self, n: u64) {
+        self.inner.borrow_mut().bytes_transferred += n;
     }
 
     /// Copies out the current values.

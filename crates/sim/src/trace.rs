@@ -87,6 +87,20 @@ pub enum EventKind {
     /// An enqueue was refused because the destination actor's bounded
     /// inbox was full — the transfer was dropped, not recursed into.
     Overload,
+    /// A transfer span was minted (`span` = the new span id): the root
+    /// of one transfer's causal tree.
+    SpanStart,
+    /// A parent/child span edge: a transfer crossed into a new context
+    /// (e.g. a cross-shard ring) and continued under a child span.
+    /// `span` = the child, `fbuf` = the **parent** span id.
+    SpanLink,
+    /// A cross-shard payload was handled after crossing an SPSC ring
+    /// (span; `dur` = receiver-side ingest handling time, `pages` = ring
+    /// occupancy observed at the crossing).
+    RingCross,
+    /// One scheduled transfer hop's handler ran to completion (span;
+    /// `dur` = service time from dequeue to handler return).
+    HopService,
 }
 
 impl EventKind {
@@ -114,6 +128,10 @@ impl EventKind {
             EventKind::Enqueue => "Enqueue",
             EventKind::Dequeue => "Dequeue",
             EventKind::Overload => "Overload",
+            EventKind::SpanStart => "SpanStart",
+            EventKind::SpanLink => "SpanLink",
+            EventKind::RingCross => "RingCross",
+            EventKind::HopService => "HopService",
         }
     }
 }
@@ -141,8 +159,12 @@ pub struct TraceEvent {
     /// Span duration; `None` for instants.
     pub dur: Option<Ns>,
     /// Page count, for the ranged VM events (`MapRange`/`UnmapRange`/
-    /// `ProtectRange`); `None` otherwise.
+    /// `ProtectRange`); for `RingCross`, the ring occupancy observed at
+    /// the crossing; `None` otherwise.
     pub pages: Option<u64>,
+    /// The causal transfer span this event belongs to, if one was
+    /// active when it was recorded (see [`Tracer::set_current_span`]).
+    pub span: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -184,6 +206,11 @@ fn hist_entry(
 struct TracerShared {
     enabled: Cell<bool>,
     clock: Clock,
+    /// The transfer span currently in scope: every event recorded while
+    /// it is set is tagged with it. Propagated by the caller across
+    /// enqueue/dequeue and ring crossings; orthogonal to `enabled` so
+    /// span context survives even while recording is off.
+    current_span: Cell<Option<u64>>,
     inner: RefCell<TracerInner>,
 }
 
@@ -217,6 +244,7 @@ impl Tracer {
             shared: Rc::new(TracerShared {
                 enabled: Cell::new(false),
                 clock,
+                current_span: Cell::new(None),
                 inner: RefCell::new(TracerInner {
                     cap: DEFAULT_CAPACITY,
                     events: VecDeque::new(),
@@ -263,6 +291,49 @@ impl Tracer {
     /// The simulated now, for capturing a span start.
     pub fn now(&self) -> Ns {
         self.shared.clock.now()
+    }
+
+    /// Sets (or clears) the ambient transfer span: every event recorded
+    /// while it is set carries it in [`TraceEvent::span`]. Returns the
+    /// previous value so callers can scope-restore. A single `Cell`
+    /// write — never charges the clock.
+    pub fn set_current_span(&self, span: Option<u64>) -> Option<u64> {
+        self.shared.current_span.replace(span)
+    }
+
+    /// The ambient transfer span, if one is in scope.
+    pub fn current_span(&self) -> Option<u64> {
+        self.shared.current_span.get()
+    }
+
+    /// Records the root of a new transfer span tree. No-op while
+    /// disabled; does **not** change the ambient span.
+    pub fn span_start(&self, span: u64, dom: u32, path: Option<u64>, fbuf: Option<u64>) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        self.push_span(EventKind::SpanStart, dom, None, path, fbuf, None, None, Some(span));
+    }
+
+    /// Records a parent/child span edge: the transfer identified by
+    /// `parent` continues under `child` in a new context (the `fbuf`
+    /// field carries the parent id). No-op while disabled.
+    pub fn span_link(&self, child: u64, parent: u64, dom: u32) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        self.push_span(EventKind::SpanLink, dom, None, None, Some(parent), None, None, Some(child));
+    }
+
+    /// Records a receiver-side ring-crossing span that began at local
+    /// time `t0`: `occupancy` is the SPSC ring depth observed at the
+    /// crossing. Tagged with the ambient span. No-op while disabled.
+    pub fn ring_cross(&self, t0: Ns, dom: u32, occupancy: u64) {
+        if !self.shared.enabled.get() {
+            return;
+        }
+        let dur = self.shared.clock.now() - t0;
+        self.push(EventKind::RingCross, dom, None, None, None, Some(dur), Some(occupancy));
     }
 
     /// Records an instant event. No-op while disabled.
@@ -342,6 +413,21 @@ impl Tracer {
         dur: Option<Ns>,
         pages: Option<u64>,
     ) {
+        self.push_span(kind, dom, peer, path, fbuf, dur, pages, self.shared.current_span.get());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_span(
+        &self,
+        kind: EventKind,
+        dom: u32,
+        peer: Option<u32>,
+        path: Option<u64>,
+        fbuf: Option<u64>,
+        dur: Option<Ns>,
+        pages: Option<u64>,
+        span: Option<u64>,
+    ) {
         self.shared.inner.borrow_mut().push(TraceEvent {
             seq: 0, // assigned by TracerInner::push
             at: self.shared.clock.now(),
@@ -352,6 +438,7 @@ impl Tracer {
             fbuf,
             dur,
             pages,
+            span,
         });
     }
 
@@ -464,6 +551,9 @@ impl Tracer {
                 }
                 if let Some(p) = e.pages {
                     args.push(("pages", p.to_json()));
+                }
+                if let Some(s) = e.span {
+                    args.push(("span", s.to_json()));
                 }
                 let mut pairs = vec![
                     ("name", e.kind.label().to_json()),

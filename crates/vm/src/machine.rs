@@ -5,8 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use fbuf_sim::{
-    Arena, Clock, CostCategory, CostModel, EventKind, FaultPlan, FaultSite, MachineConfig, Ns,
-    Stats, Tracer,
+    Arena, Clock, CostCategory, CostModel, EventKind, FaultPlan, FaultSite, MachineConfig,
+    Metrics, Ns, Stats, Tracer,
 };
 
 use crate::phys::{FrameId, PhysMem};
@@ -84,6 +84,8 @@ pub struct Machine {
     clock: Clock,
     stats: Stats,
     tracer: Tracer,
+    /// Time-series gauge sampler (disabled by default, like the tracer).
+    metrics: Metrics,
     phys: PhysMem,
     tlb: Tlb,
     /// Domain slots are never recycled (a `DomainId` stays meaningful for
@@ -110,6 +112,7 @@ impl Machine {
         let clock = Clock::new();
         let stats = Stats::new();
         let tracer = Tracer::new(clock.clone());
+        let metrics = Metrics::new();
         let phys = PhysMem::new(
             cfg.frames(),
             cfg.page_size as usize,
@@ -123,6 +126,7 @@ impl Machine {
             clock,
             stats,
             tracer,
+            metrics,
             phys,
             tlb,
             domains: Vec::new(),
@@ -167,6 +171,11 @@ impl Machine {
         self.tracer.clone()
     }
 
+    /// The shared telemetry sampler handle (disabled by default).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
     /// Borrowed statistics handle — the hot-path alternative to
     /// [`Machine::stats`], which clones an `Rc` per call.
     pub fn stats_ref(&self) -> &Stats {
@@ -176,6 +185,11 @@ impl Machine {
     /// Borrowed tracer handle (see [`Machine::stats_ref`]).
     pub fn tracer_ref(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Borrowed telemetry sampler handle (see [`Machine::stats_ref`]).
+    pub fn metrics_ref(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Current simulated time, without cloning the clock handle.

@@ -338,3 +338,49 @@ fn tracing_is_zero_cost_in_simulated_time() {
     };
     assert_eq!(run(false), run(true));
 }
+
+#[test]
+fn observability_is_zero_cost_on_loopback() {
+    // Spans, metrics sampling, and the always-on ledger together: with
+    // everything switched on, a pinned workload must reach the identical
+    // simulated instant with an identical counter snapshot. Observation
+    // never perturbs the observed system.
+    let run = |on: bool| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+        s.fbs.machine().tracer().set_enabled(on);
+        s.fbs.machine().metrics_ref().set_enabled(on);
+        for _ in 0..4 {
+            s.send_message(32 << 10, false).unwrap();
+        }
+        (s.fbs.machine().clock().now(), s.fbs.stats().snapshot())
+    };
+    let (t_off, s_off) = run(false);
+    let (t_on, s_on) = run(true);
+    assert_eq!(t_off, t_on, "observability must not move the clock");
+    assert_eq!(s_off, s_on, "observability must not touch a counter");
+}
+
+#[test]
+fn observability_is_zero_cost_on_osiris_end_to_end() {
+    // Same pin across the two-machine path, where every datagram mints a
+    // TX span and links an RX child span.
+    let run = |on: bool| {
+        let mut cfg = machine();
+        cfg.phys_mem = 16 << 20;
+        let mut e = EndToEnd::new(cfg, EndToEndConfig::fig5(DomainSetup::User));
+        for fbs in [&mut e.tx.fbs, &mut e.rx.fbs] {
+            fbs.machine().tracer().set_enabled(on);
+            fbs.machine().metrics_ref().set_enabled(on);
+        }
+        for _ in 0..3 {
+            e.send_message(50_000, 1, true).unwrap();
+        }
+        (
+            e.tx.fbs.machine().now(),
+            e.rx.fbs.machine().now(),
+            e.tx.fbs.stats().snapshot(),
+            e.rx.fbs.stats().snapshot(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

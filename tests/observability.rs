@@ -1,0 +1,185 @@
+//! Integration pins for the observability stack (DESIGN.md §13):
+//! merged fleet traces, the Chrome export schema, causal span
+//! propagation across shard rings, and per-tenant ledger conservation.
+
+use fbufs::fbuf::shard::{fleet_ledger, fleet_trace, run_fleet, FleetConfig};
+use fbufs::fbuf::{AllocMode, FbufSystem, SendMode};
+use fbufs::sim::spans::reconstruct;
+use fbufs::sim::{EventKind, Json, MachineConfig, StatsSnapshot};
+
+fn fleet_machine() -> MachineConfig {
+    let mut cfg = MachineConfig::decstation_5000_200();
+    cfg.phys_mem = 32 << 20;
+    cfg.chunk_size = 1 << 20;
+    cfg
+}
+
+fn traced_fleet(shards: usize, cycles: u64) -> FleetConfig {
+    FleetConfig {
+        trace: true,
+        metrics: true,
+        cross_every: 2,
+        ..FleetConfig::new(shards, fleet_machine(), cycles)
+    }
+}
+
+#[test]
+fn merged_fleet_trace_is_lossless_and_time_ordered() {
+    let reports = run_fleet(&traced_fleet(2, 400));
+    let merged = fleet_trace(&reports);
+
+    // Lossless: every shard event survives the merge (ring overflow
+    // would show up in `events_dropped`, not as silent loss here).
+    let per_shard: usize = reports.iter().map(|r| r.events.len()).sum();
+    assert!(per_shard > 0, "traced fleet produced events");
+    assert_eq!(merged.len(), per_shard, "merge drops nothing");
+
+    // Time-ordered and re-sequenced 0..n.
+    assert!(
+        merged.windows(2).all(|w| w[0].at <= w[1].at),
+        "merged events sorted by simulated time"
+    );
+    for (i, e) in merged.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "merge re-sequences densely");
+    }
+
+    // Domain offsetting: shard 1's events must not collide with shard
+    // 0's domain ids (shard 0 created `reports[0].domains` domains).
+    let base = reports[0].domains;
+    assert!(
+        merged.iter().any(|e| e.dom >= base),
+        "second shard's events landed past the first shard's domain base"
+    );
+}
+
+#[test]
+fn chrome_trace_export_has_the_documented_schema() {
+    let mut s = FbufSystem::new(fleet_machine());
+    let tracer = s.machine().tracer();
+    tracer.set_enabled(true);
+    let a = s.create_domain();
+    let b = s.create_domain();
+    let path = s.create_path(vec![a, b]).unwrap();
+    for _ in 0..4 {
+        let id = s.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        s.hop(a, b);
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+    }
+
+    let doc = tracer.chrome_trace();
+    let rendered = doc.render();
+    let parsed = Json::parse(&rendered).expect("chrome trace renders valid JSON");
+
+    assert!(parsed.get("displayTimeUnit").is_some());
+    assert_eq!(
+        parsed.get("dropped_events").and_then(Json::as_f64),
+        Some(0.0),
+        "an un-wrapped ring reports zero drops"
+    );
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ph").and_then(Json::as_str).is_some());
+        assert!(e.get("pid").and_then(Json::as_f64).is_some());
+        // Span events use their *start* instant as ts, so the stream is
+        // not globally sorted — but no event starts before time zero.
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts present");
+        assert!(ts >= 0.0);
+    }
+}
+
+#[test]
+fn cross_shard_transfers_reconstruct_as_connected_span_trees() {
+    let reports = run_fleet(&traced_fleet(2, 400));
+    let merged = fleet_trace(&reports);
+    let crossings = merged
+        .iter()
+        .filter(|e| e.kind == EventKind::RingCross)
+        .count();
+    assert!(crossings > 0, "cross traffic actually crossed rings");
+
+    let trees = reconstruct(&merged);
+    assert!(!trees.is_empty());
+    let mut crossing_trees = 0;
+    for tree in &trees {
+        let has_crossing = tree
+            .nodes
+            .iter()
+            .flat_map(|n| n.events.iter())
+            .any(|e| e.kind == EventKind::RingCross);
+        if !has_crossing {
+            continue;
+        }
+        crossing_trees += 1;
+        // The sender's token span and the receiver's child span must have
+        // folded into ONE tree — a disconnected forest means the span id
+        // broke somewhere across the SPSC ring.
+        assert!(
+            tree.is_connected(),
+            "span tree {:#x} reconstructs connected",
+            tree.root
+        );
+        assert!(
+            tree.nodes.len() >= 2,
+            "a ring crossing spans both sides (tree {:#x})",
+            tree.root
+        );
+    }
+    assert!(
+        crossing_trees > 0,
+        "at least one reconstructed tree covers a ring crossing"
+    );
+}
+
+#[test]
+fn ledger_conserves_on_a_single_system_workload() {
+    // Mixed cached/uncached traffic across two tenants; the always-on
+    // ledger's totals must reproduce the system's own counters exactly.
+    let mut s = FbufSystem::new(fleet_machine());
+    let a = s.create_domain();
+    let b = s.create_domain();
+    let path = s.create_path(vec![a, b]).unwrap();
+    for round in 0..6u64 {
+        let mode = if round % 2 == 0 {
+            AllocMode::Cached(path)
+        } else {
+            AllocMode::Uncached
+        };
+        let id = s.alloc(a, mode, 8192).unwrap();
+        s.write_fbuf(a, id, 0, &[round as u8]).unwrap();
+        s.hop(a, b);
+        s.send(id, a, b, SendMode::Volatile).unwrap();
+        s.free(id, b).unwrap();
+        s.free(id, a).unwrap();
+    }
+
+    let ledger = s.ledger_snapshot();
+    let violations = ledger.conserves(&s.stats().snapshot());
+    assert!(violations.is_empty(), "conservation violated: {violations:?}");
+
+    let totals = ledger.totals();
+    assert!(totals.bytes > 0, "tenants were charged for bytes");
+    assert!(totals.transfers > 0);
+    assert!(totals.hold_ns > 0, "freed buffers accumulated hold time");
+    // Attribution went to the tenants that did the work.
+    assert!(ledger.domains[a.0 as usize].transfers > 0);
+    assert!(ledger.paths[path.0 as usize].bytes > 0);
+}
+
+#[test]
+fn fleet_ledger_conserves_against_whole_life_counters() {
+    let reports = run_fleet(&traced_fleet(2, 400));
+    let ledger = fleet_ledger(&reports);
+    let life = StatsSnapshot::merge_all(reports.iter().map(|r| &r.life));
+    let violations = ledger.conserves(&life);
+    assert!(violations.is_empty(), "fleet conservation violated: {violations:?}");
+    assert!(ledger.totals().bytes > 0);
+    // Telemetry rode along: the metrics flag filled per-shard series.
+    assert!(reports.iter().all(|r| !r.telemetry.is_empty()));
+}
