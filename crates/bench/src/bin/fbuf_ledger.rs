@@ -11,7 +11,9 @@
 //!   transfer/alloc counts, buffer-hold time, queueing delay, IPC calls
 //!   originated, and faults absorbed;
 //! * `LEDGER_fleet.json` in the report directory — the full tables plus
-//!   the fleet counter snapshot and the **conservation** verdict.
+//!   the fleet counter snapshot, a `notice_plane` summary (batches,
+//!   tokens, orphans from the coalesced cross-shard notice rings), and
+//!   the **conservation** verdict.
 //!
 //! Conservation is the whole point: summed over every tenant, the
 //! ledger's bytes / transfers / IPC-call columns must reproduce the
@@ -92,6 +94,22 @@ fn main() -> ExitCode {
     let life = StatsSnapshot::merge_all(reports.iter().map(|r| &r.life));
     print_table(&ledger);
 
+    // The batched notice plane, summed across shards. The coalescing
+    // factor (tokens per batch) is the realized win of batch-boundary
+    // flushing; orphans are protocol violations and fail the run.
+    let batches: u64 = reports.iter().map(|r| r.notice_batches).sum();
+    let tokens: u64 = reports.iter().map(|r| r.notice_tokens).sum();
+    let orphans: u64 = reports.iter().map(|r| r.orphan_notices).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let coalesce = if batches > 0 {
+        tokens as f64 / batches as f64
+    } else {
+        0.0
+    };
+    println!(
+        "notice plane: {tokens} token(s) in {batches} batch(es), coalesce x{coalesce:.2}, {orphans} orphan(s)"
+    );
+
     let violations = ledger.conserves(&life);
     let doc = Json::obj(vec![
         ("name", "ledger_fleet".to_json()),
@@ -99,6 +117,14 @@ fn main() -> ExitCode {
         ("cycles", cycles.to_json()),
         ("ledger", ledger.to_json()),
         ("counters", life.to_json()),
+        (
+            "notice_plane",
+            Json::obj(vec![
+                ("batches", batches.to_json()),
+                ("tokens", tokens.to_json()),
+                ("orphans", orphans.to_json()),
+            ]),
+        ),
         (
             "conservation",
             Json::obj(vec![(
@@ -124,6 +150,10 @@ fn main() -> ExitCode {
         for v in &violations {
             eprintln!("  {v}");
         }
+        return ExitCode::FAILURE;
+    }
+    if orphans > 0 {
+        eprintln!("fbuf-ledger FAILED: {orphans} notice token(s) arrived without a pending send");
         return ExitCode::FAILURE;
     }
     println!(

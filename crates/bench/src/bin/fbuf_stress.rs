@@ -33,7 +33,13 @@
 //! * `FBUF_STRESS_MIN_SPEEDUP` — `<threads>:<factor>` (e.g. `4:2.5`);
 //!   fail unless the run at `<threads>` reached `<factor>`× the first
 //!   (lowest) thread count's ops/sec. Only meaningful on a host with at
-//!   least `<threads>` cores, hence opt-in;
+//!   least `<threads>` cores, hence opt-in (`ci.sh` sets it adaptively
+//!   from the core count);
+//! * `FBUF_STRESS_EFF_FLOOR` — `<threads>:<efficiency>` (e.g. `2:0.6`);
+//!   fail unless parallel efficiency at `<threads>` is at least
+//!   `<efficiency>`, and record the floor under `host.scaling_floor` so
+//!   `--check` re-enforces it against the report forever after. Opt-in
+//!   for the same reason as the speedup gate;
 //! * `FBUF_BENCH_DIR`      — report directory (default
 //!   `target/bench-reports`).
 //!
@@ -41,9 +47,13 @@
 //! in `<dir>` with the in-repo parser and fails unless each carries a
 //! `host` block, a `repro` header (seed, thread count, workload params),
 //! **and** a `telemetry` block (positive cadence, well-formed time-ordered
-//! series); any `host.scaling` block must be well-formed (strictly
-//! increasing thread counts, positive ops/sec, efficiency in (0, 1.05]),
-//! and the stress report itself must carry a non-empty one. `LEDGER_*.json`
+//! series; the stress report must additionally carry the batched-plane
+//! gauges `ring_batch_occupancy` and `notice_coalesce_factor`); any
+//! `host.scaling` block must be
+//! well-formed (strictly increasing thread counts, positive ops/sec,
+//! efficiency in (0, 1.05]) and still satisfy any recorded
+//! `host.scaling_floor`, and the stress report itself must carry a
+//! non-empty curve. `LEDGER_*.json`
 //! artifacts (written by `fbuf-ledger`) are validated too: tables present
 //! and the embedded conservation check clean.
 
@@ -101,11 +111,33 @@ fn thread_counts() -> Vec<usize> {
     counts
 }
 
+/// `FBUF_STRESS_NOTICE_BATCH`: the notice-coalescing window (tokens per
+/// reverse-ring slot; 1 = the per-element plane, default 8).
+fn notice_batch() -> usize {
+    std::env::var("FBUF_STRESS_NOTICE_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
 /// `FBUF_STRESS_MIN_SPEEDUP` as `(threads, factor)`, e.g. `4:2.5`.
 fn min_speedup_gate() -> Option<(u64, f64)> {
-    let raw = std::env::var("FBUF_STRESS_MIN_SPEEDUP").ok()?;
+    parse_gate(&std::env::var("FBUF_STRESS_MIN_SPEEDUP").ok()?)
+}
+
+/// `FBUF_STRESS_EFF_FLOOR` as `(threads, efficiency)`, e.g. `2:0.6`.
+fn eff_floor_gate() -> Option<(u64, f64)> {
+    parse_gate(&std::env::var("FBUF_STRESS_EFF_FLOOR").ok()?)
+}
+
+fn parse_gate(raw: &str) -> Option<(u64, f64)> {
     let (t, f) = raw.split_once(':')?;
     Some((t.trim().parse().ok()?, f.trim().parse().ok()?))
+}
+
+/// Fleet wall-clock throughput of one run.
+fn ops_per_sec(r: &FleetRun) -> f64 {
+    r.ops as f64 * 1e9 / r.host_ns as f64
 }
 
 /// One thread count's worth of fleet results.
@@ -131,6 +163,7 @@ fn run_at(threads: usize, machine: &MachineConfig, paths: usize, pages: u64, cyc
         cycles,
         cross_every,
         channel_capacity: 16,
+        notice_batch: notice_batch(),
         trace: false,
         // Telemetry rides along: sampling is cadence-gated on simulated
         // time and never touches the counters the steady-state
@@ -213,14 +246,42 @@ fn check_scaling(name: &str, doc: &Json, required: bool) -> Result<(), String> {
             ));
         }
     }
+    // A recorded floor is a ratchet: the report promised this parallel
+    // efficiency when it was written, so it must still hold every time
+    // the artifact is validated.
+    if let Some(floor) = doc.get("host").and_then(|h| h.get("scaling_floor")) {
+        let ft = floor
+            .get("threads")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("{name}: `scaling_floor.threads` is not a number"))?;
+        let fe = floor
+            .get("efficiency")
+            .and_then(|v| v.as_f64())
+            .ok_or(format!("{name}: `scaling_floor.efficiency` is not a number"))?;
+        let eff = scaling
+            .iter()
+            .find(|p| p.get("threads").and_then(|v| v.as_f64()) == Some(ft))
+            .and_then(|p| p.get("efficiency"))
+            .and_then(|v| v.as_f64())
+            .ok_or(format!(
+                "{name}: scaling_floor names {ft} thread(s), absent from the scaling curve"
+            ))?;
+        if eff < fe {
+            return Err(format!(
+                "{name}: efficiency {eff:.3} at {ft} thread(s) is below the recorded floor {fe:.3}"
+            ));
+        }
+    }
     Ok(())
 }
 
 /// Validates the `telemetry` block every report must carry: a positive
 /// sampling cadence and a (possibly empty) series array whose entries
 /// each name a gauge and hold `[t, v]` points with non-decreasing
-/// timestamps.
-fn check_telemetry(name: &str, doc: &Json) -> Result<(), String> {
+/// timestamps. `shard_gauges` additionally requires the batched-plane
+/// gauges — only the stress report runs a shard fleet, so only it can
+/// carry them.
+fn check_telemetry(name: &str, doc: &Json, shard_gauges: bool) -> Result<(), String> {
     let tel = doc
         .get("telemetry")
         .ok_or(format!("{name}: missing `telemetry` block"))?;
@@ -235,11 +296,13 @@ fn check_telemetry(name: &str, doc: &Json) -> Result<(), String> {
         .get("series")
         .and_then(|s| s.as_arr().map(<[Json]>::to_vec))
         .ok_or(format!("{name}: `telemetry.series` is not an array"))?;
+    let mut names = Vec::new();
     for s in &series {
         let sname = s
             .get("name")
             .and_then(|v| v.as_str().map(str::to_owned))
             .ok_or(format!("{name}: a telemetry series lacks a name"))?;
+        names.push(sname.clone());
         let points = s
             .get("points")
             .and_then(|p| p.as_arr().map(<[Json]>::to_vec))
@@ -257,6 +320,19 @@ fn check_telemetry(name: &str, doc: &Json) -> Result<(), String> {
                 ));
             }
             prev = t;
+        }
+    }
+    // The batched data plane must prove it was observed: the stress
+    // report samples the burst-drain and coalescing gauges (per shard,
+    // namespace-prefixed `s<N>.<gauge>`).
+    if shard_gauges {
+        for gauge in [
+            metrics::GAUGE_RING_BATCH_OCCUPANCY,
+            metrics::GAUGE_NOTICE_COALESCE_FACTOR,
+        ] {
+            if !names.iter().any(|n| n.ends_with(gauge)) {
+                return Err(format!("{name}: telemetry lacks a `{gauge}` series"));
+            }
         }
     }
     Ok(())
@@ -338,7 +414,7 @@ fn check_reports(dir: &str) -> Result<usize, String> {
             .filter(|&t| t == "wall_clock_ns")
             .ok_or(format!("{name}: `host.timebase` is not wall_clock_ns"))?;
         check_repro(&name, &doc)?;
-        check_telemetry(&name, &doc)?;
+        check_telemetry(&name, &doc, name == "BENCH_stress.json")?;
         check_scaling(&name, &doc, name == "BENCH_stress.json")?;
         checked += 1;
     }
@@ -409,8 +485,6 @@ fn main() -> ExitCode {
     }
 
     if let Some((gate_threads, factor)) = min_speedup_gate() {
-        let ops_per_sec =
-            |r: &FleetRun| r.ops as f64 * 1e9 / r.host_ns as f64;
         let base = &runs[0];
         match runs.iter().find(|r| r.threads == gate_threads) {
             Some(run) => {
@@ -430,6 +504,34 @@ fn main() -> ExitCode {
             None => {
                 eprintln!(
                     "fbuf-stress FAILED: FBUF_STRESS_MIN_SPEEDUP names {gate_threads} thread(s), but the sweep ran {threads:?}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some((gate_threads, floor)) = eff_floor_gate() {
+        let base = &runs[0];
+        match runs.iter().find(|r| r.threads == gate_threads) {
+            Some(run) => {
+                let speedup = ops_per_sec(run) / ops_per_sec(base);
+                let efficiency =
+                    speedup / (run.threads as f64 / base.threads.max(1) as f64);
+                if efficiency < floor {
+                    eprintln!(
+                        "fbuf-stress FAILED: {gate_threads}-thread efficiency {efficiency:.2} < floor {floor:.2}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "efficiency gate: {gate_threads} thread(s) at {:.0}% of linear >= floor {:.0}%",
+                    efficiency * 100.0,
+                    floor * 100.0
+                );
+            }
+            None => {
+                eprintln!(
+                    "fbuf-stress FAILED: FBUF_STRESS_EFF_FLOOR names {gate_threads} thread(s), but the sweep ran {threads:?}"
                 );
                 return ExitCode::FAILURE;
             }
@@ -466,6 +568,9 @@ fn main() -> ExitCode {
         .map(|r| ScalingPoint { threads: r.threads, ops: r.ops, elapsed_ns: r.host_ns })
         .collect();
     runner.host_scaling(&curve);
+    if let Some((gate_threads, floor)) = eff_floor_gate() {
+        runner.host_scaling_floor(gate_threads, floor);
+    }
     // One coherent fleet snapshot: the counter merge of the largest run.
     let widest = runs.last().expect("at least one run");
     runner.counters(&fleet_snapshot(&widest.reports));

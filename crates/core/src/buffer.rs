@@ -1,4 +1,14 @@
-//! The fbuf object itself.
+//! The fbuf object itself, split into a hot and a cold half.
+//!
+//! The steady-state cached-loopback loop (alloc hit → send → free → park)
+//! touches only a handful of fields per fbuf: the protection state, the
+//! owning path, the intrusive parked-list links, and the birth stamp.
+//! Those live in [`FbufHot`], which `FbufSystem` stores in a *dense array
+//! parallel to the arena slots* — the inner loop (and especially the
+//! parked-list neighbor patching) walks one tightly packed lane instead of
+//! dragging each buffer's holder vectors and frame table through the
+//! cache. Everything else — identity, geometry, frames, holder
+//! bookkeeping — is the cold half and stays in [`Fbuf`] inside the arena.
 
 use fbuf_sim::Ns;
 use fbuf_vm::{DomainId, FrameId};
@@ -21,36 +31,18 @@ pub enum FbufState {
     Secured,
 }
 
-/// One fast buffer: contiguous pages at a fixed virtual address within the
-/// globally shared fbuf region.
-#[derive(Debug)]
-pub struct Fbuf {
-    /// Stable identifier (and notice token).
-    pub id: FbufId,
-    /// Base virtual address (page aligned, identical in every domain).
-    pub va: u64,
-    /// Size in pages.
-    pub pages: u64,
-    /// Requested size in bytes (≤ `pages * page_size`).
-    pub len: u64,
-    /// The domain that allocated the buffer.
-    pub originator: DomainId,
+/// The hot half of an fbuf: the fields the steady-state cached cycle
+/// reads and writes on every operation. Stored by `FbufSystem` in a dense
+/// slot-indexed lane parallel to the arena (see the module docs); `Copy`
+/// so call sites can snapshot it in one move before taking a mutable
+/// borrow of the cold half.
+#[derive(Debug, Clone, Copy)]
+pub struct FbufHot {
     /// The I/O data path this buffer belongs to (`None` for the uncached
     /// default allocator).
     pub path: Option<PathId>,
     /// Protection state.
     pub state: FbufState,
-    /// Backing frames; `None` slots were reclaimed by the pageout daemon
-    /// while the buffer sat on a free list.
-    pub frames: Vec<Option<FrameId>>,
-    /// Domains currently holding a reference.
-    pub holders: Vec<DomainId>,
-    /// Parallel to `holders`: this fbuf's index inside the system's
-    /// per-domain held list for the corresponding holder, so releasing a
-    /// reference is O(1) instead of a scan (maintained by `FbufSystem`).
-    pub held_pos: Vec<usize>,
-    /// Domains in which the pages are currently mapped.
-    pub mapped_in: Vec<DomainId>,
     /// Intrusive parked-list link toward the cold end (maintained by
     /// `FbufSystem`; meaningful only while `park_linked`).
     pub park_prev: Option<FbufId>,
@@ -65,12 +57,55 @@ pub struct Fbuf {
     pub born: Ns,
 }
 
-impl Fbuf {
+impl FbufHot {
+    /// A fresh hot record for a buffer just built on `path`.
+    pub fn new(path: Option<PathId>, born: Ns) -> FbufHot {
+        FbufHot {
+            path,
+            state: FbufState::Volatile,
+            park_prev: None,
+            park_next: None,
+            park_linked: false,
+            born,
+        }
+    }
+
     /// True when allocated from a per-path (cached) allocator.
     pub fn is_cached(&self) -> bool {
         self.path.is_some()
     }
+}
 
+/// The cold half of one fast buffer: contiguous pages at a fixed virtual
+/// address within the globally shared fbuf region. Identity, geometry,
+/// frames, and holder bookkeeping — consulted on transfers and teardown
+/// but not on every step of the steady-state loop.
+#[derive(Debug)]
+pub struct Fbuf {
+    /// Stable identifier (and notice token).
+    pub id: FbufId,
+    /// Base virtual address (page aligned, identical in every domain).
+    pub va: u64,
+    /// Size in pages.
+    pub pages: u64,
+    /// Requested size in bytes (≤ `pages * page_size`).
+    pub len: u64,
+    /// The domain that allocated the buffer.
+    pub originator: DomainId,
+    /// Backing frames; `None` slots were reclaimed by the pageout daemon
+    /// while the buffer sat on a free list.
+    pub frames: Vec<Option<FrameId>>,
+    /// Domains currently holding a reference.
+    pub holders: Vec<DomainId>,
+    /// Parallel to `holders`: this fbuf's index inside the system's
+    /// per-domain held list for the corresponding holder, so releasing a
+    /// reference is O(1) instead of a scan (maintained by `FbufSystem`).
+    pub held_pos: Vec<usize>,
+    /// Domains in which the pages are currently mapped.
+    pub mapped_in: Vec<DomainId>,
+}
+
+impl Fbuf {
     /// True if `dom` holds a reference.
     pub fn held_by(&self, dom: DomainId) -> bool {
         self.holders.contains(&dom)
@@ -104,23 +139,16 @@ mod tests {
             pages: 2,
             len: 5000,
             originator: DomainId(1),
-            path: Some(PathId(0)),
-            state: FbufState::Volatile,
             frames: vec![Some(FrameId(3)), None],
             holders: vec![DomainId(1)],
             held_pos: vec![0],
             mapped_in: vec![DomainId(1)],
-            park_prev: None,
-            park_next: None,
-            park_linked: false,
-            born: Ns(0),
         }
     }
 
     #[test]
     fn accessors() {
         let f = sample();
-        assert!(f.is_cached());
         assert!(f.held_by(DomainId(1)));
         assert!(!f.held_by(DomainId(2)));
         assert!(!f.resident());
@@ -129,9 +157,13 @@ mod tests {
     }
 
     #[test]
-    fn uncached_has_no_path() {
-        let mut f = sample();
-        f.path = None;
-        assert!(!f.is_cached());
+    fn hot_half_tracks_caching_and_starts_unparked() {
+        let h = FbufHot::new(Some(PathId(0)), Ns(7));
+        assert!(h.is_cached());
+        assert_eq!(h.state, FbufState::Volatile);
+        assert!(!h.park_linked);
+        assert_eq!(h.born, Ns(7));
+        let uncached = FbufHot::new(None, Ns(0));
+        assert!(!uncached.is_cached());
     }
 }

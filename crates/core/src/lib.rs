@@ -74,7 +74,7 @@ pub mod region;
 pub mod shard;
 pub mod system;
 
-pub use buffer::{Fbuf, FbufId, FbufState};
+pub use buffer::{Fbuf, FbufHot, FbufId, FbufState};
 pub use engine::{run_offered_load, HopMsg, QueueConfig, QueueReport, TransferMode};
 pub use error::{FbufError, FbufResult};
 pub use ledger::{Ledger, TenantRow};
@@ -82,6 +82,6 @@ pub use path::{DataPath, PathId};
 pub use region::ChunkAllocator;
 pub use shard::{
     fleet_ledger, fleet_snapshot, fleet_telemetry, fleet_trace, run_fleet, shard_of_path,
-    CrossShardMsg, FleetConfig, Links, Shard, ShardReport,
+    CrossShardMsg, FleetConfig, Links, NoticeBatch, Shard, ShardReport, NOTICE_BATCH_MAX,
 };
 pub use system::{AllocMode, FbufSystem, ReusePolicy, SendMode};

@@ -21,6 +21,21 @@
 //! deallocation notice flows back on the reverse **notice ring**, at
 //! which point the sender parks its copy on its free list.
 //!
+//! The inter-core plane is **batched** (DESIGN.md §14): the receiver
+//! drains its whole data-ring backlog under one acquire load
+//! ([`spsc::Consumer::drain_into`]), and dealloc notices are coalesced
+//! into [`NoticeBatch`] payloads — one reverse-ring slot carries up to
+//! [`NOTICE_BATCH_MAX`] tokens in send order, staged per ingest and
+//! flushed at every poll boundary (or earlier when the configured
+//! coalescing window [`FleetConfig::notice_batch`] fills). Batching is
+//! host-plane only: it never touches the simulated clock or counters,
+//! which `tests/counter_exactness.rs` pins by running the same fleet at
+//! different coalescing windows. A notice that comes back with no
+//! matching pending egress buffer is not a panic but a typed audit
+//! violation (`notice-without-pending`, recorded as a
+//! [`fbuf_sim::EventKind::NoticeOrphan`] trace event), so fuzzing under
+//! fault injection reports instead of aborting.
+//!
 //! [`run_fleet`] drives N shards concurrently over a ring topology
 //! (shard *i* feeds shard *i*+1 mod N) with barrier-aligned warm-up and
 //! measurement phases, and returns one [`ShardReport`] per shard;
@@ -33,7 +48,7 @@ use std::time::Instant;
 
 use fbuf_sim::metrics::{self, SeriesSnapshot};
 use fbuf_sim::spsc::{self, Consumer, Producer};
-use fbuf_sim::{trace, FaultSite, FaultSpec, MachineConfig, Ns, StatsSnapshot, TraceEvent};
+use fbuf_sim::{trace, EventKind, FaultSite, FaultSpec, MachineConfig, Ns, StatsSnapshot, TraceEvent};
 use fbuf_vm::DomainId;
 
 use crate::ledger::Ledger;
@@ -70,19 +85,74 @@ impl CrossShardMsg {
     }
 }
 
+/// Maximum dealloc-notice tokens one reverse-ring slot can carry. The
+/// effective coalescing window is [`FleetConfig::notice_batch`], capped
+/// here so a batch stays a fixed-size, allocation-free value.
+pub const NOTICE_BATCH_MAX: usize = 16;
+
+/// A coalesced batch of dealloc-notice tokens: one reverse-ring slot
+/// carrying up to [`NOTICE_BATCH_MAX`] tokens, in the exact order the
+/// corresponding payloads were sent (the FIFO invariant the sender's
+/// pending queue relies on spans batches: tokens within a batch are
+/// ordered, and batches are ordered by the ring itself).
+#[derive(Debug, Clone, Copy)]
+pub struct NoticeBatch {
+    len: u8,
+    tokens: [u64; NOTICE_BATCH_MAX],
+}
+
+impl NoticeBatch {
+    /// A batch holding no tokens.
+    pub const fn empty() -> NoticeBatch {
+        NoticeBatch { len: 0, tokens: [0; NOTICE_BATCH_MAX] }
+    }
+
+    /// Appends a token. Returns `false` (leaving the batch unchanged)
+    /// when the batch already carries [`NOTICE_BATCH_MAX`] tokens.
+    pub fn push(&mut self, token: u64) -> bool {
+        if (self.len as usize) == NOTICE_BATCH_MAX {
+            return false;
+        }
+        self.tokens[self.len as usize] = token;
+        self.len += 1;
+        true
+    }
+
+    /// Tokens carried, in send order.
+    pub fn tokens(&self) -> &[u64] {
+        &self.tokens[..self.len as usize]
+    }
+
+    /// Number of tokens carried.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no tokens are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for NoticeBatch {
+    fn default() -> NoticeBatch {
+        NoticeBatch::empty()
+    }
+}
+
 /// A shard's four channel endpoints in the fleet's ring topology. All
 /// are `None` for a fleet without cross-shard traffic.
 #[derive(Debug, Default)]
 pub struct Links {
     /// Data ring to the next shard (this shard is the producer).
     pub data_tx: Option<Producer<CrossShardMsg>>,
-    /// Reverse notice ring from the next shard (tokens of payloads it
-    /// has fully consumed).
-    pub notice_rx: Option<Consumer<u64>>,
+    /// Reverse notice ring from the next shard: coalesced batches of
+    /// tokens of payloads it has fully consumed.
+    pub notice_rx: Option<Consumer<NoticeBatch>>,
     /// Data ring from the previous shard (this shard is the consumer).
     pub data_rx: Option<Consumer<CrossShardMsg>>,
     /// Reverse notice ring to the previous shard.
-    pub notice_tx: Option<Producer<u64>>,
+    pub notice_tx: Option<Producer<NoticeBatch>>,
 }
 
 /// The three domains of one local loopback path (originator →
@@ -114,10 +184,28 @@ pub struct Shard {
     /// Bytes per buffer.
     len: u64,
     /// Egress buffers awaiting their dealloc notice, oldest first. The
-    /// SPSC rings are FIFO, so notices return in send order.
+    /// SPSC rings are FIFO and batches preserve send order, so notices
+    /// return in send order.
     pending: VecDeque<(u64, FbufId)>,
     next_seq: u64,
     next_local: usize,
+    /// Dealloc-notice tokens staged for the next batch flush (tokens of
+    /// payloads this shard has fully consumed, send order).
+    notice_stage: NoticeBatch,
+    /// Coalescing window: flush the stage once it carries this many
+    /// tokens (a poll boundary flushes earlier regardless).
+    coalesce: usize,
+    /// Scratch buffer for burst-draining the ingress data ring
+    /// (capacity retained across polls — no steady-state allocation).
+    drain_buf: Vec<CrossShardMsg>,
+    /// Size of the last non-empty ingress drain burst (the
+    /// `ring_batch_occupancy` gauge).
+    last_drain: u64,
+    /// The shard's own gauge-sampling deadline. The system consumes the
+    /// shared metrics cadence at its internal checkpoints (alloc, hop
+    /// dispatch), so the shard-only gauges (ring occupancy, burst size,
+    /// coalescing factor) would starve if they waited on `Metrics::due`.
+    next_shard_sample: std::cell::Cell<u64>,
     /// Measured-window activity counters (reset by
     /// [`Shard::reset_activity`] after warm-up).
     pub cycles: u64,
@@ -125,6 +213,15 @@ pub struct Shard {
     pub sent: u64,
     /// Cross-shard payloads materialized.
     pub received: u64,
+    /// Notice batches flushed onto the reverse ring.
+    pub notice_batches: u64,
+    /// Notice tokens carried by those batches (`notice_tokens /
+    /// notice_batches` is the realized coalescing factor).
+    pub notice_tokens: u64,
+    /// Notices that arrived with no matching pending egress buffer (or
+    /// out of send order) — each one is also a `NoticeOrphan` trace
+    /// event and a `notice-without-pending` audit violation.
+    pub orphan_notices: u64,
 }
 
 impl Shard {
@@ -133,6 +230,21 @@ impl Shard {
     /// Call this *inside* the owning thread: the engine's `Rc` handles
     /// must never cross threads.
     pub fn new(id: usize, cfg: MachineConfig, paths: usize, pages: u64) -> Shard {
+        Shard::with_coalesce(id, cfg, paths, pages, NOTICE_BATCH_MAX)
+    }
+
+    /// [`Shard::new`] with an explicit notice-coalescing window (`1` =
+    /// one token per reverse-ring slot, the pre-batching behaviour;
+    /// clamped to `1..=`[`NOTICE_BATCH_MAX`]). The window is host-plane
+    /// only: it changes how many ring slots the notices occupy, never
+    /// what the engine charges.
+    pub fn with_coalesce(
+        id: usize,
+        cfg: MachineConfig,
+        paths: usize,
+        pages: u64,
+        coalesce: usize,
+    ) -> Shard {
         let len = pages.max(1) * cfg.page_size;
         let mut sys = FbufSystem::new(cfg);
         // Distinct non-zero salts keep span ids fleet-unique after the
@@ -168,9 +280,17 @@ impl Shard {
             pending: VecDeque::new(),
             next_seq: 0,
             next_local: 0,
+            notice_stage: NoticeBatch::empty(),
+            coalesce: coalesce.clamp(1, NOTICE_BATCH_MAX),
+            drain_buf: Vec::new(),
+            last_drain: 0,
+            next_shard_sample: std::cell::Cell::new(0),
             cycles: 0,
             sent: 0,
             received: 0,
+            notice_batches: 0,
+            notice_tokens: 0,
+            orphan_notices: 0,
         }
     }
 
@@ -275,34 +395,118 @@ impl Shard {
     }
 
     /// Drains everything currently queued on the ingress and notice
-    /// rings: each arriving payload is materialized through this shard's
+    /// rings: the whole data backlog is consumed as one burst (a single
+    /// acquire load), each payload materialized through this shard's
     /// own cached allocator, walked down the ingress path, freed, and
-    /// acknowledged on the reverse ring; each returning notice frees
-    /// (parks) the corresponding egress buffer. Returns how many
-    /// messages and notices were processed.
+    /// its notice token staged for a coalesced acknowledgement; the
+    /// stage is flushed at this poll boundary, and each returning
+    /// notice batch frees (parks) the corresponding egress buffers.
+    /// Returns how many messages and notices were processed.
     pub fn poll(&mut self, links: &mut Links) -> usize {
         let mut progressed = 0;
-        while let Some((msg, occupancy)) = links.data_rx.as_mut().and_then(|rx| {
-            // Occupancy *behind* this message: how much backlog the ring
-            // still holds while we service it (a telemetry gauge and the
-            // `pages` field of the RingCross span record).
-            rx.pop().map(|msg| (msg, rx.len() as u64))
-        }) {
-            self.ingest(msg, links, occupancy);
+        // Burst-drain the data ring: one acquire covers every message
+        // below, and the burst size is the `ring_batch_occupancy` gauge.
+        let mut burst = std::mem::take(&mut self.drain_buf);
+        if let Some(rx) = links.data_rx.as_mut() {
+            rx.drain_into(&mut burst, usize::MAX);
+        }
+        let total = burst.len();
+        if total > 0 {
+            self.last_drain = total as u64;
+        }
+        for (i, msg) in burst.drain(..).enumerate() {
+            // Occupancy *behind* this message: how much of the drained
+            // burst still waits while we service it (a telemetry gauge
+            // and the `pages` field of the RingCross span record).
+            let behind = (total - 1 - i) as u64;
+            self.ingest(msg, links, behind);
             progressed += 1;
         }
-        while let Some(token) = links.notice_rx.as_mut().and_then(Consumer::pop) {
-            let (expect, id) = self
-                .pending
-                .pop_front()
-                .expect("notice without a pending egress buffer");
-            assert_eq!(token, expect, "notices return in send order (FIFO rings)");
-            self.sys
-                .free(id, self.egress.originator)
-                .expect("free acknowledged egress buffer");
-            progressed += 1;
+        self.drain_buf = burst; // capacity retained for the next poll
+        // Poll boundary: anything staged goes out as one ring slot now.
+        self.flush_notices(links);
+        while let Some(batch) = links.notice_rx.as_mut().and_then(Consumer::pop) {
+            for &token in batch.tokens() {
+                self.retire_notice(token);
+                progressed += 1;
+            }
         }
         progressed
+    }
+
+    /// Retires one returned dealloc notice against the pending egress
+    /// queue. The production invariant is that `token` is exactly the
+    /// front of `pending` (FIFO rings, order-preserving batches); a
+    /// token that is out of order or matches nothing is recorded as a
+    /// [`EventKind::NoticeOrphan`] trace event (the typed
+    /// `notice-without-pending` audit violation) and counted, instead
+    /// of aborting — fault-injection campaigns must report, not panic.
+    fn retire_notice(&mut self, token: u64) {
+        match self.pending.iter().position(|&(t, _)| t == token) {
+            Some(0) => {
+                let (_, id) = self.pending.pop_front().expect("position 0 exists");
+                self.sys
+                    .free(id, self.egress.originator)
+                    .expect("free acknowledged egress buffer");
+            }
+            Some(i) => {
+                // Out of send order: recover (free the matched buffer so
+                // nothing leaks) but flag the ordering violation.
+                self.orphan_notices += 1;
+                self.sys.machine().tracer().instant(
+                    EventKind::NoticeOrphan,
+                    self.egress.originator.0,
+                    None,
+                    Some(token),
+                );
+                let (_, id) = self.pending.remove(i).expect("position i exists");
+                self.sys
+                    .free(id, self.egress.originator)
+                    .expect("free acknowledged egress buffer");
+            }
+            None => {
+                self.orphan_notices += 1;
+                self.sys.machine().tracer().instant(
+                    EventKind::NoticeOrphan,
+                    self.egress.originator.0,
+                    None,
+                    Some(token),
+                );
+            }
+        }
+    }
+
+    /// Publishes the staged notice tokens as one coalesced ring slot.
+    /// Consults the [`FaultSite::RingFull`] site once per *batch*
+    /// boundary (not per token): backpressure faults now land where the
+    /// real ring interaction happens.
+    fn flush_notices(&mut self, links: &mut Links) {
+        if self.notice_stage.is_empty() {
+            return;
+        }
+        let tx = links
+            .notice_tx
+            .as_mut()
+            .expect("staged notices imply a notice ring");
+        let mut batch = std::mem::take(&mut self.notice_stage);
+        self.notice_batches += 1;
+        self.notice_tokens += batch.len() as u64;
+        loop {
+            // An injected RingFull behaves exactly like an organically
+            // full ring: back off and retry the whole batch.
+            let injected = self
+                .sys
+                .fault_plan()
+                .is_some_and(|p| p.fires(FaultSite::RingFull));
+            if !injected {
+                match tx.push(batch) {
+                    Ok(()) => break,
+                    Err(back) => batch = back,
+                }
+            }
+            // The peer drains notices every cycle; just wait for room.
+            std::thread::yield_now();
+        }
     }
 
     /// Egress buffers still awaiting their dealloc notice.
@@ -349,24 +553,16 @@ impl Shard {
         // ingest cost is the honest cross-shard measure — DESIGN §13).
         tracer.ring_cross(t0, t.originator.0, occupancy);
         tracer.set_current_span(prev);
-        let tx = links
-            .notice_tx
-            .as_mut()
-            .expect("an ingress link implies a notice ring");
-        let mut token = msg.token;
-        loop {
-            let injected = self
-                .sys
-                .fault_plan()
-                .is_some_and(|p| p.fires(FaultSite::RingFull));
-            if !injected {
-                match tx.push(token) {
-                    Ok(()) => break,
-                    Err(back) => token = back,
-                }
-            }
-            // The sender drains notices every cycle; just wait for room.
-            std::thread::yield_now();
+        assert!(
+            links.notice_tx.is_some(),
+            "an ingress link implies a notice ring"
+        );
+        // Stage the acknowledgement instead of pushing it: tokens
+        // coalesce into one ring slot, flushed when the window fills or
+        // at the next poll boundary, whichever comes first.
+        assert!(self.notice_stage.push(msg.token), "stage below the window");
+        if self.notice_stage.len() >= self.coalesce {
+            self.flush_notices(links);
         }
     }
 
@@ -374,14 +570,22 @@ impl Shard {
     /// shard's SPSC ring-occupancy gauges (`ring.out`/`ring.in` are the
     /// data rings to the next and from the previous shard). One `Cell`
     /// read when the sampler is disabled or not yet due.
+    ///
+    /// The system gauges ride the shared [`fbuf_sim::Metrics`] cadence
+    /// (and are usually taken by the system's own checkpoints before
+    /// this runs); the shard gauges keep an independent deadline at the
+    /// same cadence so they cannot be starved by those checkpoints.
     pub fn sample_telemetry(&self, links: &Links) {
         let now = self.sys.machine().now();
         let m = self.sys.machine().metrics_ref();
-        if !m.due(now) {
+        if m.due(now) {
+            m.advance(now);
+            self.sys.sample_gauges_at(now);
+        }
+        if !m.is_enabled() || now.0 < self.next_shard_sample.get() {
             return;
         }
-        m.advance(now);
-        self.sys.sample_gauges_at(now);
+        self.next_shard_sample.set(now.0.saturating_add(m.cadence()));
         if let Some(tx) = &links.data_tx {
             m.sample(now, "ring.out", tx.len() as u64);
         }
@@ -389,13 +593,24 @@ impl Shard {
             m.sample(now, "ring.in", rx.len() as u64);
         }
         m.sample(now, "egress_in_flight", self.pending.len() as u64);
+        m.sample(now, metrics::GAUGE_RING_BATCH_OCCUPANCY, self.last_drain);
+        // Fixed-point hundredths: 100 = one token per flushed slot.
+        let factor = (self.notice_tokens * 100)
+            .checked_div(self.notice_batches)
+            .unwrap_or(0);
+        m.sample(now, metrics::GAUGE_NOTICE_COALESCE_FACTOR, factor);
     }
 
     /// Zeroes the measured-window activity counters (after warm-up).
+    /// `orphan_notices` is whole-life: an orphan is an anomaly wherever
+    /// it happens.
     pub fn reset_activity(&mut self) {
         self.cycles = 0;
         self.sent = 0;
         self.received = 0;
+        self.notice_batches = 0;
+        self.notice_tokens = 0;
+        self.last_drain = 0;
     }
 }
 
@@ -419,6 +634,13 @@ pub struct FleetConfig {
     pub cross_every: u64,
     /// Capacity of each data/notice ring.
     pub channel_capacity: usize,
+    /// Notice-coalescing window: flush a [`NoticeBatch`] once it
+    /// carries this many tokens (`1` reproduces the pre-batching
+    /// one-token-per-slot plane; clamped to `1..=`[`NOTICE_BATCH_MAX`]).
+    /// Host-plane only — simulated time and every counter are
+    /// byte-identical across windows (pinned in
+    /// `tests/counter_exactness.rs`).
+    pub notice_batch: usize,
     /// Enable each shard's tracer over the measured window.
     pub trace: bool,
     /// Enable each shard's telemetry sampler ([`fbuf_sim::Metrics`])
@@ -446,6 +668,7 @@ impl FleetConfig {
             cycles,
             cross_every: 64,
             channel_capacity: 16,
+            notice_batch: 8,
             trace: false,
             metrics: false,
             fault: None,
@@ -496,6 +719,15 @@ pub struct ShardReport {
     /// Faults injected into this shard over its whole life (zero unless
     /// `FleetConfig::fault` was set).
     pub faults_injected: u64,
+    /// Notice batches this shard flushed onto its reverse ring.
+    pub notice_batches: u64,
+    /// Notice tokens those batches carried (`notice_tokens /
+    /// notice_batches` is the realized coalescing factor).
+    pub notice_tokens: u64,
+    /// Notices with no matching pending egress buffer (each one also a
+    /// `notice-without-pending` audit violation; zero in a fault-free
+    /// fleet).
+    pub orphan_notices: u64,
 }
 
 impl ShardReport {
@@ -581,6 +813,7 @@ struct ShardSpec {
     cycles: u64,
     cross_every: u64,
     expected_rx: u64,
+    notice_batch: usize,
     trace: bool,
     metrics: bool,
     fault: Option<FaultSpec>,
@@ -622,7 +855,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
         for i in 0..n {
             let cap = cfg.channel_capacity.max(1);
             let (data_tx, data_rx) = spsc::ring::<CrossShardMsg>(cap);
-            let (notice_tx, notice_rx) = spsc::ring::<u64>(cap);
+            let (notice_tx, notice_rx) = spsc::ring::<NoticeBatch>(cap);
             links[i].data_tx = Some(data_tx);
             links[i].notice_rx = Some(notice_rx);
             links[(i + 1) % n].data_rx = Some(data_rx);
@@ -643,6 +876,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
             cross_every: cfg.cross_every,
             // Ring topology: shard `id` ingests what shard `id - 1` sends.
             expected_rx: sent_of[(id + n - 1) % n],
+            notice_batch: cfg.notice_batch,
             trace: cfg.trace,
             metrics: cfg.metrics,
             fault: cfg.fault.clone().map(|mut f| {
@@ -677,12 +911,13 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         cycles,
         cross_every,
         expected_rx,
+        notice_batch,
         trace,
         metrics,
         fault,
         mut links,
     } = spec;
-    let mut sh = Shard::new(id, machine, paths, pages);
+    let mut sh = Shard::with_coalesce(id, machine, paths, pages, notice_batch);
     if trace {
         sh.sys.machine().tracer().set_enabled(true);
     }
@@ -757,6 +992,9 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
             .sys
             .fault_plan()
             .map_or(0, |p| p.total_injected()),
+        notice_batches: sh.notice_batches,
+        notice_tokens: sh.notice_tokens,
+        orphan_notices: sh.orphan_notices,
     }
 }
 

@@ -37,10 +37,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use fbuf_ipc::Rpc;
-use fbuf_sim::{Arena, CostCategory, EventKind, FaultPlan, FaultSite, MachineConfig, Ns, Stats};
+use fbuf_sim::{
+    slot_of, Arena, CostCategory, EventKind, FaultPlan, FaultSite, MachineConfig, Ns, Stats,
+};
 use fbuf_vm::{DomainId, FrameId, Machine, Prot};
 
-use crate::buffer::{Fbuf, FbufId, FbufState};
+use crate::buffer::{Fbuf, FbufHot, FbufId, FbufState};
 use crate::error::{FbufError, FbufResult};
 use crate::ledger::Ledger;
 use crate::path::{DataPath, PathId};
@@ -83,9 +85,16 @@ pub struct FbufSystem {
     /// Paths indexed directly by `PathId.0` (paths are never removed, only
     /// marked dead).
     paths: Vec<DataPath>,
-    /// Fbuf objects in a generational slab; an [`FbufId`] is the arena
-    /// handle, so stale ids fail instead of aliasing recycled slots.
+    /// Cold fbuf halves in a generational slab; an [`FbufId`] is the
+    /// arena handle, so stale ids fail instead of aliasing recycled slots.
     fbufs: Arena<Fbuf>,
+    /// Hot fbuf halves (state, path, park links, birth stamp) in a dense
+    /// array parallel to the arena slots, indexed by
+    /// [`fbuf_sim::slot_of`]. The steady-state cached cycle and the
+    /// parked-list neighbor patching touch only this lane; entries for
+    /// retired slots are stale and must never be read without first
+    /// validating the handle against `fbufs`.
+    hot: Vec<FbufHot>,
     /// Registration flag per domain id (kernel included).
     registered: Vec<bool>,
     /// Termination flag per domain id (zombie-chunk bookkeeping).
@@ -98,7 +107,8 @@ pub struct FbufSystem {
     /// zombie-chunk check reads this instead of scanning every fbuf.
     originated_live: Vec<u64>,
     /// Head (coldest) of the intrusive parked list — the pageout daemon's
-    /// reclaim order. Links live in `Fbuf::park_prev`/`park_next`.
+    /// reclaim order. Links live in `FbufHot::park_prev`/`park_next`
+    /// inside the dense hot lane.
     park_head: Option<FbufId>,
     /// Tail (hottest) of the intrusive parked list.
     park_tail: Option<FbufId>,
@@ -208,6 +218,7 @@ impl FbufSystem {
             allocators: HashMap::new(),
             paths: Vec::new(),
             fbufs: Arena::new(),
+            hot: Vec::new(),
             registered: Vec::new(),
             terminated: Vec::new(),
             held: Vec::new(),
@@ -307,7 +318,8 @@ impl FbufSystem {
     /// The raw path id an fbuf was allocated on, if any — used to tag
     /// span and telemetry records with the tenant path.
     pub(crate) fn fbuf_path_raw(&self, id: FbufId) -> Option<u64> {
-        self.fbufs.get(id.0).and_then(|f| f.path.map(|p| p.0))
+        self.fbufs.get(id.0)?;
+        self.hot_of(id).path.map(|p| p.0)
     }
 
     /// The per-tenant accounting ledger as of now: the inline
@@ -426,9 +438,32 @@ impl FbufSystem {
             .ok_or(FbufError::NoSuchPath(id))
     }
 
-    /// Looks up an fbuf.
+    /// Looks up an fbuf's cold half.
     pub fn fbuf(&self, id: FbufId) -> FbufResult<&Fbuf> {
         self.fbufs.get(id.0).ok_or(FbufError::NoSuchFbuf(id))
+    }
+
+    /// Looks up an fbuf's hot half (state, path, park links, birth).
+    pub fn fbuf_hot(&self, id: FbufId) -> FbufResult<&FbufHot> {
+        if self.fbufs.get(id.0).is_none() {
+            return Err(FbufError::NoSuchFbuf(id));
+        }
+        Ok(&self.hot[slot_of(id.0)])
+    }
+
+    /// The hot lane entry of a *known-live* id. Callers must have
+    /// validated the handle against the arena on this code path.
+    #[inline]
+    fn hot_of(&self, id: FbufId) -> &FbufHot {
+        debug_assert!(self.fbufs.contains(id.0), "hot lane read of stale id");
+        &self.hot[slot_of(id.0)]
+    }
+
+    /// Mutable hot lane entry of a *known-live* id.
+    #[inline]
+    fn hot_mut(&mut self, id: FbufId) -> &mut FbufHot {
+        debug_assert!(self.fbufs.contains(id.0), "hot lane write of stale id");
+        &mut self.hot[slot_of(id.0)]
     }
 
     /// Number of live fbuf objects (incl. parked ones).
@@ -578,12 +613,15 @@ impl FbufSystem {
             self.rematerialize(id, dom)?;
         }
         let now = self.machine.now();
-        let FbufSystem { fbufs, held, .. } = self;
+        let FbufSystem {
+            fbufs, held, hot, ..
+        } = self;
         let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
+        let h = &mut hot[slot_of(id.0)];
         debug_assert!(f.holders.is_empty());
-        debug_assert_eq!(f.state, FbufState::Volatile);
+        debug_assert_eq!(h.state, FbufState::Volatile);
         f.len = len;
-        f.born = now;
+        h.born = now;
         add_holder(f, held, id, dom);
         Ok(id)
     }
@@ -722,19 +760,20 @@ impl FbufSystem {
             pages,
             len,
             originator: dom,
-            path,
-            state: FbufState::Volatile,
             frames: frames.into_iter().map(Some).collect(),
             holders: vec![dom],
             held_pos: vec![held_pos],
             mapped_in: vec![dom],
-            park_prev: None,
-            park_next: None,
-            park_linked: false,
-            born: self.machine.now(),
         });
         let id = FbufId(handle);
         self.fbufs.get_mut(handle).expect("just inserted").id = id;
+        // Keep the hot lane dense over every slot the arena has ever
+        // issued; a recycled slot just overwrites its stale entry.
+        let slot = slot_of(handle);
+        if self.hot.len() <= slot {
+            self.hot.resize_with(slot + 1, || FbufHot::new(None, Ns(0)));
+        }
+        self.hot[slot] = FbufHot::new(path, self.machine.now());
         self.held[dom.0 as usize].push(id);
         self.originated_live[dom.0 as usize] += 1;
         self.va_index.insert(va, id);
@@ -763,9 +802,11 @@ impl FbufSystem {
             machine,
             held,
             ledger,
+            hot,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        let h = &hot[slot_of(id.0)];
         if !f.held_by(from) {
             return Err(FbufError::NotHolder {
                 domain: from,
@@ -774,10 +815,10 @@ impl FbufSystem {
         }
         machine.stats_ref().inc_fbuf_transfers();
         machine.stats_ref().add_bytes_transferred(f.len);
-        account_transfer(ledger, from, f.path, f.len);
-        let path = f.path;
+        account_transfer(ledger, from, h.path, f.len);
+        let path = h.path;
         let needs_secure = mode == SendMode::Secure
-            && f.state != FbufState::Secured
+            && h.state != FbufState::Secured
             && !f.originator.is_kernel();
         let needs_map = !f.mapped_in.contains(&to);
         if !needs_secure && !needs_map {
@@ -802,7 +843,7 @@ impl FbufSystem {
             // Mapping into the receiver requires the kernel; for cached
             // fbufs this happens once per buffer lifetime and then never
             // again.
-            if !f.is_cached() {
+            if path.is_none() {
                 machine.charge(CostCategory::Vm, machine.costs().vm_invoke);
             }
             let frames: Vec<FrameId> = f
@@ -846,9 +887,11 @@ impl FbufSystem {
             machine,
             held,
             ledger,
+            hot,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        let path = hot[slot_of(id.0)].path;
         if !f.held_by(from) {
             return Err(FbufError::NotHolder {
                 domain: from,
@@ -857,13 +900,13 @@ impl FbufSystem {
         }
         machine.stats_ref().inc_fbuf_transfers();
         machine.stats_ref().add_bytes_transferred(f.len);
-        account_transfer(ledger, from, f.path, f.len);
+        account_transfer(ledger, from, path, f.len);
         add_holder(f, held, id, to);
         machine.tracer_ref().instant_peer(
             EventKind::Transfer,
             from.0,
             to.0,
-            f.path.map(|p| p.0),
+            path.map(|p| p.0),
             Some(id.0),
         );
         Ok(())
@@ -912,9 +955,13 @@ impl FbufSystem {
     }
 
     fn do_secure(&mut self, id: FbufId) -> FbufResult<()> {
-        let (originator, va, pages, state, path) = {
+        let (originator, va, pages) = {
             let f = self.fbufs.get(id.0).expect("caller checked");
-            (f.originator, f.va, f.pages, f.state, f.path)
+            (f.originator, f.va, f.pages)
+        };
+        let (state, path) = {
+            let h = self.hot_of(id);
+            (h.state, h.path)
         };
         if state == FbufState::Secured || originator.is_kernel() {
             return Ok(());
@@ -927,7 +974,7 @@ impl FbufSystem {
             path.map(|p| p.0),
             Some(id.0),
         );
-        self.fbufs.get_mut(id.0).expect("caller checked").state = FbufState::Secured;
+        self.hot_mut(id).state = FbufState::Secured;
         Ok(())
     }
 
@@ -944,6 +991,7 @@ impl FbufSystem {
             held,
             rpc,
             ledger,
+            hot,
             ..
         } = self;
         let f = fbufs.get_mut(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
@@ -955,8 +1003,9 @@ impl FbufSystem {
         };
         f.holders.swap_remove(i);
         let pos = f.held_pos.swap_remove(i);
+        let h = &hot[slot_of(id.0)];
         let (originator, now_empty, path, born) =
-            (f.originator, f.holders.is_empty(), f.path, f.born);
+            (f.originator, f.holders.is_empty(), h.path, h.born);
         // Drop the entry from the per-domain held index in O(1); the
         // held_pos back-pointer of whichever fbuf swap_remove moved into
         // `pos` must be re-aimed.
@@ -999,12 +1048,13 @@ impl FbufSystem {
     fn dealloc(&mut self, id: FbufId) -> FbufResult<()> {
         let (cached_live_path, path, state, originator, va, pages) = {
             let f = self.fbufs.get(id.0).expect("dealloc of live fbuf");
-            let live = f
+            let h = self.hot_of(id);
+            let live = h
                 .path
                 .and_then(|p| self.paths.get(p.0 as usize))
                 .map(|p| p.live)
                 .unwrap_or(false);
-            (live, f.path, f.state, f.originator, f.va, f.pages)
+            (live, h.path, h.state, f.originator, f.va, f.pages)
         };
         if cached_live_path && self.machine.domain_alive(originator) {
             // Cached: return write permission to the originator and park on
@@ -1012,7 +1062,7 @@ impl FbufSystem {
             if state == FbufState::Secured {
                 self.machine
                     .protect_range(originator, va, pages, Prot::ReadWrite)?;
-                self.fbufs.get_mut(id.0).expect("dealloc of live fbuf").state = FbufState::Volatile;
+                self.hot_mut(id).state = FbufState::Volatile;
             }
             self.machine
                 .charge(CostCategory::Alloc, self.machine.costs().freelist_op);
@@ -1029,6 +1079,9 @@ impl FbufSystem {
         self.machine
             .charge(CostCategory::Vm, self.machine.costs().vm_invoke);
         self.park_unlink(id);
+        // Snapshot the hot half before the remove retires the slot (the
+        // lane entry becomes stale the moment the arena recycles it).
+        let path = self.hot_of(id).path;
         let f = self.fbufs.remove(id.0).expect("retire of live fbuf");
         debug_assert!(f.holders.is_empty(), "retire with outstanding references");
         self.va_index.remove(&f.va);
@@ -1041,7 +1094,7 @@ impl FbufSystem {
         for frame in f.frames.iter().flatten() {
             self.machine.release_frame(*frame);
         }
-        if let Some(alloc) = self.allocators.get_mut(&(f.originator.0, f.path)) {
+        if let Some(alloc) = self.allocators.get_mut(&(f.originator.0, path)) {
             alloc.release(f.va, f.pages);
         }
         self.originated_live[f.originator.0 as usize] -= 1;
@@ -1076,17 +1129,21 @@ impl FbufSystem {
                 // e.g. wired down for in-progress DMA. The daemon gives
                 // up rather than skip ahead, exactly like a real pageout
                 // pass blocked on a wired page.
-                let (orig, pinned_path) = {
-                    let f = self.fbufs.get(id.0).expect("parked fbuf exists");
-                    (f.originator, f.path)
-                };
+                let orig = self.fbufs.get(id.0).expect("parked fbuf exists").originator;
+                let pinned_path = self.hot_of(id).path;
                 self.account_fault(orig, pinned_path);
                 break;
             }
             self.park_unlink(id);
-            let FbufSystem { fbufs, machine, .. } = self;
+            let FbufSystem {
+                fbufs,
+                machine,
+                hot,
+                ..
+            } = self;
             let f = fbufs.get_mut(id.0).expect("parked fbuf exists");
-            let (va, pages, originator, path) = (f.va, f.pages, f.originator, f.path);
+            let path = hot[slot_of(id.0)].path;
+            let (va, pages, originator) = (f.va, f.pages, f.originator);
             for dom in f.mapped_in.drain(..) {
                 if machine.domain_alive(dom) {
                     let _ = machine.unmap_range(dom, va, pages);
@@ -1114,18 +1171,24 @@ impl FbufSystem {
     }
 
     /// Appends `id` at the hot end of the parked list.
+    ///
+    /// Every link lives in the dense hot lane, so the park/unpark cycle
+    /// (twice per steady-state operation) and its neighbor patching index
+    /// one packed array — no arena generation checks, and none of the
+    /// cold half's holder/frame vectors pulled through the cache.
     fn park_push_tail(&mut self, id: FbufId) {
+        debug_assert!(self.fbufs.contains(id.0), "park of stale id");
         let old_tail = self.park_tail;
         self.parked_count += 1;
         {
-            let f = self.fbufs.get_mut(id.0).expect("parked fbuf exists");
-            debug_assert!(!f.park_linked, "double park");
-            f.park_prev = old_tail;
-            f.park_next = None;
-            f.park_linked = true;
+            let h = &mut self.hot[slot_of(id.0)];
+            debug_assert!(!h.park_linked, "double park");
+            h.park_prev = old_tail;
+            h.park_next = None;
+            h.park_linked = true;
         }
         match old_tail {
-            Some(t) => self.fbufs.get_mut(t.0).expect("linked fbuf exists").park_next = Some(id),
+            Some(t) => self.hot[slot_of(t.0)].park_next = Some(id),
             None => self.park_head = Some(id),
         }
         self.park_tail = Some(id);
@@ -1133,21 +1196,22 @@ impl FbufSystem {
 
     /// Removes `id` from the parked list if present (no-op otherwise).
     fn park_unlink(&mut self, id: FbufId) {
+        debug_assert!(self.fbufs.contains(id.0), "unpark of stale id");
         let (prev, next) = {
-            let f = self.fbufs.get_mut(id.0).expect("fbuf exists");
-            if !f.park_linked {
+            let h = &mut self.hot[slot_of(id.0)];
+            if !h.park_linked {
                 return;
             }
-            f.park_linked = false;
-            (f.park_prev.take(), f.park_next.take())
+            h.park_linked = false;
+            (h.park_prev.take(), h.park_next.take())
         };
         self.parked_count -= 1;
         match prev {
-            Some(p) => self.fbufs.get_mut(p.0).expect("linked fbuf exists").park_next = next,
+            Some(p) => self.hot[slot_of(p.0)].park_next = next,
             None => self.park_head = next,
         }
         match next {
-            Some(n) => self.fbufs.get_mut(n.0).expect("linked fbuf exists").park_prev = prev,
+            Some(n) => self.hot[slot_of(n.0)].park_prev = prev,
             None => self.park_tail = prev,
         }
     }
@@ -1248,7 +1312,7 @@ impl FbufSystem {
         off: u64,
         bytes: &[u8],
     ) -> FbufResult<()> {
-        let (va, path) = {
+        let va = {
             let f = self.fbuf(id)?;
             if off + bytes.len() as u64 > f.len {
                 return Err(FbufError::TooLarge {
@@ -1256,8 +1320,9 @@ impl FbufSystem {
                     max: f.len,
                 });
             }
-            (f.va, f.path)
+            f.va
         };
+        let path = self.hot_of(id).path;
         self.machine.write(dom, va + off, bytes)?;
         self.machine
             .tracer_ref()
@@ -1342,7 +1407,7 @@ mod tests {
         let err = s.write_fbuf(a, id, 0, b"v2").unwrap_err();
         assert!(matches!(err, FbufError::Vm(Fault::AccessViolation { .. })));
         assert_eq!(s.read_fbuf(b, id, 0, 2).unwrap(), b"v1");
-        assert_eq!(s.fbuf(id).unwrap().state, FbufState::Secured);
+        assert_eq!(s.fbuf_hot(id).unwrap().state, FbufState::Secured);
     }
 
     #[test]
@@ -1366,7 +1431,7 @@ mod tests {
         s.send(id, kernel, b, SendMode::Volatile).unwrap();
         s.secure(id, b).unwrap();
         // Trusted originator: still volatile (writable) and not counted.
-        assert_eq!(s.fbuf(id).unwrap().state, FbufState::Volatile);
+        assert_eq!(s.fbuf_hot(id).unwrap().state, FbufState::Volatile);
         s.write_fbuf(kernel, id, 0, b"K").unwrap();
         assert_eq!(s.stats().fbufs_secured(), 0);
     }

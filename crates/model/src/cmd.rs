@@ -75,9 +75,14 @@ pub enum Cmd {
     /// Allocate, stamp, and push a buffer onto the cross-shard data ring
     /// (fixed egress pair of domains).
     CrossSend,
-    /// Drain the data ring (verifying stamps), then the notice ring
-    /// (freeing acknowledged buffers).
+    /// Drain the data ring (verifying stamps and staging coalesced
+    /// notice tokens), then the notice ring (freeing acknowledged
+    /// buffers batch by batch).
     CrossPoll,
+    /// Flush the staged notice tokens as one [`fbuf::shard::NoticeBatch`]
+    /// onto the notice ring, consulting ring-full backpressure once at
+    /// the batch boundary. A no-op when nothing is staged.
+    FlushBatch,
     /// Terminate a roster domain.
     Terminate {
         /// Victim selector.
@@ -149,7 +154,12 @@ fn draw(rng: &mut Rng) -> Cmd {
             want: rng.range(1, 9) as u8,
         },
         870..=929 => Cmd::CrossSend,
-        930..=964 => Cmd::CrossPoll,
+        // CrossPoll's original 930..=964 bucket, split so FlushBatch
+        // costs no extra RNG draw — streams from seeds recorded before
+        // the split keep every other command (and the fault plan)
+        // bit-aligned.
+        930..=949 => Cmd::CrossPoll,
+        950..=964 => Cmd::FlushBatch,
         965..=984 => Cmd::Hop {
             from_sel: sel(rng),
             to_sel: sel(rng),
@@ -198,7 +208,7 @@ mod tests {
     #[test]
     fn every_variant_appears_in_a_long_stream() {
         let cmds = generate(7, 4000);
-        let mut seen = [false; 12];
+        let mut seen = [false; 13];
         for c in &cmds {
             let i = match c {
                 Cmd::Alloc { cached: true, .. } => 0,
@@ -213,6 +223,7 @@ mod tests {
                 Cmd::CrossPoll => 9,
                 Cmd::Terminate { .. } | Cmd::Respawn => 10,
                 Cmd::Hop { .. } => 11,
+                Cmd::FlushBatch => 12,
             };
             seen[i] = true;
         }

@@ -20,11 +20,13 @@
 //!
 //! Six domains on three paths: `P0 = [d0, d1, d2]`, `P1 = [d1, d3]`, and
 //! an egress pair `PE = [d4, d5]` reserved for the cross-ring traffic.
-//! The harness owns both ends of two small SPSC rings (data and
-//! deallocation notices, capacity [`RING_CAP`]) and mirrors their
-//! occupancy in plain `VecDeque`s — so ring-full backpressure, dropped
-//! notices, and crash-while-tokens-in-flight are all part of the diffed
-//! state. Domains may be terminated (by command or by an injected crash)
+//! The harness owns both ends of two small SPSC rings (data payloads,
+//! and deallocation notices coalesced into [`NoticeBatch`] slots of up
+//! to [`NOTICE_COALESCE`] tokens — flushed when the window fills or on
+//! an explicit [`Cmd::FlushBatch`]), capacity [`RING_CAP`], and mirrors
+//! their occupancy in plain `VecDeque`s — so ring-full backpressure at
+//! batch boundaries, dropped batches, and crash-while-tokens-in-flight
+//! are all part of the diffed state. Domains may be terminated (by command or by an injected crash)
 //! and a bounded number respawned; every error path this opens up
 //! (stale ids, dead paths, unknown domains) must reproduce identically
 //! on both sides.
@@ -32,6 +34,7 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use fbuf::shard::{NoticeBatch, NOTICE_BATCH_MAX};
 use fbuf::{AllocMode, FbufError, FbufId, FbufState, FbufSystem, PathId, SendMode};
 use fbuf_sim::spsc::{self, Consumer, Producer};
 use fbuf_sim::{audit_tracer, FaultPlan, FaultSite, FaultSpec, MachineConfig};
@@ -42,6 +45,13 @@ use crate::oracle::{Feed, MAllocMode, MErr, Oracle, OracleConfig, Sabotage};
 
 /// Capacity of the data and notice rings.
 pub const RING_CAP: usize = 4;
+
+/// Notice-coalescing window of the harness: tokens staged per
+/// [`NoticeBatch`] before an automatic flush. Deliberately small (and
+/// below [`NOTICE_BATCH_MAX`]) so command streams routinely exercise
+/// partial batches, threshold flushes, and explicit [`Cmd::FlushBatch`]
+/// flushes of leftovers.
+pub const NOTICE_COALESCE: usize = 3;
 
 /// A stamped payload in flight on the data ring: token, real id, model
 /// index.
@@ -66,10 +76,16 @@ pub struct Harness {
     d4: DomainId,
     data_tx: Producer<CrossMsg>,
     data_rx: Consumer<CrossMsg>,
-    notice_tx: Producer<u64>,
-    notice_rx: Consumer<u64>,
+    notice_tx: Producer<NoticeBatch>,
+    notice_rx: Consumer<NoticeBatch>,
     model_data: VecDeque<u64>,
-    model_notice: VecDeque<u64>,
+    /// Mirror of the notice ring: one entry per in-flight batch, each
+    /// the exact token sequence the real `NoticeBatch` slot carries.
+    model_notice: VecDeque<Vec<u64>>,
+    /// Tokens staged toward the next notice batch (host-plane state the
+    /// real and model sides share by construction; what is diffed is the
+    /// ring occupancy and every lifecycle effect of the acks).
+    notice_stage: Vec<u64>,
     /// Tokens pushed but not yet acknowledged. A dropped notice leaves
     /// its entry (and its held buffer) here until the egress domain dies.
     pending: Vec<CrossMsg>,
@@ -137,6 +153,7 @@ impl Harness {
             notice_rx,
             model_data: VecDeque::new(),
             model_notice: VecDeque::new(),
+            notice_stage: Vec::new(),
             pending: Vec::new(),
             step: 0,
             respawns: 0,
@@ -218,6 +235,7 @@ impl Harness {
             Cmd::Pageout { want } => self.do_pageout(want),
             Cmd::CrossSend => self.do_cross_send(),
             Cmd::CrossPoll => self.do_cross_poll(),
+            Cmd::FlushBatch => self.flush_notices(),
             Cmd::Terminate { dom_sel } => match self.pick(dom_sel) {
                 Some(d) => {
                     self.terminate(d)?;
@@ -443,9 +461,11 @@ impl Harness {
     }
 
     fn do_cross_poll(&mut self) -> Result<(), String> {
-        // Data ring first: verify stamps, acknowledge over the notice
-        // ring (notices may drop — injected or organic full — and a
-        // dropped notice pins the buffer until the egress domain dies).
+        // Data ring first: verify stamps and stage each token toward the
+        // next coalesced notice batch; the window filling forces a
+        // flush. A dropped batch (injected ring-full at the flush
+        // boundary) pins every buffer it acknowledged until the egress
+        // domain dies.
         while let Some((token, id, ix)) = self.data_rx.pop() {
             if self.model_data.pop_front() != Some(token) {
                 return Err(format!("data ring order diverged at token {token:#x}"));
@@ -460,40 +480,74 @@ impl Harness {
                     return Err(format!("payload corrupted: token {token:#x}, got {bytes:?}"));
                 }
             }
-            let real_fired = self.plan.fires(FaultSite::RingFull);
-            self.sync();
-            let model_fired = self.feed.take(FaultSite::RingFull);
-            self.feed.finish()?;
-            if real_fired != model_fired {
-                return Err("notice-ring decision desynchronized".into());
-            }
-            if !real_fired {
-                let real_full = self.notice_tx.push(token).is_err();
-                let model_full = self.model_notice.len() == RING_CAP;
-                if real_full != model_full {
-                    return Err("notice-ring occupancy diverged".into());
-                }
-                if !real_full {
-                    self.model_notice.push_back(token);
-                }
+            self.notice_stage.push(token);
+            if self.notice_stage.len() >= NOTICE_COALESCE {
+                self.flush_notices()?;
             }
         }
-        // Notice ring second: each acknowledged token releases its
-        // pending buffer (which may already be gone if the holder was
-        // terminated — that error must reproduce on both sides).
-        while let Some(token) = self.notice_rx.pop() {
-            if self.model_notice.pop_front() != Some(token) {
-                return Err(format!("notice ring order diverged at token {token:#x}"));
-            }
-            let Some(p) = self.pending.iter().position(|&(t, _, _)| t == token) else {
-                return Err(format!("notice for unknown token {token:#x}"));
+        // Notice ring second: each drained batch releases its pending
+        // buffers in staged order (a buffer may already be gone if the
+        // holder was terminated — that error must reproduce on both
+        // sides).
+        while let Some(batch) = self.notice_rx.pop() {
+            let Some(model_batch) = self.model_notice.pop_front() else {
+                return Err("notice ring holds a batch the model lacks".into());
             };
-            let (_, id, ix) = self.pending.swap_remove(p);
-            let real = self.sys.free(id, self.d4);
-            self.sync();
-            let model = self.model.free(ix, self.d4.0);
-            self.outcome("cross ack free", &real, &model)?;
-            self.feed.finish()?;
+            if batch.tokens() != model_batch.as_slice() {
+                return Err(format!(
+                    "notice batch diverged: real {:?}, model {model_batch:?}",
+                    batch.tokens()
+                ));
+            }
+            for &token in batch.tokens() {
+                let Some(p) = self.pending.iter().position(|&(t, _, _)| t == token) else {
+                    return Err(format!("notice for unknown token {token:#x}"));
+                };
+                let (_, id, ix) = self.pending.swap_remove(p);
+                let real = self.sys.free(id, self.d4);
+                self.sync();
+                let model = self.model.free(ix, self.d4.0);
+                self.outcome("cross ack free", &real, &model)?;
+                self.feed.finish()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the staged notice tokens as one batch: a single
+    /// ring-full consult guards the whole batch. Injected full drops the
+    /// batch (every staged ack is lost, exactly like the per-token drops
+    /// before coalescing, but at batch granularity); organic full keeps
+    /// the stage intact for a later retry. A no-op when nothing is
+    /// staged — [`Cmd::FlushBatch`] on an empty stage consults nothing.
+    fn flush_notices(&mut self) -> Result<(), String> {
+        if self.notice_stage.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(self.notice_stage.len() <= NOTICE_BATCH_MAX);
+        let real_fired = self.plan.fires(FaultSite::RingFull);
+        self.sync();
+        let model_fired = self.feed.take(FaultSite::RingFull);
+        self.feed.finish()?;
+        if real_fired != model_fired {
+            return Err("notice-ring decision desynchronized".into());
+        }
+        if real_fired {
+            self.notice_stage.clear();
+            return Ok(());
+        }
+        let mut batch = NoticeBatch::empty();
+        for &t in &self.notice_stage {
+            assert!(batch.push(t), "stage never outgrows a batch");
+        }
+        let real_full = self.notice_tx.push(batch).is_err();
+        let model_full = self.model_notice.len() == RING_CAP;
+        if real_full != model_full {
+            return Err("notice-ring occupancy diverged".into());
+        }
+        if !real_full {
+            self.model_notice
+                .push_back(std::mem::take(&mut self.notice_stage));
         }
         Ok(())
     }
@@ -629,6 +683,7 @@ impl Harness {
         for (ix, &id) in self.ids.iter().enumerate() {
             match (self.sys.fbuf(id), self.model.buf(ix)) {
                 (Ok(f), Some(m)) => {
+                    let h = self.sys.fbuf_hot(id).expect("cold half was live");
                     let holders: Vec<u32> = f.holders.iter().map(|d| d.0).collect();
                     let mapped: Vec<u32> = f.mapped_in.iter().map(|d| d.0).collect();
                     let pairs: [(&str, String, String); 10] = [
@@ -638,16 +693,16 @@ impl Harness {
                         ("originator", f.originator.0.to_string(), m.originator.to_string()),
                         (
                             "path",
-                            format!("{:?}", f.path.map(|p| p.0)),
+                            format!("{:?}", h.path.map(|p| p.0)),
                             format!("{:?}", m.path),
                         ),
                         (
                             "secured",
-                            (f.state == FbufState::Secured).to_string(),
+                            (h.state == FbufState::Secured).to_string(),
                             m.secured.to_string(),
                         ),
                         ("resident", f.resident().to_string(), m.resident.to_string()),
-                        ("parked", f.park_linked.to_string(), m.park_linked.to_string()),
+                        ("parked", h.park_linked.to_string(), m.park_linked.to_string()),
                         ("holders", format!("{holders:?}"), format!("{:?}", m.holders)),
                         ("mapped_in", format!("{mapped:?}"), format!("{:?}", m.mapped_in)),
                     ];

@@ -396,9 +396,9 @@ mod tests {
     fn rx_alloc_cached_vs_uncached() {
         let mut h = tiny_host(DomainSetup::User);
         let cached = h.alloc_rx(4096, true).unwrap();
-        assert!(h.fbs.fbuf(cached).unwrap().is_cached());
+        assert!(h.fbs.fbuf_hot(cached).unwrap().is_cached());
         let uncached = h.alloc_rx(4096, false).unwrap();
-        assert!(!h.fbs.fbuf(uncached).unwrap().is_cached());
+        assert!(!h.fbs.fbuf_hot(uncached).unwrap().is_cached());
         // DMA never charges clearing.
         assert_eq!(h.fbs.stats().pages_cleared(), 0);
     }

@@ -38,6 +38,17 @@ fn pack(index: u32, generation: u32) -> u64 {
     ((generation as u64) << 32) | index as u64
 }
 
+/// The slot index a handle occupies, independent of generation.
+///
+/// Callers that keep *parallel* dense arrays alongside an arena (hot/cold
+/// field splits) index them with this. The result is only meaningful for a
+/// handle that is currently live in the owning arena — validate with
+/// [`Arena::get`]/[`Arena::contains`] first; a stale handle maps to the
+/// slot's current tenant's lane entry.
+pub fn slot_of(handle: u64) -> usize {
+    index_of(handle) as usize
+}
+
 /// The slot index of a handle.
 fn index_of(handle: u64) -> u32 {
     handle as u32

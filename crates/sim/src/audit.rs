@@ -33,6 +33,12 @@
 //!    an earlier `Enqueue` targeting it; a dequeue with nothing pending
 //!    means the event-loop engine invented work. `Overload` events never
 //!    entered the inbox, so they leave the balance untouched.
+//! 6. **Notices match pending egress buffers** — a `NoticeOrphan` event
+//!    is recorded when a dealloc notice comes back with no matching
+//!    pending egress buffer (or out of FIFO send order). The data plane
+//!    survives it (the notice is dropped or matched out of order) so
+//!    that fuzzing under fault injection reports instead of aborting;
+//!    the audit turns every occurrence into a typed violation.
 //!
 //! The auditor is truncation-aware: a ring that overflowed has lost its
 //! prefix, so events referring to fbufs whose `Alloc` was evicted are
@@ -161,6 +167,19 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
             }
             // An Overload never entered the inbox: no balance change.
             EventKind::Overload => continue,
+            EventKind::NoticeOrphan => {
+                report.violations.push(Violation {
+                    seq: e.seq,
+                    rule: "notice-without-pending",
+                    detail: format!(
+                        "domain {} received dealloc notice token {:?} with no \
+                         matching pending egress buffer (dropped or matched \
+                         out of send order)",
+                        e.dom, e.fbuf
+                    ),
+                });
+                continue;
+            }
             _ => {}
         }
         let id = match e.fbuf {
@@ -489,6 +508,21 @@ mod tests {
         let r2 = audit_tracer(&t2);
         assert_eq!(r2.dropped, 0);
         assert!(r2.warnings.is_empty());
+    }
+
+    #[test]
+    fn orphan_notice_is_a_typed_violation() {
+        // The data plane records the anomaly and keeps running; the
+        // audit is where it becomes a failure.
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(2), Some(4)),
+            ev(1, EventKind::NoticeOrphan, 1, None, None, Some(77)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "notice-without-pending");
+        assert_eq!(r.violations[0].seq, 1);
+        assert!(r.violations[0].detail.contains("77"));
     }
 
     #[test]

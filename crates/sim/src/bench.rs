@@ -137,6 +137,10 @@ pub struct BenchRunner {
     telemetry: Vec<SeriesSnapshot>,
     host_throughput: Vec<HostThroughput>,
     host_scaling: Vec<ScalingPoint>,
+    /// The parallel-efficiency floor the run was gated on, if any
+    /// (`host.scaling_floor`): readers of the report — including
+    /// `fbuf-stress --check` — re-enforce it against the scaling curve.
+    host_scaling_floor: Option<(u64, f64)>,
     /// RNG seed the workload ran under (the `repro` header).
     seed: u64,
     /// OS threads the workload ran across (the `repro` header).
@@ -175,6 +179,7 @@ impl BenchRunner {
             telemetry: Vec::new(),
             host_throughput: Vec::new(),
             host_scaling: Vec::new(),
+            host_scaling_floor: None,
             seed,
             threads: 1,
             params: Vec::new(),
@@ -256,6 +261,14 @@ impl BenchRunner {
     /// 1.0 = perfectly linear) fields in the report.
     pub fn host_scaling(&mut self, points: &[ScalingPoint]) {
         self.host_scaling.extend_from_slice(points);
+    }
+
+    /// Records the parallel-efficiency floor the run was gated on, under
+    /// `host.scaling_floor` (`{threads, efficiency}`). The floor travels
+    /// with the report so any later validator can re-enforce it against
+    /// the embedded scaling curve, turning the gate into a ratchet.
+    pub fn host_scaling_floor(&mut self, threads: u64, efficiency: f64) {
+        self.host_scaling_floor = Some((threads, efficiency));
     }
 
     /// Attaches a regenerated paper artifact (table rows, figure curves) to
@@ -399,12 +412,22 @@ impl BenchRunner {
                 ])
             })
             .collect();
-        let host = Json::obj(vec![
+        let mut host_fields = vec![
             ("timebase", "wall_clock_ns".to_json()),
             ("scenarios", Json::Arr(host_scenarios)),
             ("throughput", Json::Arr(host_tp)),
             ("scaling", Json::Arr(host_scaling)),
-        ]);
+        ];
+        if let Some((threads, efficiency)) = self.host_scaling_floor {
+            host_fields.push((
+                "scaling_floor",
+                Json::obj(vec![
+                    ("threads", threads.to_json()),
+                    ("efficiency", efficiency.to_json()),
+                ]),
+            ));
+        }
+        let host = Json::obj(host_fields);
         let repro = Json::obj(vec![
             ("seed", self.seed.to_json()),
             ("threads", self.threads.to_json()),
@@ -716,6 +739,20 @@ mod tests {
         // 4 threads: 2.5x speedup -> 62.5% efficiency.
         assert_eq!(scaling[2].get("speedup_vs_1t").unwrap().as_f64(), Some(2.5));
         assert!((scaling[2].get("efficiency").unwrap().as_f64().unwrap() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_floor_travels_in_the_host_block() {
+        let mut r = BenchRunner::named("floored", 1);
+        r.host_scaling(&[ScalingPoint { threads: 2, ops: 2_000, elapsed_ns: 1_000_000 }]);
+        r.host_scaling_floor(2, 0.6);
+        let doc = r.report();
+        let floor = doc.get("host").unwrap().get("scaling_floor").expect("floor recorded");
+        assert_eq!(floor.get("threads").unwrap().as_f64(), Some(2.0));
+        assert_eq!(floor.get("efficiency").unwrap().as_f64(), Some(0.6));
+        // Absent unless explicitly set.
+        let bare = BenchRunner::named("bare", 1).report();
+        assert!(bare.get("host").unwrap().get("scaling_floor").is_none());
     }
 
     #[test]

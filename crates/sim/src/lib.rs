@@ -91,7 +91,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use arena::Arena;
+pub use arena::{slot_of, Arena};
 pub use audit::{audit, audit_tracer, AuditReport, Violation};
 pub use check::{minimize, shortest_failing_prefix, Checker};
 pub use config::MachineConfig;

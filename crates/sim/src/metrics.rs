@@ -40,6 +40,18 @@ pub const DEFAULT_POINTS: usize = 4_096;
 /// counted as dropped rather than allocated).
 pub const DEFAULT_MAX_SERIES: usize = 64;
 
+/// Well-known gauge: size of the last non-empty burst a shard drained
+/// from its ingress data ring in one acquire (`Consumer::drain_into`).
+/// A value above 1 means the batched consumer amortized ring
+/// synchronization across that many cross-shard payloads.
+pub const GAUGE_RING_BATCH_OCCUPANCY: &str = "ring_batch_occupancy";
+
+/// Well-known gauge: average dealloc-notice tokens per flushed
+/// `NoticeBatch` ring slot, in fixed-point hundredths (100 = one token
+/// per slot, 800 = eight tokens coalesced into each slot). Tracks how
+/// much reverse-ring traffic the coalescing plane saves.
+pub const GAUGE_NOTICE_COALESCE_FACTOR: &str = "notice_coalesce_factor";
+
 /// One gauge reading: simulated time and value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricPoint {

@@ -101,6 +101,12 @@ pub enum EventKind {
     /// One scheduled transfer hop's handler ran to completion (span;
     /// `dur` = service time from dequeue to handler return).
     HopService,
+    /// A dealloc notice arrived with no matching pending egress buffer
+    /// (or out of FIFO send order) — `fbuf` carries the orphan token.
+    /// Under fault injection this is survivable; the audit rule
+    /// `notice-without-pending` turns every occurrence into a typed
+    /// violation instead of a fleet abort.
+    NoticeOrphan,
 }
 
 impl EventKind {
@@ -132,6 +138,7 @@ impl EventKind {
             EventKind::SpanLink => "SpanLink",
             EventKind::RingCross => "RingCross",
             EventKind::HopService => "HopService",
+            EventKind::NoticeOrphan => "NoticeOrphan",
         }
     }
 }

@@ -7,6 +7,7 @@
 //! list and the path with **zero** page table updates and **zero**
 //! security page clears; every allocation is a cache hit.
 
+use fbufs::fbuf::shard::{run_fleet, FleetConfig, NOTICE_BATCH_MAX};
 use fbufs::fbuf::{AllocMode, FbufSystem, SendMode, TransferMode};
 use fbufs::net::{DomainSetup, EndToEnd, EndToEndConfig, LoopbackConfig, LoopbackStack};
 use fbufs::sim::{audit_tracer, EventKind, MachineConfig};
@@ -286,6 +287,58 @@ fn event_loop_is_counter_exact_on_integrated_aggregates() {
         (fbs.machine().now(), fbs.stats().snapshot())
     };
     assert_eq!(run(TransferMode::DirectCall), run(TransferMode::EventLoop));
+}
+
+#[test]
+fn batched_notice_plane_charges_identically_to_per_element() {
+    // The coalesced notice plane (NoticeBatch payloads, flushed when the
+    // window fills or at the poll boundary) is a *host-plane* change: it
+    // moves fewer ring slots, but every simulated charge and counter of
+    // the workload must be byte-identical to the one-token-per-slot
+    // plane. Pinned over five fleet workload shapes on a single-shard
+    // (self-linked, fully deterministic) fleet, at the per-element
+    // window (1), two interior windows, and the maximum.
+    let shapes: [(&str, u64, u64, usize, u64, usize); 5] = [
+        // (name, cycles, cross_every, paths, pages, channel_capacity)
+        ("no-cross", 400, 0, 2, 1, 8),
+        ("dense-cross", 400, 2, 2, 1, 8),
+        ("multi-path", 400, 4, 6, 1, 8),
+        ("multi-page", 300, 4, 2, 4, 8),
+        ("tight-ring", 400, 2, 2, 1, 2),
+    ];
+    for (name, cycles, cross_every, paths, pages, channel_capacity) in shapes {
+        let mut cfg = machine();
+        cfg.phys_mem = 32 << 20;
+        let run = |notice_batch: usize| {
+            let fleet = FleetConfig {
+                paths,
+                pages,
+                cross_every,
+                channel_capacity,
+                notice_batch,
+                ..FleetConfig::new(1, cfg.clone(), cycles)
+            };
+            let mut reports = run_fleet(&fleet);
+            let r = reports.remove(0);
+            (
+                (r.sim_elapsed, r.delta, r.life, r.fbuf_ops, r.sent, r.received),
+                (r.notice_batches, r.notice_tokens, r.orphan_notices),
+            )
+        };
+        let (base, (base_batches, base_tokens, base_orphans)) = run(1);
+        assert_eq!(base_batches, base_tokens, "window 1 is the per-element plane");
+        assert_eq!(base_orphans, 0, "{name}: fault-free fleet has no orphans");
+        for window in [4, 8, NOTICE_BATCH_MAX] {
+            let (batched, (batches, tokens, orphans)) = run(window);
+            assert_eq!(
+                base, batched,
+                "{name}: window {window} moved a simulated charge or counter"
+            );
+            assert_eq!(tokens, base_tokens, "{name}: same tokens cross the plane");
+            assert!(batches <= base_batches, "{name}: coalescing never adds slots");
+            assert_eq!(orphans, 0);
+        }
+    }
 }
 
 #[test]

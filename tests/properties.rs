@@ -581,6 +581,83 @@ fn spsc_ring_matches_a_deque_model() {
         });
 }
 
+/// Burst operations against the scalar ops and the `VecDeque` oracle:
+/// the same random schedule of offered elements and drain opportunities
+/// is applied three ways — batch (`push_n`/`drain_into`), scalar
+/// (`push`/`pop` loops), and the pure model — and all three must agree
+/// after every step on accepted counts (backpressure outcomes), drained
+/// contents (FIFO order), and occupancy. A burst is just an amortized
+/// publication of the same elements, so any divergence is a bug.
+#[test]
+fn spsc_bursts_match_scalar_ops_and_the_deque_model() {
+    use std::collections::VecDeque;
+    Checker::new("spsc_bursts_match_scalar_ops_and_the_deque_model")
+        .cases(CASES)
+        .run(|rng| {
+            let cap = rng.range(1, 9) as usize;
+            let (mut btx, mut brx) = fbufs::sim::spsc::ring::<u64>(cap);
+            let (mut stx, mut srx) = fbufs::sim::spsc::ring::<u64>(cap);
+            let mut model: VecDeque<u64> = VecDeque::new();
+            let mut next = 0u64;
+            for _ in 0..rng.range(40, 200) {
+                if rng.chance(0.55) {
+                    // Offer the same burst to both rings and the model.
+                    let burst = rng.range(0, cap as u64 + 3);
+                    let vals: Vec<u64> = (0..burst).map(|i| next + i).collect();
+                    next += burst;
+                    let mut bq: VecDeque<u64> = vals.iter().copied().collect();
+                    let accepted = btx.push_n(&mut bq);
+                    let mut scalar_accepted = 0;
+                    for &v in &vals {
+                        match stx.push(v) {
+                            Ok(()) => scalar_accepted += 1,
+                            Err(back) => {
+                                assert_eq!(back, v);
+                                break;
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        accepted, scalar_accepted,
+                        "batch and scalar pushes accept the same prefix"
+                    );
+                    let room = cap - model.len();
+                    assert_eq!(accepted, (burst as usize).min(room), "model backpressure");
+                    model.extend(&vals[..accepted]);
+                    assert_eq!(
+                        bq.iter().copied().collect::<Vec<u64>>(),
+                        vals[accepted..],
+                        "refused elements stay, in order"
+                    );
+                } else {
+                    // Drain the same bounded burst from both rings.
+                    let max = rng.range(0, cap as u64 + 2) as usize;
+                    let mut got = Vec::new();
+                    let n = brx.drain_into(&mut got, max);
+                    assert_eq!(n, got.len());
+                    for &v in &got {
+                        assert_eq!(srx.pop(), Some(v), "scalar pops the same elements");
+                        assert_eq!(model.pop_front(), Some(v), "model agrees on FIFO order");
+                    }
+                    if n < max {
+                        assert_eq!(srx.pop(), None, "batch drained everything available");
+                        assert!(model.is_empty());
+                    }
+                }
+                assert_eq!(btx.len(), model.len());
+                assert_eq!(brx.len(), model.len());
+                assert_eq!(stx.len(), model.len());
+            }
+            // Final drain: both rings hold exactly the model's residue.
+            let rest = brx.pop_n(usize::MAX);
+            assert_eq!(rest, model.iter().copied().collect::<Vec<u64>>());
+            for v in rest {
+                assert_eq!(srx.pop(), Some(v));
+            }
+            assert_eq!(srx.pop(), None);
+        });
+}
+
 /// Backpressure is lossless: a producer that retries every refused push
 /// against a consumer that drains in arbitrary bursts delivers the whole
 /// sequence intact. The refusal count is bounded by the number of
