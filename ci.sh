@@ -43,10 +43,7 @@ test -s target/bench-reports/LEDGER_fleet.json
 # must hold the §3.2.2 steady-state invariants *per shard* (fbuf-stress
 # exits nonzero otherwise), drive cross-shard payloads over the SPSC
 # rings at 2 threads, and write a report with a well-formed scaling
-# curve; --check then re-parses every BENCH_*.json in the report
-# directory for host + repro + telemetry blocks (the batched-plane
-# gauges must be present) and scaling-curve sanity, and every
-# LEDGER_*.json for schema and conservation.
+# curve (validated by the --check pass after the fan-in smoke below).
 #
 # Scaling gates are host-adaptive: a 2-thread run on fewer than two real
 # cores just timeslices, so the speedup/efficiency floors are only armed
@@ -61,7 +58,6 @@ fi
 FBUF_STRESS_OPS=20000 FBUF_STRESS_PATHS=4 FBUF_STRESS_THREADS=1,2 \
     FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-stress
-cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-reports
 
 # Queueing smoke: an offered-load sweep through the event-loop engine
 # must conserve transfers at every point (completed + aborted == offered),
@@ -73,6 +69,25 @@ FBUF_QUEUE_TRANSFERS=128 FBUF_QUEUE_BURSTS=1,4,16 FBUF_QUEUE_DEPTH=8 \
     FBUF_QUEUE_SLO_P99_NS=0 \
     FBUF_BENCH_DIR=target/bench-reports \
     cargo run --release -q -p fbuf-bench --bin fbuf-queue
+
+# Fan-in smoke: all three chunk-admission policies drive the same
+# Zipf-skewed, bursty fan-in workload at equal total buffer memory
+# through the sharded event-loop engine. fbuf-fanin exits nonzero
+# unless every policy conserves arrivals (offered == completed +
+# dropped + unresolved) and fb-dynamic strictly beats the static quota
+# on both drops and p99 alloc wait — the policy layer's reason to
+# exist, enforced at smoke scale on every CI run.
+FBUF_FANIN_FLOWS=2000 FBUF_FANIN_PATHS=64 FBUF_FANIN_SHARDS=2 FBUF_FANIN_STEPS=120 \
+    FBUF_BENCH_DIR=target/bench-reports \
+    cargo run --release -q -p fbuf-bench --bin fbuf-fanin
+test -s target/bench-reports/BENCH_fanin.json
+
+# --check re-parses every BENCH_*.json written above (stress, queue,
+# fanin) for host + repro + telemetry blocks — including the
+# chunk-admission policy every repro header must now name — plus
+# scaling-curve sanity, and every LEDGER_*.json for schema and
+# conservation.
+cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-reports
 
 # Lockstep-fuzzer smoke: a bounded fixed-seed campaign against the
 # reference model must finish with zero divergences (long campaigns run

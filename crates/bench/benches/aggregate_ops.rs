@@ -76,6 +76,9 @@ fn main() {
     );
 
     let mut r = BenchRunner::new("aggregate_ops");
+    // Which chunk-admission policy the run executed under (the system
+    // default here; fbuf-stress --check requires the field).
+    r.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     r.param("msg_extents", 64u64);
     r.param("msg_fbufs", 16u64);
     r.param("dag_nodes", 127u64);

@@ -14,6 +14,9 @@ fn main() {
         &curves,
     );
     let mut r = BenchRunner::new("fig3_single_crossing");
+    // Which chunk-admission policy the run executed under (the system
+    // default here; fbuf-stress --check requires the field).
+    r.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     r.param("size", 64u64 << 10);
     r.param("rounds", 3u64);
     r.param("observe_iters", 4u64);

@@ -26,6 +26,9 @@ fn main() {
         );
     }
     let mut r = BenchRunner::new("fig6_endtoend_uncached");
+    // Which chunk-admission policy the run executed under (the system
+    // default here; fbuf-stress --check requires the field).
+    r.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     r.param("size", 1u64 << 20);
     r.param("rounds", 3u64);
     r.param("observe_size", 256u64 << 10);

@@ -18,6 +18,9 @@ fn main() {
         );
     }
     let mut r = BenchRunner::new("remap");
+    // Which chunk-admission policy the run executed under (the system
+    // default here; fbuf-stress --check requires the field).
+    r.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     r.param("pages", 8u64);
     r.param("rounds", 8u64);
     r.artifact("remap_rows", rows.to_json());

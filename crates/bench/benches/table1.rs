@@ -15,6 +15,9 @@ fn main() {
         &rows,
     );
     let mut r = BenchRunner::new("table1");
+    // Which chunk-admission policy the run executed under (the system
+    // default here; fbuf-stress --check requires the field).
+    r.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     r.param("observe_size", 64u64 << 10);
     r.param("observe_iters", 4u64);
     r.artifact("table1_rows", rows.to_json());

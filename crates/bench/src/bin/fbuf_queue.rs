@@ -203,6 +203,7 @@ fn main() -> ExitCode {
 
     let mut runner = BenchRunner::new("queue");
     runner.set_threads(1);
+    runner.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     runner.param("transfers", transfers);
     runner.param("hops", hops as u64);
     runner.param("inbox_depth", depth as u64);

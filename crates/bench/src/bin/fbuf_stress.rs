@@ -45,7 +45,9 @@
 //!
 //! Check mode: `fbuf-stress --check <dir>` validates every `BENCH_*.json`
 //! in `<dir>` with the in-repo parser and fails unless each carries a
-//! `host` block, a `repro` header (seed, thread count, workload params),
+//! `host` block, a `repro` header (seed, thread count, workload params
+//! including the chunk-admission `policy` in force — a string, or a
+//! non-empty array of strings for multi-policy sweeps like fbuf-fanin),
 //! **and** a `telemetry` block (positive cadence, well-formed time-ordered
 //! series; the stress report must additionally carry the batched-plane
 //! gauges `ring_batch_occupancy` and `notice_coalesce_factor`); any
@@ -364,7 +366,9 @@ fn check_ledger(name: &str, doc: &Json) -> Result<(), String> {
 }
 
 /// Validates the `repro` header every report must carry: a numeric seed,
-/// a thread count of at least 1, and a params object.
+/// a thread count of at least 1, and a params object that names the
+/// chunk-admission policy the run executed under (a string, or a
+/// non-empty array of strings for multi-policy sweeps).
 fn check_repro(name: &str, doc: &Json) -> Result<(), String> {
     let repro = doc.get("repro").ok_or(format!("{name}: missing `repro` header"))?;
     repro
@@ -378,10 +382,21 @@ fn check_repro(name: &str, doc: &Json) -> Result<(), String> {
     if threads < 1.0 {
         return Err(format!("{name}: `repro.threads` = {threads} (want >= 1)"));
     }
-    match repro.get("params") {
-        Some(Json::Obj(_)) => Ok(()),
-        _ => Err(format!("{name}: `repro.params` is not an object")),
+    let params = match repro.get("params") {
+        Some(p @ Json::Obj(_)) => p,
+        _ => return Err(format!("{name}: `repro.params` is not an object")),
+    };
+    let policy_ok = match params.get("policy") {
+        Some(Json::Str(_)) => true,
+        Some(Json::Arr(a)) => !a.is_empty() && a.iter().all(|v| v.as_str().is_some()),
+        _ => false,
+    };
+    if !policy_ok {
+        return Err(format!(
+            "{name}: `repro.params.policy` must name the admission policy (string or non-empty string array)"
+        ));
     }
+    Ok(())
 }
 
 /// Validates every `BENCH_*.json` in `dir`: parses with the in-repo
@@ -544,6 +559,7 @@ fn main() -> ExitCode {
 
     let mut runner = BenchRunner::new("stress");
     runner.set_threads(max_threads as u64);
+    runner.param("policy", fbuf::QuotaPolicy::default().name().to_json());
     runner.param("ops", cycles);
     runner.param("paths", npaths as u64);
     runner.param("pages_per_buffer", pages);

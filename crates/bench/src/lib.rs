@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod cpuload;
+pub mod fanin;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -70,6 +70,7 @@ pub mod engine;
 pub mod error;
 pub mod ledger;
 pub mod path;
+pub mod policy;
 pub mod region;
 pub mod shard;
 pub mod system;
@@ -79,6 +80,7 @@ pub use engine::{run_offered_load, HopMsg, QueueConfig, QueueReport, TransferMod
 pub use error::{FbufError, FbufResult};
 pub use ledger::{Ledger, TenantRow};
 pub use path::{DataPath, PathId};
+pub use policy::QuotaPolicy;
 pub use region::ChunkAllocator;
 pub use shard::{
     fleet_ledger, fleet_snapshot, fleet_telemetry, fleet_trace, run_fleet, shard_of_path,

@@ -46,6 +46,7 @@ use crate::buffer::{Fbuf, FbufHot, FbufId, FbufState};
 use crate::error::{FbufError, FbufResult};
 use crate::ledger::Ledger;
 use crate::path::{DataPath, PathId};
+use crate::policy::QuotaPolicy;
 use crate::region::{ChunkAllocator, LocalAllocator};
 
 /// How a buffer is allocated.
@@ -154,6 +155,13 @@ pub struct FbufSystem {
     /// Parked (free-listed) fbufs right now — a telemetry gauge kept
     /// O(1) instead of walking the intrusive parked list.
     parked_count: u64,
+    /// The chunk-admission policy consulted before every kernel chunk
+    /// grant (see [`crate::policy`]). [`QuotaPolicy::Static`] reproduces
+    /// the paper's fixed per-path cap bit-for-bit.
+    policy: QuotaPolicy,
+    /// Priority class per path id (parallel to `paths`; class 0 = best
+    /// effort). Only [`QuotaPolicy::PriorityWeighted`] reads it.
+    path_class: Vec<u8>,
 }
 
 /// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
@@ -243,6 +251,8 @@ impl FbufSystem {
             span_salt: 0,
             span_counter: 0,
             parked_count: 0,
+            policy: QuotaPolicy::Static,
+            path_class: Vec::new(),
         };
         let kernel = fbuf_vm::KERNEL_DOMAIN;
         sys.machine
@@ -371,9 +381,18 @@ impl FbufSystem {
             self.engine.as_ref().map_or(0, fbuf_ipc::EventLoop::pending) as u64,
         );
         m.sample(now, "overload_drops", self.machine.stats_ref().overload_drops());
+        let free = self.chunk_alloc.available();
+        let quota = self.machine.config().max_chunks_per_path;
+        m.sample(now, "free_chunks", free);
         for (i, p) in self.paths.iter().enumerate() {
             if p.live {
                 m.sample(now, &format!("path{i}.parked"), p.parked() as u64);
+                m.sample(now, &format!("path{i}.chunks"), self.path_chunks(p.id) as u64);
+                m.sample(
+                    now,
+                    &format!("path{i}.threshold"),
+                    self.policy.threshold(free, quota, self.path_class(p.id)),
+                );
             }
         }
         if let Some(e) = &self.engine {
@@ -428,7 +447,52 @@ impl FbufSystem {
         }
         let id = PathId(self.paths.len() as u64);
         self.paths.push(DataPath::new(id, domains));
+        self.path_class.push(0);
         Ok(id)
+    }
+
+    /// Sets the chunk-admission policy. Safe to change at any time: the
+    /// policy is consulted per decision and keeps no state of its own.
+    pub fn set_quota_policy(&mut self, policy: QuotaPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active chunk-admission policy.
+    pub fn quota_policy(&self) -> QuotaPolicy {
+        self.policy
+    }
+
+    /// Assigns a priority class to a path (class 0 = best effort; only
+    /// [`QuotaPolicy::PriorityWeighted`] distinguishes classes).
+    pub fn set_path_class(&mut self, path: PathId, class: u8) -> FbufResult<()> {
+        if path.0 as usize >= self.paths.len() {
+            return Err(FbufError::NoSuchPath(path));
+        }
+        self.path_class[path.0 as usize] = class;
+        Ok(())
+    }
+
+    /// The priority class of a path (0 when never set).
+    pub fn path_class(&self, path: PathId) -> u8 {
+        self.path_class.get(path.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Chunks the kernel dispenser still has available — the dynamic
+    /// policies' pressure signal, exposed for harnesses and gauges.
+    pub fn free_chunks(&self) -> u64 {
+        self.chunk_alloc.available()
+    }
+
+    /// Chunks currently held by the (originator, path) allocator of
+    /// `path` — the per-path buffer occupancy the fan-in harness and the
+    /// `path{i}.chunks` gauge report.
+    pub fn path_chunks(&self, path: PathId) -> usize {
+        let Some(p) = self.paths.get(path.0 as usize) else {
+            return 0;
+        };
+        self.allocators
+            .get(&(p.originator().0, Some(path)))
+            .map_or(0, LocalAllocator::chunks_held)
     }
 
     /// Looks up a path.
@@ -586,12 +650,13 @@ impl FbufSystem {
     /// Allocates a physical frame, reclaiming from parked fbufs (coldest
     /// first) when memory is tight — "the amount of physical memory
     /// allocated to fbufs depends on the level of I/O traffic compared to
-    /// other system activity" (§3.3).
+    /// other system activity" (§3.3). The pass reclaims up to
+    /// [`MachineConfig::reclaim_batch`] frames before retrying.
     fn frame_with_reclaim(&mut self) -> FbufResult<FrameId> {
         match self.machine.alloc_frame() {
             Ok(f) => Ok(f),
             Err(fbuf_vm::Fault::OutOfMemory) => {
-                if self.reclaim_frames(8) == 0 {
+                if self.reclaim_frames(self.machine.config().reclaim_batch) == 0 {
                     return Err(fbuf_vm::Fault::OutOfMemory.into());
                 }
                 Ok(self.machine.alloc_frame()?)
@@ -705,8 +770,17 @@ impl FbufSystem {
             match allocator.carve(pages, page_size)? {
                 Some(va) => break va,
                 None => {
-                    if allocator.at_quota() || self.fault_fires(FaultSite::QuotaExhausted) {
+                    let held = allocator.chunks_held();
+                    let class = path.map_or(0, |p| self.path_class(p));
+                    if !self.policy.admits(held, self.chunk_alloc.available(), quota, class) {
+                        // An organic admission denial: the policy refused
+                        // growth. Only these count as quota denials —
+                        // injected ones are the fault plan's to tally.
                         self.machine.stats_ref().inc_chunk_quota_denials();
+                        self.account_fault(dom, path);
+                        return Err(FbufError::QuotaExceeded { path });
+                    }
+                    if self.fault_fires(FaultSite::QuotaExhausted) {
                         self.account_fault(dom, path);
                         return Err(FbufError::QuotaExceeded { path });
                     }

@@ -8,6 +8,7 @@
 //! only changes what their selectors resolve to (identically on both
 //! sides of the diff, since resolution consults only the model).
 
+use fbuf::QuotaPolicy;
 use fbuf_sim::{FaultSite, FaultSpec, Rng};
 
 /// Number of buffer slots the harness tracks.
@@ -192,6 +193,32 @@ pub fn fault_spec(seed: u64, cmds: usize) -> FaultSpec {
     spec
 }
 
+/// Derives the per-case chunk-admission policy from the case seed.
+/// Domain-separated from the command and fault streams (its own tag, its
+/// own RNG), so adding the policy dimension left every pre-existing
+/// stream — and therefore the recorded corpus — bit-aligned. Half the
+/// cases keep the static quota; the rest fuzz the dynamic families over
+/// a small alpha menu.
+pub fn policy_spec(seed: u64) -> QuotaPolicy {
+    let mut rng = Rng::new(seed ^ 0x9011_c75e_ed00_0003); // policy stream tag
+    let menu = [(1u64, 1u64), (1, 2), (2, 1), (1, 4)];
+    match rng.below(10) {
+        0..=4 => QuotaPolicy::Static,
+        5..=7 => {
+            let (alpha_num, alpha_den) = menu[rng.index(menu.len())];
+            QuotaPolicy::FbDynamic { alpha_num, alpha_den }
+        }
+        _ => {
+            let (alpha_num, alpha_den) = menu[rng.index(menu.len())];
+            QuotaPolicy::PriorityWeighted {
+                alpha_num,
+                alpha_den,
+                weights: fbuf::policy::DEFAULT_WEIGHTS,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +265,19 @@ mod tests {
         );
         let noisy = (0..64).filter(|&s| !fault_spec(s, 100).is_quiet()).count();
         assert!(noisy > 32, "most cases should inject something: {noisy}");
+    }
+
+    #[test]
+    fn policy_spec_is_deterministic_and_covers_every_family() {
+        let mut names = std::collections::BTreeSet::new();
+        for s in 0..64u64 {
+            assert_eq!(policy_spec(s), policy_spec(s));
+            names.insert(policy_spec(s).name());
+        }
+        assert_eq!(
+            names.into_iter().collect::<Vec<_>>(),
+            vec!["fb-dynamic", "priority", "static"]
+        );
     }
 
     #[test]

@@ -52,9 +52,12 @@ pub struct CaseFailure {
     pub message: String,
 }
 
-/// Runs one explicit command list under the fault plan of
-/// `(seed, base_n)`. `base_n` is the length of the case's *original*
-/// stream: shrinking shortens the list but must not change the plan.
+/// Runs one explicit command list under the fault plan and admission
+/// policy of `(seed, base_n)`. `base_n` is the length of the case's
+/// *original* stream: shrinking shortens the list but must not change
+/// the plan. The policy is a pure function of the seed too
+/// ([`cmd::policy_spec`]), so a corpus case replays under the very
+/// policy its campaign ran.
 pub fn run_list(
     seed: u64,
     base_n: usize,
@@ -62,7 +65,7 @@ pub fn run_list(
     sabotage: Option<Sabotage>,
 ) -> Result<CaseOutcome, CaseFailure> {
     let spec = cmd::fault_spec(seed, base_n);
-    let mut h = Harness::new(&spec, sabotage);
+    let mut h = Harness::with_policy(&spec, sabotage, cmd::policy_spec(seed));
     match h.run(cmds) {
         Ok(()) => Ok(CaseOutcome {
             commands: cmds.len(),

@@ -40,4 +40,4 @@ pub mod oracle;
 pub use cmd::Cmd;
 pub use fuzz::{campaign, replay, run_case, run_list, shrink, CampaignReport, CorpusCase};
 pub use lockstep::Harness;
-pub use oracle::{Counters, Feed, MErr, Oracle, OracleConfig, Sabotage};
+pub use oracle::{Counters, Feed, MErr, MPolicy, Oracle, OracleConfig, Sabotage};

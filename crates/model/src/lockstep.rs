@@ -35,13 +35,41 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use fbuf::shard::{NoticeBatch, NOTICE_BATCH_MAX};
-use fbuf::{AllocMode, FbufError, FbufId, FbufState, FbufSystem, PathId, SendMode};
+use fbuf::{AllocMode, FbufError, FbufId, FbufState, FbufSystem, PathId, QuotaPolicy, SendMode};
 use fbuf_sim::spsc::{self, Consumer, Producer};
 use fbuf_sim::{audit_tracer, FaultPlan, FaultSite, FaultSpec, MachineConfig};
 use fbuf_vm::DomainId;
 
 use crate::cmd::{Cmd, SLOTS};
-use crate::oracle::{Feed, MAllocMode, MErr, Oracle, OracleConfig, Sabotage};
+use crate::oracle::{Feed, MAllocMode, MErr, MPolicy, Oracle, OracleConfig, Sabotage};
+
+/// Priority classes the harness pins on its three paths (`P0`, `P1`,
+/// `PE` in declaration order). Always assigned — [`QuotaPolicy::Static`]
+/// and [`QuotaPolicy::FbDynamic`] ignore them, so the class plumbing is
+/// lockstep-exercised under every policy.
+pub const PATH_CLASSES: [u8; 3] = [1, 2, 3];
+
+/// Translates the real policy into the model's independent mirror. Only
+/// the *parameters* cross this boundary — the threshold math on the
+/// model side is a from-scratch reimplementation.
+fn mirror_policy(p: QuotaPolicy) -> MPolicy {
+    match p {
+        QuotaPolicy::Static => MPolicy::Static,
+        QuotaPolicy::FbDynamic { alpha_num, alpha_den } => MPolicy::FbDynamic {
+            num: alpha_num,
+            den: alpha_den,
+        },
+        QuotaPolicy::PriorityWeighted {
+            alpha_num,
+            alpha_den,
+            weights,
+        } => MPolicy::PriorityWeighted {
+            num: alpha_num,
+            den: alpha_den,
+            weights,
+        },
+    }
+}
 
 /// Capacity of the data and notice rings.
 pub const RING_CAP: usize = 4;
@@ -94,10 +122,22 @@ pub struct Harness {
 }
 
 impl Harness {
+    /// Builds the pair under the [`QuotaPolicy::Static`] admission
+    /// policy. See [`Harness::with_policy`].
+    pub fn new(spec: &FaultSpec, sabotage: Option<Sabotage>) -> Harness {
+        Harness::with_policy(spec, sabotage, QuotaPolicy::Static)
+    }
+
     /// Builds the pair: a real system on a roomy `tiny()` machine (extra
     /// physical memory so out-of-memory only happens when injected), six
-    /// domains, three paths, armed fault plan, mirrored model.
-    pub fn new(spec: &FaultSpec, sabotage: Option<Sabotage>) -> Harness {
+    /// domains, three paths (classes per [`PATH_CLASSES`]), armed fault
+    /// plan, mirrored model running `policy` on both sides — parameters
+    /// shared, arithmetic independent.
+    pub fn with_policy(
+        spec: &FaultSpec,
+        sabotage: Option<Sabotage>,
+        policy: QuotaPolicy,
+    ) -> Harness {
         let mut cfg = MachineConfig::tiny();
         // The fbuf region holds at most 256 pages; 4096 frames make
         // organic frame exhaustion impossible, so every allocation
@@ -106,6 +146,7 @@ impl Harness {
         cfg.phys_mem = 16 << 20;
         let mut sys = FbufSystem::new(cfg.clone());
         sys.machine().tracer_ref().set_enabled(true);
+        sys.set_quota_policy(policy);
         let mut model = Oracle::new(OracleConfig {
             page_size: cfg.page_size,
             chunk_size: cfg.chunk_size,
@@ -113,6 +154,8 @@ impl Harness {
             region_size: cfg.fbuf_region_size,
             quota: cfg.max_chunks_per_path,
             lifo: true,
+            policy: mirror_policy(policy),
+            reclaim_batch: cfg.reclaim_batch,
         });
         model.sabotage = sabotage;
 
@@ -126,6 +169,10 @@ impl Harness {
         for (pid, members) in [(p0, vec![0, 1, 2]), (p1, vec![1, 3]), (pe, vec![4, 5])] {
             let mdoms = members.iter().map(|&i: &usize| doms[i].0).collect();
             assert_eq!(model.create_path(mdoms), Ok(pid.0), "path numbering lockstep");
+        }
+        for (p, class) in [p0, p1, pe].into_iter().zip(PATH_CLASSES) {
+            sys.set_path_class(p, class).unwrap();
+            model.set_path_class(p.0, class).unwrap();
         }
 
         let plan = Rc::new(spec.arm());
@@ -829,6 +876,24 @@ mod tests {
         h.run(&cmds).unwrap_or_else(|(i, e)| {
             panic!("diverged at command {i}: {e}");
         });
+    }
+
+    #[test]
+    fn dynamic_policies_stay_in_lockstep() {
+        // The same noisy stream under each non-static policy: the
+        // model's independent threshold math must agree with the real
+        // implementation on every admission, organic denial included.
+        for policy in [QuotaPolicy::fb_dynamic(), QuotaPolicy::priority_weighted()] {
+            let spec = FaultSpec::new(21)
+                .rate(FaultSite::ChunkGrant, 1500)
+                .rate(FaultSite::QuotaExhausted, 1500)
+                .rate(FaultSite::FrameAlloc, 1000);
+            let mut h = Harness::with_policy(&spec, None, policy);
+            let cmds = cmd::generate(0xfeed_0003, 400);
+            h.run(&cmds).unwrap_or_else(|(i, e)| {
+                panic!("{} diverged at command {i}: {e}", policy.name());
+            });
+        }
     }
 
     #[test]

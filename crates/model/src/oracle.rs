@@ -170,11 +170,45 @@ pub struct OracleConfig {
     pub region_base: u64,
     /// Fbuf region size in bytes.
     pub region_size: u64,
-    /// Maximum chunks per (domain, path) allocator.
+    /// Maximum chunks per (domain, path) allocator (the static cap; the
+    /// active [`MPolicy`] decides whether it is the binding limit).
     pub quota: usize,
     /// Free-list reuse order of the real system (`true` = LIFO, the
     /// paper's policy).
     pub lifo: bool,
+    /// The chunk-admission policy the real system runs.
+    pub policy: MPolicy,
+    /// Frames one pageout pass tries to reclaim on an injected frame
+    /// allocation failure (mirror of `MachineConfig::reclaim_batch`).
+    pub reclaim_batch: usize,
+}
+
+/// Mirror of the real system's chunk-admission policy
+/// (`fbuf::QuotaPolicy`). The threshold arithmetic below is
+/// reimplemented from scratch — the model must not call the real
+/// implementation, or the differ would compare it against itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MPolicy {
+    /// Static per-allocator cap at `quota` chunks.
+    Static,
+    /// FB-style dynamic threshold: cap = `num × free_chunks / den`,
+    /// floored at one chunk.
+    FbDynamic {
+        /// Alpha numerator.
+        num: u64,
+        /// Alpha denominator.
+        den: u64,
+    },
+    /// The dynamic threshold scaled by a per-priority-class percent
+    /// weight (class indices wrap at the weight count).
+    PriorityWeighted {
+        /// Alpha numerator.
+        num: u64,
+        /// Alpha denominator.
+        den: u64,
+        /// Per-class weight, percent of base alpha.
+        weights: [u64; 4],
+    },
 }
 
 /// Model state of one buffer. Fields mirror the observable slice of
@@ -216,6 +250,8 @@ pub struct MPath {
     pub free: Vec<(u64, usize)>,
     /// Still live.
     pub live: bool,
+    /// Priority class (feeds [`MPolicy::PriorityWeighted`]).
+    pub class: u8,
 }
 
 /// One (domain, path) local allocator.
@@ -240,7 +276,9 @@ pub struct Counters {
     pub transfers: u64,
     /// Chunks granted by the kernel dispenser.
     pub chunks_granted: u64,
-    /// Allocation failures at the chunk quota.
+    /// Allocation failures denied organically by the admission policy.
+    /// Injected `QuotaExhausted` faults are *not* counted here — they
+    /// are the fault plan's tally (`faults_injected`).
     pub quota_denials: u64,
     /// Frames reclaimed by pageout.
     pub frames_reclaimed: u64,
@@ -341,8 +379,21 @@ impl Oracle {
             domains,
             free: Vec::new(),
             live: true,
+            class: 0,
         });
         Ok(self.paths.len() as u64 - 1)
+    }
+
+    /// Assigns a priority class to a path (mirror of
+    /// `FbufSystem::set_path_class`).
+    pub fn set_path_class(&mut self, pid: u64, class: u8) -> Result<(), MErr> {
+        match self.paths.get_mut(pid as usize) {
+            Some(p) => {
+                p.class = class;
+                Ok(())
+            }
+            None => Err(MErr::NoSuchPath),
+        }
     }
 
     /// Buffers currently live (parked included).
@@ -443,7 +494,7 @@ impl Oracle {
         if !feed.take(FaultSite::FrameAlloc) {
             return Ok(());
         }
-        if self.reclaim(8, feed) == 0 {
+        if self.reclaim(self.cfg.reclaim_batch, feed) == 0 {
             return Err(MErr::Vm);
         }
         if feed.take(FaultSite::FrameAlloc) {
@@ -493,10 +544,21 @@ impl Oracle {
                     break va;
                 }
             }
-            // Needs a chunk: quota first (organic check short-circuits
-            // the fault consult, exactly like the real `||`).
-            if a.chunks.len() >= self.cfg.quota || feed.take(FaultSite::QuotaExhausted) {
+            // Needs a chunk: the admission policy rules first (an
+            // organic denial short-circuits the fault consult, exactly
+            // like the real order in `FbufSystem::build`).
+            let held = a.chunks.len() as u64;
+            let free = self.total_chunks - self.chunk_next + self.chunk_recycled.len() as u64;
+            let class = path
+                .and_then(|p| self.paths.get(p as usize))
+                .map_or(0, |p| p.class);
+            if held >= self.threshold(free, class) {
                 self.counters.quota_denials += 1;
+                return Err(MErr::QuotaExceeded);
+            }
+            if feed.take(FaultSite::QuotaExhausted) {
+                // Injected denial: the fault plan's tally, not the
+                // organic quota counter's.
                 return Err(MErr::QuotaExceeded);
             }
             if feed.take(FaultSite::ChunkGrant) {
@@ -539,6 +601,21 @@ impl Oracle {
         self.held[dom as usize].push(ix);
         self.originated_live[dom as usize] += 1;
         Ok(ix)
+    }
+
+    /// The policy's current allocator-size cap. Deliberately NOT a call
+    /// into `fbuf::QuotaPolicy::threshold` — the math is rewritten here
+    /// so lockstep runs cross-check the real arithmetic instead of
+    /// comparing it against itself.
+    fn threshold(&self, free: u64, class: u8) -> u64 {
+        match self.cfg.policy {
+            MPolicy::Static => self.cfg.quota as u64,
+            MPolicy::FbDynamic { num, den } => (num * free / den.max(1)).max(1),
+            MPolicy::PriorityWeighted { num, den, weights } => {
+                let w = weights[class as usize % weights.len()];
+                (num * free * w / (den.max(1) * 100)).max(1)
+            }
+        }
     }
 
     /// Mirror of `ChunkAllocator::grant`.
@@ -875,6 +952,8 @@ mod tests {
             region_size: 1 << 20,
             quota: 8,
             lifo: true,
+            policy: MPolicy::Static,
+            reclaim_batch: 8,
         }
     }
 
@@ -1003,7 +1082,9 @@ mod tests {
             Err(MErr::QuotaExceeded)
         );
         f.finish().unwrap();
-        assert_eq!(o.counters.quota_denials, 1);
+        // An injected denial is the fault plan's tally, not an organic
+        // quota denial.
+        assert_eq!(o.counters.quota_denials, 0);
         let mut f = Feed::default();
         f.load(vec![
             FaultDecision {
@@ -1021,6 +1102,64 @@ mod tests {
         );
         f.finish().unwrap();
         assert_eq!(o.counters.chunks_granted, 0);
+    }
+
+    #[test]
+    fn dynamic_policy_tracks_the_free_pool_not_the_quota() {
+        let mut c = cfg();
+        c.policy = MPolicy::FbDynamic { num: 1, den: 1 };
+        let mut o = Oracle::new(c);
+        let a = o.create_domain();
+        // Each 16 KB allocation consumes a whole chunk. 64 chunks total;
+        // with alpha = 1 the k-th grant is admitted iff k < 64 - k, so
+        // exactly 32 succeed — way past the static quota of 8.
+        for _ in 0..32 {
+            let mut f = chunked_build(4);
+            o.alloc(a, MAllocMode::Uncached, 16 << 10, &mut f).unwrap();
+            f.finish().unwrap();
+        }
+        assert_eq!(o.counters.chunks_granted, 32);
+        // The 33rd is denied organically, consuming no fault decision.
+        let mut f = quiet_feed();
+        assert_eq!(
+            o.alloc(a, MAllocMode::Uncached, 16 << 10, &mut f),
+            Err(MErr::QuotaExceeded)
+        );
+        f.finish().unwrap();
+        assert_eq!(o.counters.quota_denials, 1);
+    }
+
+    #[test]
+    fn priority_class_scales_the_dynamic_threshold() {
+        let mut c = cfg();
+        c.policy = MPolicy::PriorityWeighted {
+            num: 1,
+            den: 1,
+            weights: [50, 100, 150, 200],
+        };
+        let mut o = Oracle::new(c);
+        let a = o.create_domain();
+        let b = o.create_domain();
+        let p = o.create_path(vec![a, b]).unwrap();
+        o.set_path_class(p, 0).unwrap();
+        // Class 0 halves alpha: the k-th grant is admitted iff
+        // k < ⌊(64 - k) / 2⌋, so 21 chunk grants succeed before the
+        // organic denial.
+        for i in 0..21 {
+            let mut f = chunked_build(4);
+            let ix = o.alloc(a, MAllocMode::Cached(p), 16 << 10, &mut f).unwrap();
+            f.finish().unwrap();
+            assert_eq!(ix, i, "every allocation builds fresh");
+        }
+        let mut f = quiet_feed();
+        assert_eq!(
+            o.alloc(a, MAllocMode::Cached(p), 16 << 10, &mut f),
+            Err(MErr::QuotaExceeded)
+        );
+        f.finish().unwrap();
+        assert_eq!(o.counters.chunks_granted, 21);
+        assert_eq!(o.counters.quota_denials, 1);
+        assert_eq!(o.set_path_class(99, 1), Err(MErr::NoSuchPath));
     }
 
     #[test]

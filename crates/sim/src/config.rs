@@ -27,6 +27,10 @@ pub struct MachineConfig {
     /// Maximum chunks any single data-path allocator may hold (the paper's
     /// defence against a domain that never deallocates).
     pub max_chunks_per_path: usize,
+    /// How many physical frames one pageout pass tries to reclaim when a
+    /// frame allocation finds memory exhausted (the reclaim-then-retry
+    /// batch in `FbufSystem::frame_with_reclaim`).
+    pub reclaim_batch: usize,
     /// Timing constants.
     pub costs: CostModel,
 }
@@ -42,6 +46,7 @@ impl MachineConfig {
             fbuf_region_size: 64 << 20,
             chunk_size: 64 << 10,
             max_chunks_per_path: 64,
+            reclaim_batch: 8,
             costs: CostModel::decstation_5000_200(),
         }
     }
@@ -56,6 +61,7 @@ impl MachineConfig {
             fbuf_region_size: 1 << 20,
             chunk_size: 16 << 10,
             max_chunks_per_path: 8,
+            reclaim_batch: 8,
             costs: CostModel::free(),
         }
     }
@@ -101,6 +107,9 @@ impl MachineConfig {
         }
         if self.phys_mem < self.page_size {
             return Err("physical memory smaller than one page".into());
+        }
+        if self.reclaim_batch == 0 {
+            return Err("reclaim_batch must be positive".into());
         }
         Ok(())
     }
@@ -160,6 +169,10 @@ mod tests {
 
         let mut c = MachineConfig::tiny();
         c.fbuf_region_size = c.chunk_size + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::tiny();
+        c.reclaim_batch = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -90,6 +90,7 @@ pub mod spsc;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod workload;
 
 pub use arena::{slot_of, Arena};
 pub use audit::{audit, audit_tracer, AuditReport, Violation};
