@@ -92,9 +92,29 @@ cargo run --release -q -p fbuf-bench --bin fbuf-stress -- --check target/bench-r
 # Lockstep-fuzzer smoke: a bounded fixed-seed campaign against the
 # reference model must finish with zero divergences (long campaigns run
 # the same binary with FBUF_FUZZ_CASES/FBUF_FUZZ_CMDS raised), and every
-# pinned corpus case must replay clean.
+# pinned corpus case must replay clean — including the adversarial
+# cases (adv = K in the corpus header), which replay with containment
+# armed and the hostile personas overlaid.
 FBUF_FUZZ_CASES=${FBUF_FUZZ_CASES:-16} FBUF_FUZZ_CMDS=${FBUF_FUZZ_CMDS:-150} \
     cargo run --release -q -p fbuf-bench --bin fbuf-fuzz
 cargo run --release -q -p fbuf-bench --bin fbuf-fuzz -- --replay tests/corpus
+
+# Adversarial lockstep smoke: the same differ with three hostile
+# personas (hoarder, stalled receiver, token forger) overlaid on every
+# case and the quota jail armed on both sides. Divergence-free means
+# the oracle mirrors jail denials, forced revocations, and token
+# rejections exactly.
+FBUF_FUZZ_CASES=8 FBUF_FUZZ_CMDS=150 FBUF_FUZZ_ADV=3 \
+    cargo run --release -q -p fbuf-bench --bin fbuf-fuzz
+
+# Hostile-tenant containment smoke: N benign tenants vs the three
+# personas through the engine at equal memory. fbuf-adversary exits
+# nonzero unless benign goodput stays >= 95% of the adversary-free
+# baseline, zero forged tokens dereference, the jail and both
+# revocation paths (forced + timeout) all fire, and the per-tenant
+# ledger conserves — revocations and rejected tokens included.
+FBUF_ADV_TENANTS=4 FBUF_ADV_ROUNDS=32 FBUF_BENCH_DIR=target/bench-reports \
+    cargo run --release -q -p fbuf-bench --bin fbuf-adversary
+test -s target/bench-reports/BENCH_adversary.json
 
 echo "ci: ok"

@@ -16,7 +16,11 @@
 //! * `FBUF_FUZZ_SEED`  — campaign seed (default a fixed constant, so CI
 //!   runs are reproducible; set a fresh value to explore);
 //! * `FBUF_FUZZ_CORPUS` — where to write shrunk failures (default
-//!   `tests/corpus` under the current directory).
+//!   `tests/corpus` under the current directory);
+//! * `FBUF_FUZZ_ADV` — hostile personas overlaid on every case's
+//!   command stream (default 0 = benign). Nonzero arms the harness's
+//!   containment machinery (quota jail, revocation, token defense) and
+//!   records `adv` in any shrunk corpus case so replay is bit-identical.
 //!
 //! Replay mode: `fbuf-fuzz --replay <dir>` re-runs every `*.case` file
 //! in `<dir>` and fails if any of them diverges — the regression gate
@@ -115,9 +119,10 @@ fn main() -> ExitCode {
     let cmds = env_u64("FBUF_FUZZ_CMDS", 200) as usize;
     let seed = env_u64("FBUF_FUZZ_SEED", 0xfb0f_5eed_2026_0801);
     let corpus = std::env::var("FBUF_FUZZ_CORPUS").unwrap_or_else(|_| "tests/corpus".into());
+    let adv = env_u64("FBUF_FUZZ_ADV", 0) as u32;
 
-    println!("fbuf-fuzz: {cases} case(s) × {cmds} command(s), seed {seed:#x}");
-    let report = fuzz::campaign(seed, cases, cmds, None);
+    println!("fbuf-fuzz: {cases} case(s) × {cmds} command(s), seed {seed:#x}, adv {adv}");
+    let report = fuzz::campaign(seed, cases, cmds, None, adv);
     println!(
         "fbuf-fuzz: {} command(s) executed across {} case(s)",
         report.commands, report.cases
@@ -136,13 +141,13 @@ fn main() -> ExitCode {
             "fbuf-fuzz: case seed {case_seed:#x} DIVERGED at command {}: {}",
             fail.fail_index, fail.message
         );
-        let keep = fuzz::shrink(*case_seed, cmds, fail, None);
+        let keep = fuzz::shrink(*case_seed, cmds, fail, None, adv);
         eprintln!("fbuf-fuzz: shrunk to {} command(s): {keep:?}", keep.len());
         let note = format!(
             "found by campaign seed {seed:#x}\ndiverged: {}",
             fail.message
         );
-        let entry = fuzz::corpus_entry(*case_seed, cmds, Some(&keep), &note);
+        let entry = fuzz::corpus_entry(*case_seed, cmds, Some(&keep), &note, adv);
         let dir = Path::new(&corpus);
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("fbuf-fuzz: cannot create {}: {e}", dir.display());

@@ -78,6 +78,12 @@ pub enum HopMsg {
         /// Enqueue/Dequeue/HopService record the transfer produces is
         /// tagged with it).
         span: u64,
+        /// Simulated-time revocation deadline stamped by
+        /// [`FbufSystem::submit_transfer`] when a timeout is armed
+        /// ([`FbufSystem::set_revoke_timeout`]). A leg dequeued after
+        /// this instant does not deliver: the buffer is revoked from the
+        /// stalled holder chain and returned to its originator's cache.
+        deadline: Option<Ns>,
     },
     /// Explicit completion, posted back to the originator after the final
     /// leg's frees. Charges nothing; counted on dequeue.
@@ -160,11 +166,15 @@ impl FbufSystem {
         let path = self.fbuf_path_raw(fbuf);
         let tracer = self.machine().tracer();
         tracer.span_start(span, route[0].0, path, Some(fbuf.0));
+        let deadline = self
+            .revoke_timeout()
+            .map(|t| Ns(self.machine().now().as_ns() + t.as_ns()));
         let msg = HopMsg::Transfer {
             fbuf,
             route: route.to_vec(),
             leg: 0,
             span,
+            deadline,
         };
         // The ambient span makes the first leg's Enqueue (and an
         // Overload refusal) attributable to this transfer; the envelope
@@ -223,6 +233,14 @@ impl FbufSystem {
         self.xfer_aborted
     }
 
+    /// Transfers whose revocation deadline expired before a leg was
+    /// serviced — the buffer was revoked from the stalled holder chain.
+    /// Every revoked transfer also counts as aborted, so the
+    /// offered = completed + aborted conservation is unchanged.
+    pub fn transfers_revoked(&self) -> u64 {
+        self.xfer_revoked
+    }
+
     /// Resets the engine's measurement state (queue-delay histogram,
     /// overload/enqueue/dequeue and completion counters) between sweep
     /// points; pending events are untouched.
@@ -232,6 +250,7 @@ impl FbufSystem {
         }
         self.xfer_completed = 0;
         self.xfer_aborted = 0;
+        self.xfer_revoked = 0;
     }
 }
 
@@ -248,6 +267,7 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
             route,
             leg,
             span,
+            deadline,
         } => {
             // The loop restored the envelope's span around this handler,
             // so it must agree with the one the message carries.
@@ -258,6 +278,28 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
             );
             let t0 = sys.machine().now();
             let path = sys.fbuf_path_raw(fbuf);
+            if deadline.is_some_and(|dl| sys.machine().now() > dl) {
+                // The revocation deadline passed while this leg sat
+                // queued: the receiver is stalled. Take the buffer back
+                // instead of delivering — the deepest live holder is
+                // formally revoked (one Revoked event, one ledger bill),
+                // the rest release normally, and the originator's final
+                // free returns the buffer to its path cache. Holders a
+                // domain termination already released are skipped, so
+                // frames are reclaimed exactly once either way.
+                sys.xfer_revoked += 1;
+                sys.xfer_aborted += 1;
+                let mut revoked = false;
+                for d in route[..=leg].iter().rev() {
+                    if !revoked && sys.fbuf(fbuf).is_ok_and(|f| f.holders.contains(d)) {
+                        revoked = sys.revoke(fbuf, *d).is_ok();
+                    } else {
+                        let _ = sys.free(fbuf, *d);
+                    }
+                }
+                sys.sample_metrics();
+                return;
+            }
             sys.rpc_mut().call(env.from, env.to);
             if let Err(e) = sys.send(fbuf, env.from, env.to, SendMode::Volatile) {
                 sys.engine_error.get_or_insert(e);
@@ -271,6 +313,7 @@ fn handle_hop(evl: &mut EventLoop<HopMsg>, sys: &mut FbufSystem, env: Envelope<H
                     route: route.clone(),
                     leg: leg + 1,
                     span,
+                    deadline,
                 };
                 if evl.post_on(nf, nt, path, msg).is_overload() {
                     // The next inbox refused the leg: abort the transfer,

@@ -41,6 +41,11 @@ pub enum FbufError {
     },
     /// The domain is not registered with the fbuf system.
     UnknownDomain(DomainId),
+    /// The domain is jailed by the hoard detector: it holds more bytes
+    /// than the jail threshold and has not freed anything for too many
+    /// allocation rounds, so further allocations are denied until the
+    /// jail escalates to revocation (or the tenant frees).
+    TenantJailed(DomainId),
 }
 
 impl fmt::Display for FbufError {
@@ -61,6 +66,9 @@ impl fmt::Display for FbufError {
                 write!(f, "allocation of {requested} bytes exceeds maximum {max}")
             }
             FbufError::UnknownDomain(d) => write!(f, "domain {d} not registered"),
+            FbufError::TenantJailed(d) => {
+                write!(f, "{d} jailed by the hoard detector: allocation denied")
+            }
         }
     }
 }

@@ -51,6 +51,14 @@ pub struct TenantRow {
     /// Faults absorbed: quota denials and injected failures charged to
     /// this tenant's requests.
     pub faults: u64,
+    /// Fbufs forcibly revoked from this tenant — cached buffers retired
+    /// by a jail escalation, or in-flight buffers taken back when a
+    /// transfer's revocation deadline expired on it (conserved against
+    /// `StatsSnapshot::fbufs_revoked`).
+    pub revocations: u64,
+    /// Forged or stale ring tokens rejected on this tenant's ingress
+    /// (conserved against `StatsSnapshot::tokens_rejected`).
+    pub rejected_tokens: u64,
 }
 
 impl TenantRow {
@@ -63,6 +71,8 @@ impl TenantRow {
         self.queue_ns += other.queue_ns;
         self.ipc_calls += other.ipc_calls;
         self.faults += other.faults;
+        self.revocations += other.revocations;
+        self.rejected_tokens += other.rejected_tokens;
     }
 
     /// True when every column is zero (the row never accrued anything).
@@ -81,6 +91,8 @@ impl ToJson for TenantRow {
             ("queue_ns", self.queue_ns.to_json()),
             ("ipc_calls", self.ipc_calls.to_json()),
             ("faults", self.faults.to_json()),
+            ("revocations", self.revocations.to_json()),
+            ("rejected_tokens", self.rejected_tokens.to_json()),
         ])
     }
 }
@@ -175,6 +187,18 @@ impl Ledger {
             v.push(format!(
                 "ledger ipc_calls {} != fleet ipc_messages {}",
                 t.ipc_calls, fleet.ipc_messages
+            ));
+        }
+        if t.revocations != fleet.fbufs_revoked {
+            v.push(format!(
+                "ledger revocations {} != fleet fbufs_revoked {}",
+                t.revocations, fleet.fbufs_revoked
+            ));
+        }
+        if t.rejected_tokens != fleet.tokens_rejected {
+            v.push(format!(
+                "ledger rejected_tokens {} != fleet tokens_rejected {}",
+                t.rejected_tokens, fleet.tokens_rejected
             ));
         }
         v

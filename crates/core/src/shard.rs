@@ -71,9 +71,29 @@ pub struct CrossShardMsg {
 }
 
 impl CrossShardMsg {
-    /// Packs a token from a shard id and a per-shard sequence number.
-    pub fn token_for(shard: usize, seq: u64) -> u64 {
-        ((shard as u64) << 48) | (seq & 0xffff_ffff_ffff)
+    /// Packs a token from a shard id, the arena **generation** of the
+    /// egress buffer backing the payload, and a per-shard sequence
+    /// number: `shard(15) | generation(16) | seq(32)`. The generation
+    /// bits extend the arena's use-after-retire defense across the ring:
+    /// a receiver (or a forger) replaying a token after the egress slot
+    /// was reused presents stale generation bits, and the sender rejects
+    /// the notice by bit comparison alone — the token is never used to
+    /// reach a buffer (`DESIGN.md` §16).
+    pub fn token_for(shard: usize, generation: u32, seq: u64) -> u64 {
+        ((shard as u64) << 48) | ((generation as u64 & 0xffff) << 32) | (seq & 0xffff_ffff)
+    }
+
+    /// The shard-id bits of a token.
+    pub fn shard_of_token(token: u64) -> usize {
+        ((token >> 48) & 0x7fff) as usize
+    }
+
+    /// Strips the generation bits: what remains identifies the logical
+    /// transfer (shard + sequence), which is the key for telling a
+    /// stale-generation forgery (same transfer, wrong generation) from a
+    /// plain orphan notice (no such transfer pending).
+    pub fn transfer_of_token(token: u64) -> u64 {
+        token & 0xffff_0000_ffff_ffff
     }
 
     /// The span id a cross-shard token acts as. Tokens reuse the
@@ -153,6 +173,11 @@ pub struct Links {
     pub data_rx: Option<Consumer<CrossShardMsg>>,
     /// Reverse notice ring to the previous shard.
     pub notice_tx: Option<Producer<NoticeBatch>>,
+    /// Fleet index of the shard feeding `data_rx`, when known. Ingest
+    /// authenticates each payload's token against it: a token whose
+    /// shard bits do not name the upstream producer is forged and the
+    /// payload is dropped unmaterialized.
+    pub upstream: Option<usize>,
 }
 
 /// The three domains of one local loopback path (originator →
@@ -222,6 +247,11 @@ pub struct Shard {
     /// out of send order) — each one is also a `NoticeOrphan` trace
     /// event and a `notice-without-pending` audit violation.
     pub orphan_notices: u64,
+    /// Forged or stale tokens rejected before any dereference — wrong
+    /// shard bits on either ring, or stale generation bits on a notice.
+    /// Each one is also a `TokenReject` trace event and a per-tenant
+    /// `rejected_tokens` ledger charge.
+    pub rejected_tokens: u64,
 }
 
 impl Shard {
@@ -291,6 +321,7 @@ impl Shard {
             notice_batches: 0,
             notice_tokens: 0,
             orphan_notices: 0,
+            rejected_tokens: 0,
         }
     }
 
@@ -349,7 +380,13 @@ impl Shard {
             }
         }
         let t = self.egress;
-        let token = CrossShardMsg::token_for(self.id, self.next_seq);
+        // The buffer comes first: its arena generation is baked into the
+        // token, so the token cannot outlive the buffer it acknowledges.
+        let id = self
+            .sys
+            .alloc(t.originator, AllocMode::Cached(t.path), self.len)
+            .expect("cached egress alloc");
+        let token = CrossShardMsg::token_for(self.id, (id.0 >> 32) as u32, self.next_seq);
         self.next_seq += 1;
         // The token doubles as the transfer's root span: the receiving
         // shard links its child span to it, which is the only causal
@@ -358,10 +395,6 @@ impl Shard {
         let tracer = self.sys.machine().tracer();
         tracer.span_start(span, t.originator.0, Some(t.path.0), None);
         let prev = tracer.set_current_span(Some(span));
-        let id = self
-            .sys
-            .alloc(t.originator, AllocMode::Cached(t.path), self.len)
-            .expect("cached egress alloc");
         self.sys
             .write_fbuf(t.originator, id, 0, &token.to_le_bytes())
             .expect("stamp egress payload");
@@ -441,7 +474,33 @@ impl Shard {
     /// [`EventKind::NoticeOrphan`] trace event (the typed
     /// `notice-without-pending` audit violation) and counted, instead
     /// of aborting — fault-injection campaigns must report, not panic.
+    ///
+    /// Before any of that, the token is **authenticated**: its shard
+    /// bits must name this shard and its generation bits must match the
+    /// pending buffer they claim to acknowledge. A forged or stale token
+    /// is rejected by bit comparison (counted per tenant, `TokenReject`
+    /// trace event) without ever selecting a buffer — the pending entry
+    /// it aimed at stays queued for the genuine notice.
     fn retire_notice(&mut self, token: u64) {
+        if CrossShardMsg::shard_of_token(token) != self.id {
+            self.rejected_tokens += 1;
+            self.sys
+                .reject_token(self.egress.originator, Some(self.egress.path), token);
+            return;
+        }
+        if self.pending.iter().all(|&(t, _)| t != token)
+            && self.pending.iter().any(|&(t, _)| {
+                CrossShardMsg::transfer_of_token(t) == CrossShardMsg::transfer_of_token(token)
+            })
+        {
+            // Right transfer, wrong generation: a replayed or fabricated
+            // token aimed at a live pending buffer. Reject; do not touch
+            // the pending queue.
+            self.rejected_tokens += 1;
+            self.sys
+                .reject_token(self.egress.originator, Some(self.egress.path), token);
+            return;
+        }
         match self.pending.iter().position(|&(t, _)| t == token) {
             Some(0) => {
                 let (_, id) = self.pending.pop_front().expect("position 0 exists");
@@ -516,6 +575,18 @@ impl Shard {
 
     fn ingest(&mut self, msg: CrossShardMsg, links: &mut Links, occupancy: u64) {
         let t = self.ingress;
+        // Authenticate before materializing: a payload whose token does
+        // not name the upstream producer is forged. It is dropped here —
+        // never written into a buffer, never acknowledged — and the
+        // rejection is billed to the ingress tenant that absorbed it.
+        if links
+            .upstream
+            .is_some_and(|up| CrossShardMsg::shard_of_token(msg.token) != up)
+        {
+            self.rejected_tokens += 1;
+            self.sys.reject_token(t.originator, Some(t.path), msg.token);
+            return;
+        }
         // The receiver half of the cross-shard span tree: a child span
         // minted here, linked to the sender's token-derived root, with
         // the whole materialization (the ring-crossing stage) timed.
@@ -728,6 +799,9 @@ pub struct ShardReport {
     /// `notice-without-pending` audit violation; zero in a fault-free
     /// fleet).
     pub orphan_notices: u64,
+    /// Forged or stale tokens rejected unmaterialized (zero unless an
+    /// adversary — or a fault campaign — fabricates ring traffic).
+    pub rejected_tokens: u64,
 }
 
 impl ShardReport {
@@ -860,6 +934,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Vec<ShardReport> {
             links[i].notice_rx = Some(notice_rx);
             links[(i + 1) % n].data_rx = Some(data_rx);
             links[(i + 1) % n].notice_tx = Some(notice_tx);
+            links[(i + 1) % n].upstream = Some(i);
         }
     }
 
@@ -995,6 +1070,7 @@ fn shard_main(spec: ShardSpec, barrier: &Barrier) -> ShardReport {
         notice_batches: sh.notice_batches,
         notice_tokens: sh.notice_tokens,
         orphan_notices: sh.orphan_notices,
+        rejected_tokens: sh.rejected_tokens,
     }
 }
 

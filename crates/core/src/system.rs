@@ -142,6 +142,9 @@ pub struct FbufSystem {
     pub(crate) xfer_completed: u64,
     /// Transfers aborted mid-route by an inbox overload.
     pub(crate) xfer_aborted: u64,
+    /// Transfers whose revocation deadline expired before a leg was
+    /// serviced (also counted in `xfer_aborted` for conservation).
+    pub(crate) xfer_revoked: u64,
     /// First error a hop handler hit (handlers cannot propagate).
     pub(crate) engine_error: Option<FbufError>,
     /// Per-tenant accounting accumulators (always on; plain adds that
@@ -162,6 +165,28 @@ pub struct FbufSystem {
     /// Priority class per path id (parallel to `paths`; class 0 = best
     /// effort). Only [`QuotaPolicy::PriorityWeighted`] reads it.
     path_class: Vec<u8>,
+    /// Hoard-detector configuration; `None` (the default) disables the
+    /// jail entirely. The bookkeeping below is maintained either way —
+    /// plain integer adds, like the ledger — so the jail can be armed at
+    /// any time with full history.
+    jail: Option<JailConfig>,
+    /// Monotone allocation round counter: incremented on every
+    /// [`FbufSystem::alloc`] attempt. The jail's notion of time (the
+    /// oracle mirrors rounds, not the simulated clock).
+    alloc_seq: u64,
+    /// Per-domain bytes charged to the tenant: page bytes of every live
+    /// buffer it originated, held or parked (charged at build, released
+    /// at retire).
+    jail_charged: Vec<u64>,
+    /// Per-domain `alloc_seq` of the tenant's most recent free — its
+    /// last observed progress.
+    jail_progress: Vec<u64>,
+    /// Per-domain jail strikes since the last escalation.
+    jail_strikes: Vec<u32>,
+    /// Revocation deadline applied to every transfer submitted through
+    /// the engine ([`FbufSystem::submit_transfer`]); `None` disables
+    /// timeout-driven reclaim.
+    pub(crate) revoke_timeout: Option<Ns>,
 }
 
 /// Free-list reuse order (see [`FbufSystem::reuse_policy`]).
@@ -171,6 +196,47 @@ pub enum ReusePolicy {
     Lifo,
     /// Least recently freed first (ablation baseline).
     Fifo,
+}
+
+/// Configuration of the per-tenant hoard detector (the "quota jail").
+///
+/// A tenant is **hoarding** when the bytes charged to it (live buffers it
+/// originated, held *or* parked) stay at or above `hoard_bytes` while it
+/// goes `hoard_age` allocation rounds without freeing anything. Each
+/// allocation a hoarding tenant attempts is denied
+/// ([`FbufError::TenantJailed`], counted in `jail_denials`) and earns a
+/// strike; at `revoke_strikes` strikes the jail escalates and forcibly
+/// revokes the tenant's **cached** (parked) fbufs, retiring them through
+/// the normal reclaim path so their chunks return to the kernel.
+///
+/// Detection is pure integer arithmetic over counters the system keeps
+/// anyway — it never draws randomness, charges the clock, or touches the
+/// fleet counters unless it actually denies, so arming it with no
+/// adversary present is byte-invisible (pinned by
+/// `tests/counter_exactness.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JailConfig {
+    /// Charged-byte threshold at which a tenant can be considered
+    /// hoarding.
+    pub hoard_bytes: u64,
+    /// Allocation rounds without a free before a charged-over tenant is
+    /// jailed.
+    pub hoard_age: u64,
+    /// Jail denials before the jail escalates to forced revocation of
+    /// the tenant's cached fbufs.
+    pub revoke_strikes: u32,
+}
+
+impl Default for JailConfig {
+    /// Generous defaults: a tenant must pin a megabyte across 64
+    /// allocation rounds without a single free before the jail notices.
+    fn default() -> JailConfig {
+        JailConfig {
+            hoard_bytes: 1 << 20,
+            hoard_age: 64,
+            revoke_strikes: 4,
+        }
+    }
 }
 
 /// Records `dom` as a holder of `id`, wiring the per-domain held index and
@@ -246,6 +312,7 @@ impl FbufSystem {
             hop_notices: Vec::new(),
             xfer_completed: 0,
             xfer_aborted: 0,
+            xfer_revoked: 0,
             engine_error: None,
             ledger: Ledger::new(),
             span_salt: 0,
@@ -253,6 +320,12 @@ impl FbufSystem {
             parked_count: 0,
             policy: QuotaPolicy::Static,
             path_class: Vec::new(),
+            jail: None,
+            alloc_seq: 0,
+            jail_charged: Vec::new(),
+            jail_progress: Vec::new(),
+            jail_strikes: Vec::new(),
+            revoke_timeout: None,
         };
         let kernel = fbuf_vm::KERNEL_DOMAIN;
         sys.machine
@@ -270,8 +343,15 @@ impl FbufSystem {
             self.terminated.resize(need, false);
             self.held.resize_with(need, Vec::new);
             self.originated_live.resize(need, 0);
+            self.jail_charged.resize(need, 0);
+            self.jail_progress.resize(need, 0);
+            self.jail_strikes.resize(need, 0);
         }
         self.registered[dom.0 as usize] = true;
+        // A fresh tenant starts with a clean hoard clock: it is not
+        // penalized for rounds that passed before it existed.
+        self.jail_progress[dom.0 as usize] = self.alloc_seq;
+        self.jail_strikes[dom.0 as usize] = 0;
     }
 
     fn is_registered(&self, dom: DomainId) -> bool {
@@ -477,6 +557,48 @@ impl FbufSystem {
         self.path_class.get(path.0 as usize).copied().unwrap_or(0)
     }
 
+    /// Arms (or, with `None`, disarms) the per-tenant hoard detector.
+    /// The underlying bookkeeping is always on, so arming mid-run starts
+    /// with full history.
+    pub fn set_jail(&mut self, cfg: Option<JailConfig>) {
+        self.jail = cfg;
+    }
+
+    /// The hoard-detector configuration, if armed.
+    pub fn jail(&self) -> Option<JailConfig> {
+        self.jail
+    }
+
+    /// Arms (or disarms) the revocation deadline stamped on every
+    /// transfer submitted through the engine: a leg serviced after its
+    /// deadline revokes the buffer from the stalled holder chain instead
+    /// of delivering it.
+    pub fn set_revoke_timeout(&mut self, timeout: Option<Ns>) {
+        self.revoke_timeout = timeout;
+    }
+
+    /// The armed revocation deadline, if any.
+    pub fn revoke_timeout(&self) -> Option<Ns> {
+        self.revoke_timeout
+    }
+
+    /// Bytes currently charged to `dom` by the hoard detector's
+    /// bookkeeping (page bytes of live buffers it originated, held or
+    /// parked).
+    pub fn charged_bytes(&self, dom: DomainId) -> u64 {
+        self.jail_charged.get(dom.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Jail strikes `dom` has accrued since its last escalation.
+    pub fn jail_strikes_of(&self, dom: DomainId) -> u32 {
+        self.jail_strikes.get(dom.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Allocation rounds observed so far (the jail's clock).
+    pub fn alloc_rounds(&self) -> u64 {
+        self.alloc_seq
+    }
+
     /// Chunks the kernel dispenser still has available — the dynamic
     /// policies' pressure signal, exposed for harnesses and gauges.
     pub fn free_chunks(&self) -> u64 {
@@ -555,6 +677,32 @@ impl FbufSystem {
     /// is required, and the appropriate mappings already exist", §3.2.2).
     pub fn alloc(&mut self, dom: DomainId, mode: AllocMode, len: u64) -> FbufResult<FbufId> {
         self.check_domain(dom)?;
+        self.alloc_seq += 1;
+        if let Some(cfg) = self.jail {
+            let d = dom.0 as usize;
+            let charged = self.jail_charged.get(d).copied().unwrap_or(0);
+            let progress = self.jail_progress.get(d).copied().unwrap_or(0);
+            if charged >= cfg.hoard_bytes && self.alloc_seq - progress >= cfg.hoard_age {
+                // Hoard detected: the tenant sits on more than its byte
+                // threshold and has not freed anything for `hoard_age`
+                // allocation rounds. Deny admission (an organic fault,
+                // billed to the tenant) and escalate to revocation of
+                // its cached buffers after `revoke_strikes` denials.
+                let jail_path = match mode {
+                    AllocMode::Cached(p) => Some(p),
+                    AllocMode::Uncached => None,
+                };
+                self.jail_strikes[d] += 1;
+                self.machine.stats_ref().inc_jail_denials();
+                self.account_fault(dom, jail_path);
+                if self.jail_strikes[d] >= cfg.revoke_strikes {
+                    self.revoke_hoard(dom)?;
+                    self.jail_strikes[d] = 0;
+                    self.jail_progress[d] = self.alloc_seq;
+                }
+                return Err(FbufError::TenantJailed(dom));
+            }
+        }
         let t0 = self.machine.now();
         let pages = self.machine.config().pages_for(len).max(1);
         match mode {
@@ -850,6 +998,11 @@ impl FbufSystem {
         self.hot[slot] = FbufHot::new(path, self.machine.now());
         self.held[dom.0 as usize].push(id);
         self.originated_live[dom.0 as usize] += 1;
+        // Hoard bookkeeping: page bytes stay charged to the originator
+        // until `retire` returns them. Plain integer adds, always on.
+        if let Some(c) = self.jail_charged.get_mut(dom.0 as usize) {
+            *c += pages * page_size;
+        }
         self.va_index.insert(va, id);
         Ok(id)
     }
@@ -1115,8 +1268,104 @@ impl FbufSystem {
             }
             self.dealloc(id)?;
         }
+        // The tenant made progress: reset its hoard clock so the jail
+        // only ever fires on domains that allocate without ever freeing.
+        let seq = self.alloc_seq;
+        if let Some(p) = self.jail_progress.get_mut(dom.0 as usize) {
+            *p = seq;
+        }
         self.sample_metrics();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Revocation
+    // ------------------------------------------------------------------
+
+    /// Forcibly revokes `dom`'s reference to `id` — the containment path
+    /// used when a transfer's revocation deadline expires on a stalled
+    /// holder chain. Semantically a forced [`free`](Self::free), but
+    /// audited distinctly: a `Revoked` trace instant precedes the `Free`,
+    /// the fleet `fbufs_revoked` counter ticks, and the ledger bills the
+    /// revocation to the tenant that lost its reference.
+    pub fn revoke(&mut self, id: FbufId, dom: DomainId) -> FbufResult<()> {
+        let f = self.fbufs.get(id.0).ok_or(FbufError::NoSuchFbuf(id))?;
+        if !f.holders.contains(&dom) {
+            return Err(FbufError::NotHolder { domain: dom, fbuf: id });
+        }
+        let path = self.hot_of(id).path;
+        self.machine.stats_ref().inc_fbufs_revoked();
+        self.ledger.dom_mut(dom.0).revocations += 1;
+        if let Some(p) = path {
+            self.ledger.path_mut(p.0).revocations += 1;
+        }
+        self.machine
+            .tracer_ref()
+            .instant(EventKind::Revoked, dom.0, path.map(|p| p.0), Some(id.0));
+        self.free(id, dom)
+    }
+
+    /// Jail escalation: revokes every **parked** fbuf the hoarding tenant
+    /// originated, retiring each through the normal teardown path so its
+    /// frames and address space return to the kernel. Held buffers are
+    /// left to admission denial — benign peers sharing the tenant's paths
+    /// never lose a live reference — and buffers whose frames the pageout
+    /// daemon already reclaimed are off the parked list, so they keep
+    /// only address space (path teardown or termination recovers it).
+    fn revoke_hoard(&mut self, dom: DomainId) -> FbufResult<()> {
+        let mut victims = Vec::new();
+        let mut cur = self.park_head;
+        while let Some(id) = cur {
+            cur = self.hot_of(id).park_next;
+            let orig = self.fbufs.get(id.0).expect("parked fbuf exists").originator;
+            if orig == dom {
+                victims.push(id);
+            }
+        }
+        for id in victims {
+            let path = self.hot_of(id).path.expect("parked fbuf is cached");
+            self.paths[path.0 as usize].unpark(id);
+            self.machine.stats_ref().inc_fbufs_revoked();
+            self.ledger.dom_mut(dom.0).revocations += 1;
+            self.ledger.path_mut(path.0).revocations += 1;
+            self.machine
+                .tracer_ref()
+                .instant(EventKind::Revoked, dom.0, Some(path.0), Some(id.0));
+            self.retire(id)?;
+        }
+        Ok(())
+    }
+
+    /// Validates a raw fbuf handle presented by (or on behalf of) `dom`
+    /// before anything dereferences it. The arena's generation bits make
+    /// this the forged-token check: a stale handle (slot reused) or a
+    /// fabricated one (generation never issued) fails [`Arena::get`]
+    /// without touching any buffer state. A rejection ticks the fleet
+    /// `tokens_rejected` counter, bills the presenting tenant's
+    /// `rejected_tokens` ledger column, and emits a `TokenReject` trace
+    /// instant carrying the raw token — the buffer the forger aimed at is
+    /// never named, because it was never resolved.
+    ///
+    /// [`Arena::get`]: fbuf_sim::Arena::get
+    pub fn check_token(&mut self, dom: DomainId, path: Option<PathId>, raw: u64) -> bool {
+        if self.fbufs.get(raw).is_some() {
+            return true;
+        }
+        self.reject_token(dom, path, raw);
+        false
+    }
+
+    /// Records one forged/stale-token rejection against `dom` (and
+    /// `path`, when the token arrived on a ring bound to one).
+    pub fn reject_token(&mut self, dom: DomainId, path: Option<PathId>, raw: u64) {
+        self.machine.stats_ref().inc_tokens_rejected();
+        self.ledger.dom_mut(dom.0).rejected_tokens += 1;
+        if let Some(p) = path {
+            self.ledger.path_mut(p.0).rejected_tokens += 1;
+        }
+        self.machine
+            .tracer_ref()
+            .instant(EventKind::TokenReject, dom.0, path.map(|p| p.0), Some(raw));
     }
 
     fn dealloc(&mut self, id: FbufId) -> FbufResult<()> {
@@ -1172,6 +1421,11 @@ impl FbufSystem {
             alloc.release(f.va, f.pages);
         }
         self.originated_live[f.originator.0 as usize] -= 1;
+        // Return the buffer's bytes to the originator's hoard account.
+        let charge = f.pages * self.machine.page_size();
+        if let Some(c) = self.jail_charged.get_mut(f.originator.0 as usize) {
+            *c = c.saturating_sub(charge);
+        }
         // If the originator terminated earlier, its chunks were parked
         // until all external references drained — check whether this was
         // the last one.

@@ -103,6 +103,35 @@ pub enum Cmd {
         /// Receiver selector (resolved against the roster).
         to_sel: u8,
     },
+    /// Adversarial hostile-producer persona: allocate a cached buffer
+    /// and park it on the harness's hoard list, never to be freed — the
+    /// pressure that trips the quota jail. Only
+    /// [`generate_adversarial`] emits this.
+    Hoard {
+        /// Target hoard-list slot (`% SLOTS`; an occupied slot makes
+        /// this a no-op, keeping the hoard bounded).
+        slot: u8,
+        /// Buffer size in pages (1..=4).
+        pages: u8,
+    },
+    /// Adversarial stalled-receiver persona: the revocation deadline
+    /// fires on the buffer in `slot` — its deepest holder is forcibly
+    /// revoked (`FbufSystem::revoke`, mirrored by `Oracle::revoke`).
+    /// Only [`generate_adversarial`] emits this.
+    Expire {
+        /// Source slot.
+        slot: u8,
+    },
+    /// Adversarial token-forger persona: present a stale handle (a live
+    /// buffer's id with its generation bits flipped by `salt`) to the
+    /// defense. It must never resolve, never mutate diffed state, and
+    /// count exactly one rejection. Only [`generate_adversarial`] emits
+    /// this.
+    Forge {
+        /// Generation perturbation (`% 0xffff`, +1 so it never aliases
+        /// the genuine generation).
+        salt: u8,
+    },
 }
 
 /// Draws `n` commands from `seed`. The stream is a pure function of the
@@ -113,6 +142,41 @@ pub fn generate(seed: u64, n: usize) -> Vec<Cmd> {
     // seed drives both without correlation.
     let mut rng = Rng::new(seed ^ 0xc0dd_5717_ea44_0001);
     (0..n).map(|_| draw(&mut rng)).collect()
+}
+
+/// Draws `n` commands from `seed` and overlays `k` adversary personas.
+///
+/// The base stream is [`generate`] verbatim — same RNG, same draws — so
+/// `k = 0` is the identity and the adversarial dimension can never
+/// perturb an existing corpus case. A *separate*, domain-separated
+/// adversary RNG then substitutes hostile commands ([`Cmd::Hoard`],
+/// [`Cmd::Expire`], [`Cmd::Forge`]) into the stream at a density that
+/// scales with `k`, modelling `k` concurrent hostile tenants riding a
+/// benign workload.
+pub fn generate_adversarial(seed: u64, n: usize, k: u32) -> Vec<Cmd> {
+    let mut cmds = generate(seed, n);
+    if k == 0 {
+        return cmds;
+    }
+    // Adversary stream tag: domain-separated from the command, fault,
+    // and policy streams.
+    let mut rng = Rng::new(seed ^ 0xadbe_ef01_7e44_0004);
+    let sel = |rng: &mut Rng| rng.below(256) as u8;
+    let density = (k as u64 * 8).min(40); // percent of commands replaced
+    for c in cmds.iter_mut() {
+        if rng.below(100) >= density {
+            continue;
+        }
+        *c = match rng.below(3) {
+            0 => Cmd::Hoard {
+                slot: sel(&mut rng),
+                pages: rng.range(1, 4) as u8,
+            },
+            1 => Cmd::Expire { slot: sel(&mut rng) },
+            _ => Cmd::Forge { salt: sel(&mut rng) },
+        };
+    }
+    cmds
 }
 
 fn draw(rng: &mut Rng) -> Cmd {
@@ -251,10 +315,40 @@ mod tests {
                 Cmd::Terminate { .. } | Cmd::Respawn => 10,
                 Cmd::Hop { .. } => 11,
                 Cmd::FlushBatch => 12,
+                Cmd::Hoard { .. } | Cmd::Expire { .. } | Cmd::Forge { .. } => {
+                    panic!("generate never emits adversarial commands")
+                }
             };
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s), "coverage gap: {seen:?}");
+    }
+
+    #[test]
+    fn adversarial_generation_is_an_overlay_on_the_base_stream() {
+        // k = 0 is the identity: the adversary RNG is never even seeded.
+        assert_eq!(generate_adversarial(42, 500, 0), generate(42, 500));
+        // k > 0 substitutes in place: same length, untouched positions
+        // bit-identical to the base stream, and every persona appears.
+        let base = generate(42, 2000);
+        let adv = generate_adversarial(42, 2000, 3);
+        assert_eq!(adv.len(), base.len());
+        let (mut hoard, mut expire, mut forge, mut benign) = (0, 0, 0, 0);
+        for (a, b) in adv.iter().zip(&base) {
+            match a {
+                Cmd::Hoard { .. } => hoard += 1,
+                Cmd::Expire { .. } => expire += 1,
+                Cmd::Forge { .. } => forge += 1,
+                _ => {
+                    assert_eq!(a, b, "benign positions must ride the base stream");
+                    benign += 1;
+                }
+            }
+        }
+        assert!(hoard > 0 && expire > 0 && forge > 0, "{hoard}/{expire}/{forge}");
+        assert!(benign > adv.len() / 2, "adversaries ride a benign majority");
+        // Deterministic: same seed, same overlay.
+        assert_eq!(adv, generate_adversarial(42, 2000, 3));
     }
 
     #[test]

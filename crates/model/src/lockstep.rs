@@ -35,13 +35,15 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use fbuf::shard::{NoticeBatch, NOTICE_BATCH_MAX};
-use fbuf::{AllocMode, FbufError, FbufId, FbufState, FbufSystem, PathId, QuotaPolicy, SendMode};
+use fbuf::{
+    AllocMode, FbufError, FbufId, FbufState, FbufSystem, JailConfig, PathId, QuotaPolicy, SendMode,
+};
 use fbuf_sim::spsc::{self, Consumer, Producer};
 use fbuf_sim::{audit_tracer, FaultPlan, FaultSite, FaultSpec, MachineConfig};
 use fbuf_vm::DomainId;
 
 use crate::cmd::{Cmd, SLOTS};
-use crate::oracle::{Feed, MAllocMode, MErr, MPolicy, Oracle, OracleConfig, Sabotage};
+use crate::oracle::{Feed, MAllocMode, MErr, MJail, MPolicy, Oracle, OracleConfig, Sabotage};
 
 /// Priority classes the harness pins on its three paths (`P0`, `P1`,
 /// `PE` in declaration order). Always assigned — [`QuotaPolicy::Static`]
@@ -93,7 +95,7 @@ pub struct Harness {
     feed: Feed,
     /// Counter baseline at construction (the real system clears pages
     /// during setup; the model starts at zero).
-    base: [u64; 8],
+    base: [u64; 11],
     /// Model index → real id. Model indices are never reused, so this
     /// only grows.
     ids: Vec<FbufId>,
@@ -117,6 +119,10 @@ pub struct Harness {
     /// Tokens pushed but not yet acknowledged. A dropped notice leaves
     /// its entry (and its held buffer) here until the egress domain dies.
     pending: Vec<CrossMsg>,
+    /// The hostile producer's stash: buffers allocated by [`Cmd::Hoard`]
+    /// and never freed (until the jail revokes around them or their
+    /// tenant dies). Bounded at [`SLOTS`] entries.
+    hoard: [Option<(FbufId, usize)>; SLOTS],
     step: u64,
     respawns: u32,
 }
@@ -202,9 +208,39 @@ impl Harness {
             model_notice: VecDeque::new(),
             notice_stage: Vec::new(),
             pending: Vec::new(),
+            hoard: [None; SLOTS],
             step: 0,
             respawns: 0,
         }
+    }
+
+    /// Arms the hoard detector on both sides with thresholds aggressive
+    /// enough that a fuzzed hostile producer actually trips it (charged
+    /// bytes a third of the fbuf region, a short no-free window, two
+    /// strikes to escalation). Only adversarial runs call this — the
+    /// recorded benign corpus replays with the jail disarmed, so its
+    /// byte-exact behavior is untouched.
+    pub fn arm_containment(&mut self) {
+        let cfg = JailConfig {
+            hoard_bytes: 24 * 4096,
+            hoard_age: 8,
+            revoke_strikes: 2,
+        };
+        self.sys.set_jail(Some(cfg));
+        self.model.set_jail(Some(MJail {
+            hoard_bytes: cfg.hoard_bytes,
+            hoard_age: cfg.hoard_age,
+            revoke_strikes: cfg.revoke_strikes,
+        }));
+    }
+
+    /// Containment counters after a run: `[jail_denials,
+    /// fbufs_revoked, tokens_rejected]`. Both sides agree by the time a
+    /// case finishes (the per-command diff covers all three), so
+    /// reading the real side is authoritative.
+    pub fn containment_counters(&self) -> [u64; 3] {
+        let s = self.sys.stats();
+        [s.jail_denials(), s.fbufs_revoked(), s.tokens_rejected()]
     }
 
     /// Total faults the armed plan injected so far, per site.
@@ -238,7 +274,10 @@ impl Harness {
     }
 
     /// End-of-case checks: the trace auditor replays every recorded
-    /// lifecycle event, and the final states must still agree.
+    /// lifecycle event, the per-tenant ledger must still conserve
+    /// against the fleet counters (revocations and token rejections
+    /// included — an adversarial run that unbalanced either is a bug),
+    /// and the final states must still agree.
     pub fn finish_case(&mut self) -> Result<(), String> {
         let report = audit_tracer(self.sys.machine().tracer_ref());
         if !report.is_clean() {
@@ -248,6 +287,13 @@ impl Harness {
                 list.len(),
                 list.join("; ")
             ));
+        }
+        let unbalanced = self
+            .sys
+            .ledger_snapshot()
+            .conserves(&self.sys.stats().snapshot());
+        if !unbalanced.is_empty() {
+            return Err(format!("ledger conservation broken: {}", unbalanced.join("; ")));
         }
         self.diff()
     }
@@ -292,7 +338,81 @@ impl Harness {
             },
             Cmd::Respawn => self.do_respawn(),
             Cmd::Hop { from_sel, to_sel } => self.do_hop(from_sel, to_sel),
+            Cmd::Hoard { slot, pages } => self.do_hoard(slot, pages),
+            Cmd::Expire { slot } => self.do_expire(slot),
+            Cmd::Forge { salt } => self.do_forge(salt),
         }
+    }
+
+    /// Hostile-producer persona: a cached allocation by `P0`'s
+    /// originator that lands on the hoard list and is never freed. Once
+    /// the hoarder's charged bytes cross the jail threshold and its
+    /// no-free window ages out, both sides must deny with
+    /// `TenantJailed` — and, at the strike limit, revoke the tenant's
+    /// parked buffers identically.
+    fn do_hoard(&mut self, slot: u8, pages: u8) -> Result<(), String> {
+        let hs = slot as usize % SLOTS;
+        if self.hoard[hs].is_some() {
+            return Ok(());
+        }
+        let dom = DomainId(1); // P0's declared originator
+        let pid = self.alloc_paths[0];
+        let len = pages.clamp(1, 4) as u64 * 4096;
+        let real = self.sys.alloc(dom, AllocMode::Cached(pid), len);
+        self.sync();
+        let model = self.model.alloc(dom.0, MAllocMode::Cached(pid.0), len, &mut self.feed);
+        self.outcome("hoard alloc", &real, &model)?;
+        self.feed.finish()?;
+        if let (Ok(id), Ok(ix)) = (real, model) {
+            if ix == self.ids.len() {
+                self.ids.push(id);
+            } else if self.ids[ix] != id {
+                return Err(format!(
+                    "hoard cache hit identity mismatch: model index {ix} is {:?}, real {id:?}",
+                    self.ids[ix]
+                ));
+            }
+            self.hoard[hs] = Some((id, ix));
+        }
+        Ok(())
+    }
+
+    /// Stalled-receiver persona: the revocation deadline fires on the
+    /// buffer in `slot`, forcibly revoking its deepest holder — the same
+    /// transition the engine's timeout takes, driven deterministically
+    /// so both sides see the exact command position it happens at.
+    fn do_expire(&mut self, slot: u8) -> Result<(), String> {
+        let Some((id, ix)) = self.slots[slot as usize % SLOTS] else {
+            return Ok(());
+        };
+        let Some(dom) = self.model.buf(ix).and_then(|b| b.holders.last().copied()) else {
+            return Ok(());
+        };
+        let real = self.sys.revoke(id, DomainId(dom));
+        self.sync();
+        let model = self.model.revoke(ix, dom);
+        self.outcome("expire revoke", &real, &model)?;
+        self.feed.finish()
+    }
+
+    /// Token-forger persona: presents a stale handle — a live buffer's
+    /// id with its generation bits perturbed, or a never-issued handle
+    /// when nothing is live. The defense must refuse to resolve it,
+    /// mutate nothing the differ tracks, and count exactly one
+    /// rejection per attempt on each side.
+    fn do_forge(&mut self, salt: u8) -> Result<(), String> {
+        let raw = match self.slots.iter().flatten().next() {
+            // Same arena slot, guaranteed-different generation.
+            Some(&(id, _)) => id.0 ^ ((salt as u64 + 1) << 32),
+            // Generation 0xffff_ffff is never reached by any slot.
+            None => (0xffff_ffffu64 << 32) | salt as u64,
+        };
+        if self.sys.check_token(self.d4, None, raw) {
+            return Err(format!("forged token {raw:#x} resolved to a live buffer"));
+        }
+        self.sync();
+        self.model.reject_token();
+        self.feed.finish()
     }
 
     /// Drives one bare hop through the event-loop engine. The oracle
@@ -658,9 +778,9 @@ impl Harness {
         self.feed.load(self.plan.drain_log());
     }
 
-    /// Drops slot entries whose buffer has been retired.
+    /// Drops slot (and hoard) entries whose buffer has been retired.
     fn sweep_slots(&mut self) {
-        for s in &mut self.slots {
+        for s in self.slots.iter_mut().chain(self.hoard.iter_mut()) {
             if let Some((_, ix)) = *s {
                 if self.model.buf(ix).is_none() {
                     *s = None;
@@ -693,7 +813,7 @@ impl Harness {
         ))
     }
 
-    fn counters_of(sys: &FbufSystem) -> [u64; 8] {
+    fn counters_of(sys: &FbufSystem) -> [u64; 11] {
         let s = sys.stats();
         [
             s.fbuf_cache_hits(),
@@ -704,6 +824,9 @@ impl Harness {
             s.chunk_quota_denials(),
             s.frames_reclaimed(),
             s.pages_cleared(),
+            s.jail_denials(),
+            s.fbufs_revoked(),
+            s.tokens_rejected(),
         ]
     }
 
@@ -802,8 +925,11 @@ impl Harness {
             c.quota_denials,
             c.frames_reclaimed,
             c.pages_cleared,
+            c.jail_denials,
+            c.revoked,
+            c.rejected_tokens,
         ];
-        const NAMES: [&str; 8] = [
+        const NAMES: [&str; 11] = [
             "fbuf_cache_hits",
             "fbuf_cache_misses",
             "fbufs_secured",
@@ -812,8 +938,11 @@ impl Harness {
             "chunk_quota_denials",
             "frames_reclaimed",
             "pages_cleared",
+            "jail_denials",
+            "fbufs_revoked",
+            "tokens_rejected",
         ];
-        for i in 0..8 {
+        for i in 0..11 {
             if got[i] != want[i] {
                 return Err(format!(
                     "counter `{}` diverged: real {}, model {}",
@@ -908,6 +1037,69 @@ mod tests {
             h.run(&cmds).is_err()
         });
         assert!(caught, "planted FIFO divergence never detected");
+    }
+
+    #[test]
+    fn adversarial_personas_stay_in_lockstep() {
+        // Hostile producer, stalled receiver, and token forger riding a
+        // noisy benign stream with the jail armed: every jail denial,
+        // escalation revocation, and token rejection must reproduce
+        // bit-identically on both sides.
+        for seed in [0xadb0_0001u64, 0xadb0_0002, 0xadb0_0003] {
+            let spec = cmd::fault_spec(seed, 500);
+            let mut h = Harness::with_policy(&spec, None, cmd::policy_spec(seed));
+            h.arm_containment();
+            let cmds = cmd::generate_adversarial(seed, 500, 3);
+            h.run(&cmds).unwrap_or_else(|(i, e)| {
+                panic!("seed {seed:#x} diverged at command {i}: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn jail_actually_trips_under_a_dedicated_hoarder() {
+        // A pure hoard loop must cross the threshold, strike out, and
+        // revoke — exercising the whole escalation, not just the happy
+        // path. The harness diffing after every command is the assert.
+        let spec = FaultSpec::new(0);
+        let mut h = Harness::new(&spec, None);
+        h.arm_containment();
+        let mut cmds = Vec::new();
+        // Benign warm-up: park some of the hoarder's buffers so the
+        // escalation has victims to revoke. Every free resets the hoard
+        // clock, so this phase must come entirely before the hoard run.
+        for _ in 0..8 {
+            cmds.push(Cmd::Alloc {
+                slot: 0,
+                cached: true,
+                path_sel: 0,
+                pages: 2,
+                dom_sel: 1,
+            });
+            cmds.push(Cmd::Free {
+                slot: 0,
+                holder_sel: 0,
+            });
+        }
+        // Pure hoard pressure: charged bytes cross the threshold within
+        // a few allocations and the no-free window ages out.
+        for i in 0..60u32 {
+            cmds.push(Cmd::Hoard {
+                slot: (i % 16) as u8,
+                pages: 4,
+            });
+        }
+        h.run(&cmds).unwrap_or_else(|(i, e)| {
+            panic!("diverged at command {i}: {e}");
+        });
+        assert!(
+            h.sys.stats().jail_denials() > 0,
+            "the hoarder was never jailed"
+        );
+        assert!(
+            h.sys.stats().fbufs_revoked() > 0,
+            "the jail never escalated to revocation"
+        );
     }
 
     #[test]

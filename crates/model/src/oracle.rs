@@ -66,6 +66,8 @@ pub enum MErr {
     RegionExhausted,
     /// Request exceeds a hard size limit.
     TooLarge,
+    /// The allocating tenant is jailed by the hoard detector.
+    Jailed,
     /// Any machine-level fault.
     Vm,
 }
@@ -81,6 +83,7 @@ impl MErr {
             FbufError::QuotaExceeded { .. } => MErr::QuotaExceeded,
             FbufError::RegionExhausted => MErr::RegionExhausted,
             FbufError::TooLarge { .. } => MErr::TooLarge,
+            FbufError::TenantJailed(_) => MErr::Jailed,
             FbufError::Vm(_) => MErr::Vm,
         }
     }
@@ -211,6 +214,20 @@ pub enum MPolicy {
     },
 }
 
+/// Mirror of the real hoard-detector configuration
+/// (`fbuf::JailConfig`). Parameters cross the boundary; the detection
+/// arithmetic below is reimplemented from scratch, like [`MPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MJail {
+    /// Charged bytes at or above which a tenant is a hoard suspect.
+    pub hoard_bytes: u64,
+    /// Allocation rounds without a free before the suspect is jailed.
+    pub hoard_age: u64,
+    /// Jail denials before the escalation revokes the tenant's parked
+    /// buffers.
+    pub revoke_strikes: u32,
+}
+
 /// Model state of one buffer. Fields mirror the observable slice of
 /// [`fbuf::Fbuf`].
 #[derive(Debug, Clone)]
@@ -284,6 +301,14 @@ pub struct Counters {
     pub frames_reclaimed: u64,
     /// Pages zero-filled.
     pub pages_cleared: u64,
+    /// Allocations denied because the tenant was jailed by the hoard
+    /// detector.
+    pub jail_denials: u64,
+    /// Buffers forcibly revoked (jail escalations and stalled-receiver
+    /// timeouts alike).
+    pub revoked: u64,
+    /// Forged or stale tokens rejected before any dereference.
+    pub rejected_tokens: u64,
 }
 
 /// How a buffer is allocated (mirror of [`fbuf::AllocMode`]).
@@ -324,6 +349,13 @@ pub struct Oracle {
     pub counters: Counters,
     /// Planted model bug, if any.
     pub sabotage: Option<Sabotage>,
+    /// The hoard detector, when armed. The bookkeeping below is always
+    /// on, exactly like the real system's.
+    jail: Option<MJail>,
+    alloc_seq: u64,
+    jail_charged: Vec<u64>,
+    jail_progress: Vec<u64>,
+    jail_strikes: Vec<u32>,
     next_dom: u32,
 }
 
@@ -348,8 +380,28 @@ impl Oracle {
             park: Vec::new(),
             counters: Counters::default(),
             sabotage: None,
+            jail: None,
+            alloc_seq: 0,
+            jail_charged: vec![0],
+            jail_progress: vec![0],
+            jail_strikes: vec![0],
             next_dom: 1,
         }
+    }
+
+    /// Arms (or disarms) the mirror hoard detector.
+    pub fn set_jail(&mut self, jail: Option<MJail>) {
+        self.jail = jail;
+    }
+
+    /// Mirror of `FbufSystem::charged_bytes`.
+    pub fn charged_bytes(&self, dom: u32) -> u64 {
+        self.jail_charged.get(dom as usize).copied().unwrap_or(0)
+    }
+
+    /// Mirror of `FbufSystem::jail_strikes_of`.
+    pub fn jail_strikes_of(&self, dom: u32) -> u32 {
+        self.jail_strikes.get(dom as usize).copied().unwrap_or(0)
     }
 
     /// Creates and registers a new domain, returning its id (sequential,
@@ -363,8 +415,15 @@ impl Oracle {
         self.alive.resize(need, false);
         self.held.resize_with(need, Vec::new);
         self.originated_live.resize(need, 0);
+        self.jail_charged.resize(need, 0);
+        self.jail_progress.resize(need, 0);
+        self.jail_strikes.resize(need, 0);
         self.registered[d as usize] = true;
         self.alive[d as usize] = true;
+        // A fresh tenant starts with a clean hoard clock (mirror of the
+        // real `register`).
+        self.jail_progress[d as usize] = self.alloc_seq;
+        self.jail_strikes[d as usize] = 0;
         d
     }
 
@@ -440,6 +499,25 @@ impl Oracle {
         feed: &mut Feed,
     ) -> Result<usize, MErr> {
         self.check_domain(dom)?;
+        // Hoard-detector mirror: the round counter always ticks; the
+        // check only runs when the jail is armed. Same order as the real
+        // `alloc` — a jailed tenant is denied before the path lookup.
+        self.alloc_seq += 1;
+        if let Some(cfg) = self.jail {
+            let d = dom as usize;
+            let charged = self.jail_charged.get(d).copied().unwrap_or(0);
+            let progress = self.jail_progress.get(d).copied().unwrap_or(0);
+            if charged >= cfg.hoard_bytes && self.alloc_seq - progress >= cfg.hoard_age {
+                self.jail_strikes[d] += 1;
+                self.counters.jail_denials += 1;
+                if self.jail_strikes[d] >= cfg.revoke_strikes {
+                    self.revoke_hoard(dom)?;
+                    self.jail_strikes[d] = 0;
+                    self.jail_progress[d] = self.alloc_seq;
+                }
+                return Err(MErr::Jailed);
+            }
+        }
         let pages = self.pages_for(len);
         match mode {
             MAllocMode::Cached(pid) => {
@@ -600,6 +678,7 @@ impl Oracle {
         }));
         self.held[dom as usize].push(ix);
         self.originated_live[dom as usize] += 1;
+        self.jail_charged[dom as usize] += pages * self.cfg.page_size;
         Ok(ix)
     }
 
@@ -742,7 +821,52 @@ impl Oracle {
         if now_empty {
             self.dealloc(ix)?;
         }
+        // Any successful free is progress for the hoard detector.
+        self.jail_progress[dom as usize] = self.alloc_seq;
         Ok(())
+    }
+
+    /// Mirror of `FbufSystem::revoke`: forcibly release `dom`'s
+    /// reference (the timeout-revocation transition).
+    pub fn revoke(&mut self, ix: usize, dom: u32) -> Result<(), MErr> {
+        let b = self
+            .bufs
+            .get(ix)
+            .and_then(|b| b.as_ref())
+            .ok_or(MErr::NoSuchFbuf)?;
+        if !b.holders.contains(&dom) {
+            return Err(MErr::NotHolder);
+        }
+        self.counters.revoked += 1;
+        self.free(ix, dom)
+    }
+
+    /// Mirror of `FbufSystem::revoke_hoard`: the jail escalation retires
+    /// every parked buffer the jailed tenant originated, coldest first.
+    fn revoke_hoard(&mut self, dom: u32) -> Result<(), MErr> {
+        let victims: Vec<usize> = self
+            .park
+            .iter()
+            .copied()
+            .filter(|&ix| self.bufs[ix].as_ref().expect("parked buf exists").originator == dom)
+            .collect();
+        for ix in victims {
+            let path = self.bufs[ix]
+                .as_ref()
+                .expect("parked buf exists")
+                .path
+                .expect("parked buf is cached");
+            self.paths[path as usize].free.retain(|&(_, i)| i != ix);
+            self.counters.revoked += 1;
+            self.retire(ix)?;
+        }
+        Ok(())
+    }
+
+    /// Mirror of `FbufSystem::check_token` on the rejecting path: a
+    /// forged or stale token is counted and nothing else changes.
+    pub fn reject_token(&mut self) {
+        self.counters.rejected_tokens += 1;
     }
 
     fn dealloc(&mut self, ix: usize) -> Result<(), MErr> {
@@ -776,6 +900,9 @@ impl Oracle {
             a.free_slots.push((b.va, b.pages));
         }
         self.originated_live[b.originator as usize] -= 1;
+        let charge = b.pages * self.cfg.page_size;
+        let c = &mut self.jail_charged[b.originator as usize];
+        *c = c.saturating_sub(charge);
         if self.terminated[b.originator as usize] {
             self.maybe_release_zombie_chunks(b.originator);
         }

@@ -39,6 +39,13 @@
 //!    survives it (the notice is dropped or matched out of order) so
 //!    that fuzzing under fault injection reports instead of aborting;
 //!    the audit turns every occurrence into a typed violation.
+//! 7. **Revocations target live buffers** — a `Revoked` event must name
+//!    an fbuf that is still live at that point: either held by the
+//!    acting domain (stalled-receiver timeout — the forced frees follow
+//!    in the stream) or parked on its path's free list (quota-jail
+//!    escalation retiring a hoarder's cached buffer, which consumes the
+//!    parked slot). Revoking a buffer that is neither is a
+//!    double-reclaim.
 //!
 //! The auditor is truncation-aware: a ring that overflowed has lost its
 //! prefix, so events referring to fbufs whose `Alloc` was evicted are
@@ -309,6 +316,42 @@ pub fn audit(events: &[TraceEvent]) -> AuditReport {
                 // re-materializes the frames. So a Reclaim does not
                 // consume the parked slot.
             }
+            EventKind::Revoked => {
+                let Some(st) = fbufs.get_mut(&id) else {
+                    report.skipped_unknown += 1;
+                    report.complete = false;
+                    continue;
+                };
+                if st.holders.contains(&e.dom) {
+                    // Timeout revocation of a held buffer: the forced
+                    // Free events follow and consume the holders.
+                } else if st.holders.is_empty() {
+                    // Jail escalation retires a parked buffer: unlike a
+                    // Reclaim, the buffer leaves the free list for good.
+                    let slot = st.path.and_then(|p| parked.get_mut(&p));
+                    match slot {
+                        Some(s) if *s > 0 => *s -= 1,
+                        _ => report.violations.push(Violation {
+                            seq: e.seq,
+                            rule: "revoke-of-dead-buffer",
+                            detail: format!(
+                                "fbuf {id} revoked while neither held nor \
+                                 parked (double-reclaim)"
+                            ),
+                        }),
+                    }
+                } else {
+                    report.violations.push(Violation {
+                        seq: e.seq,
+                        rule: "revoke-of-dead-buffer",
+                        detail: format!(
+                            "domain {} revoked fbuf {id} it does not hold \
+                             (holders: {:?})",
+                            e.dom, st.holders
+                        ),
+                    });
+                }
+            }
             _ => {}
         }
     }
@@ -523,6 +566,54 @@ mod tests {
         assert_eq!(r.violations[0].rule, "notice-without-pending");
         assert_eq!(r.violations[0].seq, 1);
         assert!(r.violations[0].detail.contains("77"));
+    }
+
+    #[test]
+    fn revocation_of_held_and_parked_buffers_is_legal() {
+        // Timeout revocation: Revoked while held, forced frees follow.
+        let held = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Transfer, 1, Some(2), Some(7), Some(3)),
+            ev(2, EventKind::Revoked, 2, None, Some(7), Some(3)),
+            ev(3, EventKind::Free, 2, None, Some(7), Some(3)),
+            ev(4, EventKind::Free, 1, None, Some(7), Some(3)),
+        ];
+        audit(&held).assert_clean();
+        // Jail escalation: Revoked on a parked buffer consumes the slot,
+        // so a later CacheHit has nothing to reuse.
+        let parked = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Free, 1, None, Some(7), Some(3)),
+            ev(2, EventKind::Revoked, 1, None, Some(7), Some(3)),
+            ev(3, EventKind::CacheHit, 1, None, Some(7), Some(3)),
+        ];
+        let r = audit(&parked);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "cache-hit-without-free");
+    }
+
+    #[test]
+    fn revocation_of_dead_buffer_is_rejected() {
+        // Neither held nor parked (the path's parked slot was already
+        // consumed): a second revocation is a double-reclaim.
+        let events = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Free, 1, None, Some(7), Some(3)),
+            ev(2, EventKind::Revoked, 1, None, Some(7), Some(3)),
+            ev(3, EventKind::Revoked, 1, None, Some(7), Some(3)),
+        ];
+        let r = audit(&events);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "revoke-of-dead-buffer");
+        assert_eq!(r.violations[0].seq, 3);
+        // Revoked by a stranger while others still hold it.
+        let stranger = vec![
+            ev(0, EventKind::Alloc, 1, None, Some(7), Some(3)),
+            ev(1, EventKind::Revoked, 9, None, Some(7), Some(3)),
+        ];
+        let r2 = audit(&stranger);
+        assert_eq!(r2.violations.len(), 1);
+        assert_eq!(r2.violations[0].rule, "revoke-of-dead-buffer");
     }
 
     #[test]

@@ -164,6 +164,16 @@ stats_impl! {
     /// Bytes carried across domain boundaries by fbuf transfers (the
     /// fleet total the per-tenant ledger must conserve against).
     bytes_transferred: inc_bytes_transferred,
+    /// Allocations denied because the requesting tenant was jailed by
+    /// the hoard detector (organic containment, never injected faults).
+    jail_denials: inc_jail_denials,
+    /// Fbufs forcibly revoked from a tenant — either reclaimed from a
+    /// jailed hoarder's cached free lists or taken back from a stalled
+    /// receiver when a transfer's revocation deadline expired.
+    fbufs_revoked: inc_fbufs_revoked,
+    /// Forged or stale cross-shard ring tokens rejected before any
+    /// dereference (bad shard bits or a stale arena generation).
+    tokens_rejected: inc_tokens_rejected,
 }
 
 /// Shared operation counters.

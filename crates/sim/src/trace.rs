@@ -107,6 +107,16 @@ pub enum EventKind {
     /// `notice-without-pending` turns every occurrence into a typed
     /// violation instead of a fleet abort.
     NoticeOrphan,
+    /// An fbuf was forcibly revoked from a tenant: `dom` is the holder
+    /// (stalled-receiver timeout) or the originator of a parked buffer
+    /// being retired (quota-jail escalation). The audit rule
+    /// `revoke-of-dead-buffer` requires the target to still be live —
+    /// held by `dom` or parked on its path — at the moment of the event.
+    Revoked,
+    /// A forged or stale cross-shard ring token was rejected before any
+    /// dereference (`fbuf` carries the raw rejected token). Informational:
+    /// rejection is the *correct* outcome, so no audit rule fires.
+    TokenReject,
 }
 
 impl EventKind {
@@ -139,6 +149,8 @@ impl EventKind {
             EventKind::RingCross => "RingCross",
             EventKind::HopService => "HopService",
             EventKind::NoticeOrphan => "NoticeOrphan",
+            EventKind::Revoked => "Revoked",
+            EventKind::TokenReject => "TokenReject",
         }
     }
 }

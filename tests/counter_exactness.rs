@@ -439,6 +439,202 @@ fn observability_is_zero_cost_on_osiris_end_to_end() {
 }
 
 #[test]
+fn armed_containment_is_byte_identical_on_benign_workloads() {
+    // DESIGN.md §16: the hostile-tenant containment machinery (quota
+    // jail + transfer revocation deadline) armed at its default
+    // thresholds must be invisible to every benign workload — not one
+    // simulated nanosecond, not one counter. Pinned across the five
+    // workload shapes this file already pins for the event loop.
+    use fbufs::fbuf::JailConfig;
+    use fbufs::sim::Ns;
+
+    let arm = |fbs: &mut FbufSystem, on: bool| {
+        if on {
+            fbs.set_jail(Some(JailConfig::default()));
+            fbs.set_revoke_timeout(Some(Ns(1_000_000_000))); // 1 s
+        }
+    };
+
+    // 1. Cached loopback.
+    let cached = |on: bool| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, true));
+        arm(&mut s.fbs, on);
+        for _ in 0..4 {
+            s.send_message(16 << 10, false).unwrap();
+        }
+        (s.fbs.machine().now(), s.fbs.stats().snapshot())
+    };
+    // 2. Uncached loopback.
+    let uncached = |on: bool| {
+        let mut s = LoopbackStack::new(machine(), LoopbackConfig::paper(true, false));
+        arm(&mut s.fbs, on);
+        for _ in 0..3 {
+            s.send_message(16 << 10, false).unwrap();
+        }
+        (s.fbs.machine().now(), s.fbs.stats().snapshot())
+    };
+    // 3. Osiris end-to-end.
+    let osiris = |on: bool| {
+        let mut cfg = machine();
+        cfg.phys_mem = 16 << 20;
+        let mut e = EndToEnd::new(cfg, EndToEndConfig::fig5(DomainSetup::User));
+        arm(&mut e.tx.fbs, on);
+        arm(&mut e.rx.fbs, on);
+        for _ in 0..2 {
+            e.send_message(50_000, 1, true).unwrap();
+        }
+        (
+            e.tx.fbs.machine().now(),
+            e.rx.fbs.machine().now(),
+            e.tx.fbs.stats().snapshot(),
+            e.rx.fbs.stats().snapshot(),
+        )
+    };
+    // 4. Proxy graph chain.
+    let proxy = |on: bool| {
+        let mut fbs = FbufSystem::new(machine());
+        arm(&mut fbs, on);
+        let producer = fbs.create_domain();
+        let middle = fbs.create_domain();
+        let consumer = fbs.create_domain();
+        let path = fbs.create_path(vec![producer, middle, consumer]).unwrap();
+        let mut refs = MsgRefs::new();
+        for round in 0..3u8 {
+            let a = fbs.alloc(producer, AllocMode::Cached(path), 4096).unwrap();
+            fbs.write_fbuf(producer, a, 0, &[round; 16]).unwrap();
+            let msg = Msg::from_fbuf(a, 0, 4096);
+            refs.adopt(producer, &msg);
+            deliver(&mut fbs, &mut refs, &msg, producer, middle, SendMode::Volatile).unwrap();
+            deliver(&mut fbs, &mut refs, &msg, middle, consumer, SendMode::Secure).unwrap();
+            refs.release(&mut fbs, consumer, &msg).unwrap();
+            refs.release(&mut fbs, middle, &msg).unwrap();
+            refs.release(&mut fbs, producer, &msg).unwrap();
+        }
+        (fbs.machine().now(), fbs.stats().snapshot())
+    };
+    // 5. Engine offered-load via submit_transfer (deadline-stamped when
+    // armed — the stamp itself must be free).
+    let engine = |on: bool| {
+        let mut fbs = FbufSystem::new(machine());
+        arm(&mut fbs, on);
+        let a = fbs.create_domain();
+        let route = vec![fbufs::vm::KERNEL_DOMAIN, a];
+        let path = fbs.create_path(route.clone()).unwrap();
+        for _ in 0..8 {
+            let b = fbs
+                .alloc(fbufs::vm::KERNEL_DOMAIN, AllocMode::Cached(path), 4096)
+                .unwrap();
+            assert!(!fbs.submit_transfer(b, &route).is_overload());
+            fbs.pump();
+        }
+        (fbs.machine().now(), fbs.stats().snapshot())
+    };
+
+    assert_eq!(cached(false), cached(true), "cached loopback moved");
+    assert_eq!(uncached(false), uncached(true), "uncached loopback moved");
+    assert_eq!(osiris(false), osiris(true), "osiris end-to-end moved");
+    assert_eq!(proxy(false), proxy(true), "proxy chain moved");
+    assert_eq!(engine(false), engine(true), "engine offered load moved");
+    // The armed runs really had the jail on and never tripped it.
+    let (_, snap) = cached(true);
+    assert_eq!(snap.jail_denials, 0);
+    assert_eq!(snap.fbufs_revoked, 0);
+}
+
+#[test]
+fn injected_domain_crash_never_bills_the_ledger_or_trips_the_jail() {
+    // A fault-injected domain teardown reclaims the victim's buffers
+    // through the crash path. That reclamation is bookkeeping, not
+    // traffic: the tenant ledger's transfer bytes must not move, the
+    // armed jail must not count the teardown against any tenant, and
+    // the hoard charge of the victim must return to zero.
+    use fbufs::fbuf::JailConfig;
+
+    let mut fbs = FbufSystem::new(machine());
+    fbs.set_jail(Some(JailConfig::default()));
+    let a = fbs.create_domain();
+    let b = fbs.create_domain();
+    let path = fbs.create_path(vec![a, b]).unwrap();
+    for _ in 0..4 {
+        let buf = fbs.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+        fbs.send(buf, a, b, SendMode::Volatile).unwrap();
+        fbs.free(buf, b).unwrap();
+        fbs.free(buf, a).unwrap();
+    }
+    // Leave two buffers live in the victim's hands, then crash it.
+    let held1 = fbs.alloc(a, AllocMode::Cached(path), 4096).unwrap();
+    let held2 = fbs.alloc(a, AllocMode::Uncached, 4096).unwrap();
+    fbs.send(held1, a, b, SendMode::Volatile).unwrap();
+    let before = fbs.ledger_snapshot();
+    fbs.terminate_domain(b).unwrap();
+    let after = fbs.ledger_snapshot();
+    assert_eq!(
+        before.totals().bytes,
+        after.totals().bytes,
+        "teardown reclamation billed transfer bytes"
+    );
+    let snap = fbs.stats().snapshot();
+    assert_eq!(snap.jail_denials, 0, "teardown tripped the jail");
+    assert_eq!(fbs.charged_bytes(b), 0, "the dead tenant still carries hoard charge");
+    assert!(after.conserves(&snap).is_empty(), "ledger must conserve");
+    // The survivor keeps working — and its jail history is untouched
+    // (the path died with its peer, so the survivor falls back to the
+    // default allocator).
+    fbs.free(held2, a).unwrap();
+    fbs.free(held1, a).unwrap();
+    fbs.alloc(a, AllocMode::Uncached, 4096).unwrap();
+    assert_eq!(fbs.stats().snapshot().jail_denials, 0);
+}
+
+#[test]
+fn injected_ring_full_faults_keep_the_fleet_ledger_conserving() {
+    // FaultSite::RingFull on the cross-shard data plane: pushes refused
+    // by the injected backpressure must surface as survivable aborts,
+    // never as phantom ledger billing. And merely *arming* a zero-rate
+    // plan must not move a byte anywhere — the same counter-exactness
+    // discipline every other plane in this file obeys.
+    use fbufs::fbuf::{fleet_ledger, fleet_snapshot};
+    use fbufs::sim::{FaultSite, FaultSpec};
+
+    let mut cfg = machine();
+    cfg.phys_mem = 32 << 20;
+    let base = FleetConfig {
+        paths: 2,
+        pages: 1,
+        cross_every: 2,
+        channel_capacity: 4,
+        ..FleetConfig::new(1, cfg, 300)
+    };
+    let run = |fault: Option<FaultSpec>| {
+        let mut f = base.clone();
+        f.fault = fault;
+        run_fleet(&f)
+    };
+
+    let clean = run(None);
+    let armed_zero = run(Some(FaultSpec::new(11)));
+    assert_eq!(
+        fleet_snapshot(&clean),
+        fleet_snapshot(&armed_zero),
+        "arming a zero-rate plan moved a counter"
+    );
+
+    let faulted = run(Some(FaultSpec::new(11).rate(FaultSite::RingFull, 20_000)));
+    let injected: u64 = faulted.iter().map(|r| r.faults_injected).sum();
+    assert!(injected > 0, "the plan never fired");
+    // Conservation is a whole-life invariant (the ledger is cumulative;
+    // the windowed delta excludes warm-up — see tests/observability.rs).
+    let life = fbufs::sim::StatsSnapshot::merge_all(faulted.iter().map(|r| &r.life));
+    assert_eq!(life.jail_denials, 0, "backpressure faults are not tenant hoarding");
+    assert_eq!(life.tokens_rejected, 0, "backpressure faults are not forgeries");
+    let violations = fleet_ledger(&faulted).conserves(&life);
+    assert!(
+        violations.is_empty(),
+        "injected ring-full unbalanced the ledger: {violations:?}"
+    );
+}
+
+#[test]
 fn static_policy_is_bit_identical_to_the_fixed_quota() {
     // The pluggable admission layer must leave the default behaviour
     // untouched: a system with `QuotaPolicy::Static` set explicitly and

@@ -13,7 +13,7 @@ use fbufs::fbuf::shard::{run_fleet, FleetConfig};
 use fbufs::fbuf::{AllocMode, FbufError, FbufSystem, SendMode};
 use fbufs::model::cmd::{self, Cmd};
 use fbufs::model::lockstep::Harness;
-use fbufs::sim::{audit_tracer, FaultSite, FaultSpec, MachineConfig};
+use fbufs::sim::{audit_tracer, FaultSite, FaultSpec, MachineConfig, Ns};
 
 #[test]
 fn terminate_with_held_and_parked_buffers_reclaims_frames_exactly_once() {
@@ -111,6 +111,105 @@ fn crash_with_tokens_in_flight_stays_in_lockstep() {
             panic!("crash_at {crash_at}: diverged at command {i}: {e}");
         });
     }
+}
+
+#[test]
+fn revocation_deadline_mid_route_reclaims_frames_exactly_once() {
+    // A burst of deadline-stamped transfers through a three-domain
+    // chain, serviced late: the tail of the burst blows its deadline
+    // while legs are still queued, and the engine revokes the stalled
+    // buffers mid-route instead of delivering them. Every frame must
+    // come back exactly once, the replay auditor must accept the
+    // Revoked lifecycle, and the ledger must conserve — revocations
+    // included. (The paper machine, not `tiny`: deadline expiry needs a
+    // clock that actually charges for work.)
+    let mut sys = FbufSystem::new(MachineConfig::decstation_5000_200());
+    sys.machine().tracer_ref().set_enabled(true);
+    let a = sys.create_domain();
+    let b = sys.create_domain();
+    let c = sys.create_domain();
+    let route = vec![a, b, c];
+    let p = sys.create_path(route.clone()).unwrap();
+    let frames0 = sys.machine().free_frames();
+
+    // Tight enough that queued legs at the tail of the burst expire,
+    // generous enough that the head is delivered.
+    sys.set_revoke_timeout(Some(Ns(400_000)));
+    let mut refused = Vec::new();
+    for _ in 0..8 {
+        let id = sys.alloc(a, AllocMode::Cached(p), 4096).unwrap();
+        if sys.submit_transfer(id, &route).is_overload() {
+            refused.push(id);
+        }
+    }
+    sys.pump();
+    for id in refused {
+        sys.free(id, a).unwrap();
+    }
+
+    assert!(
+        sys.transfers_revoked() > 0,
+        "the burst tail must blow the 400 µs deadline"
+    );
+    assert_eq!(sys.stats().snapshot().fbufs_revoked, sys.transfers_revoked());
+    let violations = sys.ledger_snapshot().conserves(&sys.stats().snapshot());
+    assert!(violations.is_empty(), "ledger must conserve: {violations:?}");
+
+    // Tear the chain down: parked buffers retire with their path, and
+    // the physical frame count returns to its pre-workload baseline.
+    sys.terminate_domain(a).unwrap();
+    sys.terminate_domain(b).unwrap();
+    sys.terminate_domain(c).unwrap();
+    assert_eq!(sys.live_fbufs(), 0);
+    assert_eq!(
+        sys.machine().free_frames(),
+        frames0,
+        "every frame reclaimed exactly once"
+    );
+    audit_tracer(sys.machine().tracer_ref()).assert_clean();
+}
+
+#[test]
+fn revocation_deadline_during_terminate_reclaims_frames_exactly_once() {
+    // The other hard interleaving: deadline-stamped transfers sit
+    // queued toward a receiver that is torn down *before* the engine
+    // services them. The teardown and the expired deadlines race over
+    // the same buffers; each frame must still be reclaimed exactly
+    // once, with a clean audit and a conserving ledger.
+    let mut sys = FbufSystem::new(MachineConfig::decstation_5000_200());
+    sys.machine().tracer_ref().set_enabled(true);
+    let a = sys.create_domain();
+    let b = sys.create_domain();
+    let route = vec![a, b];
+    let p = sys.create_path(route.clone()).unwrap();
+    let frames0 = sys.machine().free_frames();
+
+    sys.set_revoke_timeout(Some(Ns(1)));
+    let mut refused = Vec::new();
+    for _ in 0..4 {
+        let id = sys.alloc(a, AllocMode::Cached(p), 4096).unwrap();
+        if sys.submit_transfer(id, &route).is_overload() {
+            refused.push(id);
+        }
+    }
+    // The receiver dies with every transfer still in its inbox, every
+    // deadline already blown (1 ns). Only then is the engine pumped.
+    sys.terminate_domain(b).unwrap();
+    sys.pump();
+    for id in refused {
+        sys.free(id, a).unwrap();
+    }
+
+    let violations = sys.ledger_snapshot().conserves(&sys.stats().snapshot());
+    assert!(violations.is_empty(), "ledger must conserve: {violations:?}");
+    sys.terminate_domain(a).unwrap();
+    assert_eq!(sys.live_fbufs(), 0);
+    assert_eq!(
+        sys.machine().free_frames(),
+        frames0,
+        "every frame reclaimed exactly once"
+    );
+    audit_tracer(sys.machine().tracer_ref()).assert_clean();
 }
 
 #[test]

@@ -320,6 +320,80 @@ fn parked_reuse_round_trips_preserve_live_fbufs() {
         });
 }
 
+#[test]
+fn forged_and_stale_tokens_never_resolve_and_never_mutate_state() {
+    // The generation-tag defense, as a property: no matter how a raw
+    // token is forged — generation bits flipped on a live id, the id of
+    // a retired buffer, or pure noise — `check_token` must refuse it,
+    // must not move the simulated clock or any counter besides the
+    // rejection tally, and must bill exactly one rejection to exactly
+    // the probing tenant's ledger row.
+    Checker::new("forged_and_stale_tokens_never_resolve_and_never_mutate_state")
+        .cases(CASES)
+        .run(|rng| {
+            let mut fbs = FbufSystem::new(MachineConfig::decstation_5000_200());
+            let a = fbs.create_domain();
+            let b = fbs.create_domain();
+            let path = fbs.create_path(vec![a, b]).unwrap();
+            let len = fbs.machine().page_size();
+
+            // Random live population plus one guaranteed-stale id.
+            let mut live = Vec::new();
+            for _ in 0..rng.range(1, 6) {
+                live.push(fbs.alloc(a, AllocMode::Cached(path), len).unwrap());
+            }
+            let stale = fbs.alloc(a, AllocMode::Uncached, len).unwrap();
+            fbs.free(stale, a).unwrap(); // uncached free retires: the id is dead
+            assert!(fbs.fbuf(stale).is_err());
+
+            for probe_round in 0..rng.range(4, 12) {
+                let victim = live[rng.below(live.len() as u64) as usize];
+                let raw = match probe_round % 3 {
+                    // Generation bits flipped on a live id: same arena
+                    // slot, wrong generation.
+                    0 => victim.0 ^ ((rng.range(1, u32::MAX as u64)) << 32),
+                    // A retired buffer's id replayed verbatim.
+                    1 => stale.0,
+                    // Pure noise, index bits included.
+                    _ => rng.next_u64(),
+                };
+                if fbs.fbuf(FbufId(raw)).is_ok() {
+                    continue; // noise accidentally minted a valid token
+                }
+                let dom = if rng.below(2) == 0 { a } else { b };
+                let clock = fbs.machine().now();
+                let before = fbs.stats().snapshot();
+                let live_before = fbs.live_fbufs();
+                let row_before = fbs.ledger_snapshot().dom(dom.0).rejected_tokens;
+
+                assert!(
+                    !fbs.check_token(dom, Some(path), raw),
+                    "forged token {raw:#x} resolved"
+                );
+
+                assert_eq!(fbs.machine().now(), clock, "rejection charged the clock");
+                assert_eq!(fbs.live_fbufs(), live_before, "rejection touched the arena");
+                let mut expect = before.clone();
+                expect.tokens_rejected += 1;
+                assert_eq!(
+                    fbs.stats().snapshot(),
+                    expect,
+                    "rejection moved a counter other than tokens_rejected"
+                );
+                assert_eq!(
+                    fbs.ledger_snapshot().dom(dom.0).rejected_tokens,
+                    row_before + 1,
+                    "exactly one rejection billed to the probing tenant"
+                );
+                // Every live buffer still resolves — the forgery
+                // dereferenced nothing and invalidated nothing.
+                for &id in &live {
+                    assert!(fbs.fbuf(id).is_ok());
+                }
+            }
+        });
+}
+
 /// Arbitrary latency-like samples, spanning many histogram buckets
 /// (zeros, small, and large values all occur).
 fn arb_samples(rng: &mut Rng) -> Vec<u64> {
